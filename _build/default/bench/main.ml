@@ -1,0 +1,529 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (plus the ablations listed in DESIGN.md), printing
+   paper-reported numbers next to measured ones.
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments
+     dune exec bench/main.exe -- --quick      -- reduced budgets
+     dune exec bench/main.exe -- e5 e7        -- selected experiments
+     dune exec bench/main.exe -- timing       -- Bechamel timing benches only
+
+   Iteration counts are the primary metric, as in the paper's Figures
+   9 and 10 ("Iterations (runtime)"): they are machine-independent.
+   Absolute wall-clock differs from a 2005 Pentium III, but who wins,
+   by what rough factor, and how counts grow with depth should match. *)
+
+let quick = ref false
+
+(* ---- table printing -------------------------------------------------------- *)
+
+let header title = Printf.printf "\n=== %s ===\n" title
+
+let row ~id ~desc ~paper ~measured =
+  Printf.printf "%-22s %-48s | paper: %-32s | measured: %s\n" id desc paper measured
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let verdict_cell (r : Dart.Driver.report) seconds =
+  match r.Dart.Driver.verdict with
+  | Dart.Driver.Bug_found b ->
+    Printf.sprintf "BUG on run %d (%.2fs, %s)" b.Dart.Driver.bug_run seconds
+      (Machine.fault_to_string b.Dart.Driver.bug_fault)
+  | Dart.Driver.Complete -> Printf.sprintf "complete, %d runs (%.2fs)" r.Dart.Driver.runs seconds
+  | Dart.Driver.Budget_exhausted ->
+    Printf.sprintf "no bug in %d runs (%.2fs)" r.Dart.Driver.runs seconds
+
+let dart ?(depth = 1) ?(max_runs = 20_000) ?(strategy = Dart.Strategy.Dfs)
+    ?(symbolic_pointers = false) ~toplevel src =
+  let options =
+    { Dart.Driver.default_options with
+      depth;
+      max_runs;
+      strategy;
+      exec = { Dart.Concolic.default_exec_options with symbolic_pointers } }
+  in
+  time_it (fun () -> Dart.Driver.test_source ~options ~toplevel src)
+
+let random_baseline ?(depth = 1) ~max_runs ~toplevel src =
+  let ast = Minic.Parser.parse_program src in
+  let prog = Dart.Driver.prepare ~toplevel ~depth ast in
+  time_it (fun () -> Dart.Random_search.run ~seed:1 ~max_runs prog)
+
+let random_cell (r : Dart.Random_search.report) seconds =
+  match r.Dart.Random_search.verdict with
+  | `Bug_found b -> Printf.sprintf "BUG on run %d (%.2fs)" b.Dart.Driver.bug_run seconds
+  | `No_bug -> Printf.sprintf "no bug in %d runs (%.2fs)" r.Dart.Random_search.runs seconds
+
+(* ---- E1-E4, E11: the Section 2 example programs --------------------------- *)
+
+let experiment_section2 () =
+  header "E1-E4, E11: Section 2 example programs";
+  let r, s =
+    dart
+      ~toplevel:(snd Workloads.Paper_examples.section_2_1)
+      (fst Workloads.Paper_examples.section_2_1)
+  in
+  row ~id:"section2.1-h" ~desc:"h(x,y): abort behind f(x) == x+10"
+    ~paper:"error on run 2 (x = 10)" ~measured:(verdict_cell r s);
+  let r, s =
+    dart
+      ~toplevel:(snd Workloads.Paper_examples.section_2_4)
+      (fst Workloads.Paper_examples.section_2_4)
+  in
+  row ~id:"section2.4-f" ~desc:"x==z, y==x+10 unsat: search terminates"
+    ~paper:"complete, no error" ~measured:(verdict_cell r s);
+  let r, s =
+    dart
+      ~toplevel:(snd Workloads.Paper_examples.section_2_5_cast)
+      (fst Workloads.Paper_examples.section_2_5_cast)
+  in
+  row ~id:"section2.5-cast" ~desc:"char-cast aliasing (static analysis can't)"
+    ~paper:"abort found easily" ~measured:(verdict_cell r s);
+  let r, s =
+    dart
+      ~toplevel:(snd Workloads.Paper_examples.section_2_5_foobar)
+      (fst Workloads.Paper_examples.section_2_5_foobar)
+  in
+  row ~id:"section2.5-foobar" ~desc:"non-linear x*x*x guard, graceful degradation"
+    ~paper:"reachable abort found w.h.p." ~measured:(verdict_cell r s);
+  let budget = if !quick then 10_000 else 100_000 in
+  let r, s =
+    dart ~toplevel:(snd Workloads.Paper_examples.eq_filter) (fst Workloads.Paper_examples.eq_filter)
+  in
+  row ~id:"eq-filter" ~desc:"if (x == 10): directed"
+    ~paper:"~2 runs (prob. 0.5 per branch)" ~measured:(verdict_cell r s);
+  let r, s =
+    random_baseline ~max_runs:budget
+      ~toplevel:(snd Workloads.Paper_examples.eq_filter)
+      (fst Workloads.Paper_examples.eq_filter)
+  in
+  row ~id:"eq-filter-random" ~desc:"if (x == 10): random baseline"
+    ~paper:"1 in 2^32 per run" ~measured:(random_cell r s)
+
+(* ---- E5: AC-controller (Section 4.1) --------------------------------------- *)
+
+let experiment_ac () =
+  header "E5: AC-controller (Section 4.1)";
+  let src, toplevel = Workloads.Paper_examples.ac_controller in
+  let r, s = dart ~depth:1 ~toplevel src in
+  row ~id:"ac-depth1" ~desc:"depth 1: all paths, no violation"
+    ~paper:"6 iterations, <1s, no error" ~measured:(verdict_cell r s);
+  let r, s = dart ~depth:2 ~toplevel src in
+  row ~id:"ac-depth2" ~desc:"depth 2: violation at inputs (3, 0)"
+    ~paper:"7 iterations, <1s" ~measured:(verdict_cell r s);
+  let budget = if !quick then 20_000 else 200_000 in
+  let r, s = random_baseline ~depth:2 ~max_runs:budget ~toplevel src in
+  row ~id:"ac-random" ~desc:"depth 2: random baseline"
+    ~paper:"hours, not found (1 in 2^64)" ~measured:(random_cell r s)
+
+(* ---- E6: Needham-Schroeder, possibilistic intruder (Figure 9) -------------- *)
+
+let experiment_ns_poss () =
+  header "E6: Needham-Schroeder, possibilistic intruder (Figure 9)";
+  let src = Workloads.Needham_schroeder.possibilistic ~fix:`None in
+  let toplevel = Workloads.Needham_schroeder.possibilistic_toplevel in
+  let r, s = dart ~depth:1 ~toplevel src in
+  row ~id:"ns-poss-depth1" ~desc:"depth 1: exhaustive, no error"
+    ~paper:"no error, 69 runs (<1s)" ~measured:(verdict_cell r s);
+  let r, s = dart ~depth:2 ~max_runs:50_000 ~toplevel src in
+  row ~id:"ns-poss-depth2" ~desc:"depth 2: attack projection (steps 2 and 6)"
+    ~paper:"error, 664 runs (2s)" ~measured:(verdict_cell r s);
+  let budget = if !quick then 5_000 else 50_000 in
+  let r, s = random_baseline ~depth:2 ~max_runs:budget ~toplevel src in
+  row ~id:"ns-poss-random" ~desc:"depth 2: random baseline" ~paper:"hours, not found"
+    ~measured:(random_cell r s)
+
+(* ---- E7: Needham-Schroeder, Dolev-Yao intruder (Figure 10) ----------------- *)
+
+let experiment_ns_dy () =
+  header "E7: Needham-Schroeder, Dolev-Yao intruder (Figure 10)";
+  let src = Workloads.Needham_schroeder.dolev_yao ~fix:`None in
+  let toplevel = Workloads.Needham_schroeder.dolev_yao_toplevel in
+  let paper =
+    [| "no error, 5 runs (<1s)"; "no error, 85 runs (<1s)"; "no error, 6,260 runs (22s)";
+       "error, 328,459 runs (18min)" |]
+  in
+  let max_depth = if !quick then 3 else 4 in
+  for depth = 1 to max_depth do
+    let r, s = dart ~depth ~max_runs:500_000 ~toplevel src in
+    row
+      ~id:(Printf.sprintf "ns-dy-depth%d" depth)
+      ~desc:(Printf.sprintf "depth %d" depth)
+      ~paper:paper.(depth - 1) ~measured:(verdict_cell r s)
+  done;
+  if !quick then print_endline "(depth 4 skipped in --quick mode)"
+
+(* ---- E8: Lowe's fix (Section 4.2 anecdote) ---------------------------------- *)
+
+let experiment_lowe_fix () =
+  header "E8: Lowe's fix (Section 4.2)";
+  let toplevel = Workloads.Needham_schroeder.dolev_yao_toplevel in
+  let depth = 4 and max_runs = if !quick then 50_000 else 500_000 in
+  let r, s =
+    dart ~depth ~max_runs ~toplevel (Workloads.Needham_schroeder.dolev_yao ~fix:`Buggy)
+  in
+  row ~id:"ns-fix-buggy" ~desc:"incomplete implementation of Lowe's fix"
+    ~paper:"violation found (22min) - new bug" ~measured:(verdict_cell r s);
+  let r, s =
+    dart ~depth ~max_runs ~toplevel (Workloads.Needham_schroeder.dolev_yao ~fix:`Correct)
+  in
+  row ~id:"ns-fix-correct" ~desc:"corrected fix" ~paper:"no violation found"
+    ~measured:(verdict_cell r s)
+
+(* ---- E9: oSIP function sweep (Section 4.3) ---------------------------------- *)
+
+let experiment_osip_sweep () =
+  header "E9: oSIP simulacrum sweep (Section 4.3)";
+  let n = if !quick then 40 else 120 in
+  let per_function_budget = if !quick then 300 else 1_000 in
+  let src, funcs = Workloads.Osip_sim.generate ~seed:7 ~n in
+  let ast = Minic.Parser.parse_program src in
+  let crashed = ref 0 and vulnerable = ref 0 and dart_tp = ref 0 in
+  let random_crashed = ref 0 in
+  let faults : (Machine.fault, int) Hashtbl.t = Hashtbl.create 8 in
+  let (), seconds =
+    time_it (fun () ->
+        List.iter
+          (fun (f : Workloads.Osip_sim.gen_func) ->
+            if f.gf_vulnerable then incr vulnerable;
+            let prog = Dart.Driver.prepare ~toplevel:f.gf_toplevel ~depth:1 ast in
+            let options = { Dart.Driver.default_options with max_runs = per_function_budget } in
+            let r = Dart.Driver.run ~options prog in
+            (match r.Dart.Driver.verdict with
+             | Dart.Driver.Bug_found b ->
+               incr crashed;
+               if f.gf_vulnerable then incr dart_tp;
+               Hashtbl.replace faults b.Dart.Driver.bug_fault
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt faults b.Dart.Driver.bug_fault))
+             | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ());
+            let rr = Dart.Random_search.run ~seed:1 ~max_runs:per_function_budget prog in
+            match rr.Dart.Random_search.verdict with
+            | `Bug_found _ -> incr random_crashed
+            | `No_bug -> ())
+          funcs)
+  in
+  let pct a b = 100.0 *. float_of_int a /. float_of_int b in
+  row ~id:"osip-sweep"
+    ~desc:(Printf.sprintf "%d functions, <=%d runs each" n per_function_budget)
+    ~paper:"65% of ~600 functions crash"
+    ~measured:
+      (Printf.sprintf "DART: %d/%d (%.0f%%) crash (%.0fs total)" !crashed n (pct !crashed n)
+         seconds);
+  row ~id:"osip-sweep-truth" ~desc:"against generator ground truth"
+    ~paper:"n/a (real library)"
+    ~measured:
+      (Printf.sprintf "%d/%d vulnerable by construction; DART found %d (%.0f%%)" !vulnerable
+         n !dart_tp (pct !dart_tp !vulnerable));
+  row ~id:"osip-sweep-random" ~desc:"random baseline, same budgets" ~paper:"n/a"
+    ~measured:(Printf.sprintf "random: %d/%d (%.0f%%) crash" !random_crashed n (pct !random_crashed n));
+  print_string "  crash causes: ";
+  Hashtbl.iter (fun f c -> Printf.printf "%s x%d;  " (Machine.fault_to_string f) c) faults;
+  print_newline ()
+
+(* ---- E10: the oSIP parser attack -------------------------------------------- *)
+
+let experiment_parser_attack () =
+  header "E10: osip_message_parse attack (Section 4.3)";
+  let r, s =
+    dart ~max_runs:2_000 ~toplevel:Workloads.Osip_sim.parser_toplevel
+      Workloads.Osip_sim.parser_vulnerable
+  in
+  let extra =
+    match r.Dart.Driver.verdict with
+    | Dart.Driver.Bug_found b ->
+      let len = Option.value ~default:0 (List.assoc_opt 0 b.Dart.Driver.bug_inputs) in
+      Printf.sprintf " [Content-Length witness = %d]" len
+    | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ""
+  in
+  row ~id:"osip-parser-attack" ~desc:"unchecked alloca of attacker-controlled size"
+    ~paper:">2.5MB message kills any oSIP app"
+    ~measured:(verdict_cell r s ^ extra);
+  let r, s =
+    dart ~max_runs:2_000 ~toplevel:Workloads.Osip_sim.parser_toplevel
+      Workloads.Osip_sim.parser_fixed
+  in
+  row ~id:"osip-parser-fixed" ~desc:"parser as fixed in oSIP 2.2.0"
+    ~paper:"fixed in v2.2.0 ChangeLog" ~measured:(verdict_cell r s)
+
+(* ---- A1: search-strategy ablation -------------------------------------------- *)
+
+let experiment_strategy_ablation () =
+  header "A1: search-strategy ablation (paper footnote 4)";
+  let src, toplevel = Workloads.Paper_examples.ac_controller in
+  List.iter
+    (fun strategy ->
+      let r, s = dart ~depth:2 ~max_runs:200_000 ~strategy ~toplevel src in
+      row
+        ~id:(Printf.sprintf "ablation-%s" (Dart.Strategy.to_string strategy))
+        ~desc:"AC-controller depth 2, runs to violation"
+        ~paper:"DFS is the paper's default" ~measured:(verdict_cell r s))
+    [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ];
+  let src, toplevel = Workloads.Paper_examples.list_example in
+  let budget = if !quick then 50_000 else 200_000 in
+  let r, s = dart ~max_runs:budget ~toplevel src in
+  row ~id:"ablation-coins-random" ~desc:"sum3 list bug: random shapes (paper Fig. 8)"
+    ~paper:"shapes from coin tosses" ~measured:(verdict_cell r s);
+  let r, s = dart ~max_runs:budget ~symbolic_pointers:true ~toplevel src in
+  row ~id:"ablation-coins-symbolic" ~desc:"sum3 list bug: symbolic coins (extension)"
+    ~paper:"n/a (our extension)" ~measured:(verdict_cell r s)
+
+(* ---- A3: string-directed packet construction ---------------------------------- *)
+
+let experiment_packet_construction () =
+  header "A3: packet construction through string routines (input filters, Section 4.1)";
+  let budget = if !quick then 20_000 else 50_000 in
+  let r, s =
+    dart ~max_runs:budget ~toplevel:Workloads.Sip_parser.toplevel
+      Workloads.Sip_parser.vulnerable
+  in
+  let extra =
+    match r.Dart.Driver.verdict with
+    | Dart.Driver.Bug_found b ->
+      let char_at i = Option.value ~default:0 (List.assoc_opt i b.Dart.Driver.bug_inputs) in
+      let packet =
+        String.init 11 (fun i ->
+            let c = char_at i land 255 in
+            if c >= 32 && c < 127 then Char.chr c else '.')
+      in
+      Printf.sprintf " [packet %S]" packet
+    | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ""
+  in
+  row ~id:"packet-dart" ~desc:"SIP parser OOB behind strncmp/atoi filters"
+    ~paper:"directed search passes input filters" ~measured:(verdict_cell r s ^ extra);
+  let r, s =
+    random_baseline ~max_runs:budget ~toplevel:Workloads.Sip_parser.toplevel
+      Workloads.Sip_parser.vulnerable
+  in
+  row ~id:"packet-random" ~desc:"same parser, random testing"
+    ~paper:"stuck in the filter (1 in 256^7)" ~measured:(random_cell r s);
+  let r, s =
+    dart ~max_runs:2_000 ~toplevel:Workloads.Sip_parser.toplevel Workloads.Sip_parser.fixed
+  in
+  row ~id:"packet-fixed" ~desc:"bounds-checked parser" ~paper:"n/a"
+    ~measured:(verdict_cell r s)
+
+(* ---- A2: solver ablation ------------------------------------------------------ *)
+
+let experiment_solver_ablation () =
+  header "A2: solver ablation (interval fast path vs simplex)";
+  (* A workload whose path constraints defeat both the interval fast
+     path and Gaussian elimination: non-unit coefficients force the
+     rational relaxation + branch-and-bound. *)
+  let src =
+    {|
+void f(int a, int b, int c) {
+  if (2*a + 3*b == 10000)
+    if (5*b + 7*c == 20000)
+      if (a > 0 && b > 0 && c > 0)
+        abort();
+}
+|}
+  in
+  let run_with use_simplex =
+    let stats = Solver.create_stats () in
+    let ast = Minic.Parser.parse_program src in
+    let prog = Dart.Driver.prepare ~toplevel:"f" ~depth:1 ast in
+    (* Drive the flip loop manually so the ablated solver can be
+       injected (Driver always uses the full solver). *)
+    let rng = Dart_util.Prng.create 42 in
+    let im = Dart.Inputs.create () in
+    let opts = Dart.Concolic.default_exec_options in
+    let entry = Dart.Driver_gen.wrapper_name in
+    let bug = ref false in
+    let rec loop budget prev =
+      if budget = 0 then ()
+      else begin
+        let d = Dart.Concolic.run_once ~opts ~rng ~im ~prev_stack:prev ~entry prog in
+        match d.Dart.Concolic.outcome with
+        | Dart.Concolic.Run_fault _ -> bug := true
+        | Dart.Concolic.Run_prediction_failure -> ()
+        | Dart.Concolic.Run_halted ->
+          let rec try_flip j =
+            if j < 0 then ()
+            else if
+              d.Dart.Concolic.stack.(j).Dart.Concolic.br_done
+              || d.Dart.Concolic.path_constraint.(j) = None
+            then try_flip (j - 1)
+            else begin
+              let pivot =
+                Symbolic.Constr.negate (Option.get d.Dart.Concolic.path_constraint.(j))
+              in
+              let prefix =
+                List.filter_map
+                  (fun h -> d.Dart.Concolic.path_constraint.(h))
+                  (List.init j Fun.id)
+              in
+              match Solver.solve ~stats ~use_simplex (pivot :: prefix) with
+              | Solver.Sat model ->
+                List.iter
+                  (fun (v, z) ->
+                    Dart.Inputs.set im ~id:v (Dart_util.Word32.of_zint_trunc z))
+                  model;
+                let stack' =
+                  Array.init (j + 1) (fun i ->
+                      if i = j then
+                        { Dart.Concolic.br_branch =
+                            not d.Dart.Concolic.stack.(j).Dart.Concolic.br_branch;
+                          br_done = false }
+                      else d.Dart.Concolic.stack.(i))
+                in
+                loop (budget - 1) stack'
+              | Solver.Unsat | Solver.Unknown -> try_flip (j - 1)
+            end
+          in
+          try_flip (Array.length d.Dart.Concolic.stack - 1)
+      end
+    in
+    loop 100 [||];
+    (!bug, stats)
+  in
+  let found, stats = run_with true in
+  row ~id:"solver-full" ~desc:"simplex + branch-and-bound enabled"
+    ~paper:"lp_solve (real+integer programming)"
+    ~measured:
+      (Printf.sprintf "bug=%b, %d queries (%d simplex, %d fast-path)" found
+         stats.Solver.queries stats.Solver.simplex_queries stats.Solver.fast_path);
+  let found, stats = run_with false in
+  row ~id:"solver-intervals-only" ~desc:"interval fast path only (ablated)" ~paper:"n/a"
+    ~measured:
+      (Printf.sprintf "bug=%b, %d queries (%d unknown)" found stats.Solver.queries
+         stats.Solver.unknown)
+
+(* ---- Bechamel timing benches -------------------------------------------------- *)
+
+let timing_benches () =
+  header "Timing (Bechamel; OLS estimate per operation)";
+  let open Bechamel in
+  let ac_src, ac_top = Workloads.Paper_examples.ac_controller in
+  let ac_prog =
+    Dart.Driver.prepare ~toplevel:ac_top ~depth:2 (Minic.Parser.parse_program ac_src)
+  in
+  let ns_src = Workloads.Needham_schroeder.possibilistic ~fix:`None in
+  let ns_prog =
+    Dart.Driver.prepare ~toplevel:Workloads.Needham_schroeder.possibilistic_toplevel ~depth:1
+      (Minic.Parser.parse_program ns_src)
+  in
+  let run_prog prog symbolic rng () =
+    let im = Dart.Inputs.create () in
+    let opts = { Dart.Concolic.default_exec_options with symbolic } in
+    Dart.Concolic.run_once ~opts ~rng ~im ~prev_stack:[||]
+      ~entry:Dart.Driver_gen.wrapper_name prog
+  in
+  let parse_test =
+    Test.make ~name:"e6 frontend: parse+typecheck+lower NS source"
+      (Staged.stage (fun () -> Ram.Lower.lower_source ns_src))
+  in
+  let concrete_test =
+    Test.make ~name:"e5 machine: one concrete AC run"
+      (Staged.stage (run_prog ac_prog false (Dart_util.Prng.create 7)))
+  in
+  let concolic_test =
+    Test.make ~name:"e5 concolic: one instrumented AC run"
+      (Staged.stage (run_prog ac_prog true (Dart_util.Prng.create 7)))
+  in
+  let ns_run_test =
+    Test.make ~name:"e6 concolic: one instrumented NS run"
+      (Staged.stage (run_prog ns_prog true (Dart_util.Prng.create 7)))
+  in
+  let solver_fast_test =
+    let open Symbolic in
+    let z = Zarith_lite.Zint.of_int in
+    let cs =
+      [ Constr.make (Linexpr.add_const (z (-10)) (Linexpr.var 0)) Constr.Eq0;
+        Constr.make (Linexpr.add_const (z 3) (Linexpr.neg (Linexpr.var 1))) Constr.Le0 ]
+    in
+    Test.make ~name:"a2 solver: univariate query (fast path)"
+      (Staged.stage (fun () -> Solver.solve cs))
+  in
+  let solver_simplex_test =
+    let open Symbolic in
+    let z = Zarith_lite.Zint.of_int in
+    let mk c terms =
+      List.fold_left
+        (fun acc (v, k) -> Linexpr.add acc (Linexpr.scale (z k) (Linexpr.var v)))
+        (Linexpr.const (z c)) terms
+    in
+    let cs =
+      [ Constr.make (mk (-1000) [ (0, 1); (1, 1) ]) Constr.Eq0;
+        Constr.make (mk (-2000) [ (1, 2); (2, 1) ]) Constr.Le0;
+        Constr.make (mk 0 [ (0, -1); (2, 1) ]) Constr.Le0 ]
+    in
+    Test.make ~name:"a2 solver: multivariate query (simplex)"
+      (Staged.stage (fun () -> Solver.solve cs))
+  in
+  let osip_test =
+    let src, funcs = Workloads.Osip_sim.generate ~seed:7 ~n:10 in
+    let f = List.hd funcs in
+    let prog =
+      Dart.Driver.prepare ~toplevel:f.Workloads.Osip_sim.gf_toplevel ~depth:1
+        (Minic.Parser.parse_program src)
+    in
+    Test.make ~name:"e9 concolic: one instrumented oSIP-function run"
+      (Staged.stage (run_prog prog true (Dart_util.Prng.create 7)))
+  in
+  let tests =
+    [ parse_test; concrete_test; concolic_test; ns_run_test; solver_fast_test;
+      solver_simplex_test; osip_test ]
+  in
+  let quota = if !quick then 0.2 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"dart" ~fmt:"%s %s" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ t ] -> (name, t) :: acc
+        | Some _ | None -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, t) ->
+      if Float.is_nan t then Printf.printf "  %-55s (no estimate)\n" name
+      else if t > 1_000_000.0 then Printf.printf "  %-55s %10.2f ms/op\n" name (t /. 1e6)
+      else if t > 1_000.0 then Printf.printf "  %-55s %10.2f us/op\n" name (t /. 1e3)
+      else Printf.printf "  %-55s %10.0f ns/op\n" name t)
+    rows
+
+(* ---- main ----------------------------------------------------------------------- *)
+
+let experiments =
+  [ ("e1", experiment_section2);
+    ("e5", experiment_ac);
+    ("e6", experiment_ns_poss);
+    ("e7", experiment_ns_dy);
+    ("e8", experiment_lowe_fix);
+    ("e9", experiment_osip_sweep);
+    ("e10", experiment_parser_attack);
+    ("a1", experiment_strategy_ablation);
+    ("a2", experiment_solver_ablation);
+    ("a3", experiment_packet_construction);
+    ("timing", timing_benches) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected = if args = [] then List.map fst experiments else args in
+  print_endline "DART reproduction benchmarks (see DESIGN.md for the experiment index)";
+  if !quick then print_endline "[--quick mode: reduced budgets]";
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f -> f ()
+      | None -> Printf.eprintf "unknown experiment id %s\n" id)
+    selected

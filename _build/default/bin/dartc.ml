@@ -1,0 +1,165 @@
+(* dartc: run DART on a MiniC source file.
+
+     dune exec bin/dartc.exe -- program.mc --toplevel f --depth 2
+
+   Exit status: 0 when no bug was found, 1 on a bug, 2 on usage or
+   front-end errors. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let strategy_conv =
+  let parse = function
+    | "dfs" -> Ok Dart.Strategy.Dfs
+    | "bfs" -> Ok Dart.Strategy.Bfs
+    | "random" -> Ok Dart.Strategy.Random_branch
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (dfs|bfs|random)" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Dart.Strategy.to_string s) in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+
+let toplevel_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "t"; "toplevel" ] ~docv:"FUNC"
+        ~doc:"Function under test; its arguments become DART-controlled inputs.")
+
+let depth_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "d"; "depth" ]
+        ~doc:"Number of iterative calls to the toplevel function per run (paper \\u{00a7}3.2).")
+
+let max_runs_arg =
+  Arg.(value & opt int 10_000 & info [ "max-runs" ] ~doc:"Budget of instrumented runs.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (reproducible).")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Dart.Strategy.Dfs
+    & info [ "strategy" ] ~docv:"STRAT" ~doc:"Branch-selection strategy: dfs, bfs or random.")
+
+let random_mode_arg =
+  Arg.(
+    value & flag
+    & info [ "random-testing" ]
+        ~doc:"Disable the directed search: plain random testing with the same driver.")
+
+let symbolic_ptrs_arg =
+  Arg.(
+    value & flag
+    & info [ "symbolic-pointers" ]
+        ~doc:"Extension: make NULL/non-NULL pointer-shape coins directable branches.")
+
+let all_bugs_arg =
+  Arg.(
+    value & flag
+    & info [ "all-bugs" ] ~doc:"Keep searching after the first bug; report all distinct ones.")
+
+let show_interface_arg =
+  Arg.(value & flag & info [ "show-interface" ] ~doc:"Print the extracted interface and exit.")
+
+let show_driver_arg =
+  Arg.(
+    value & flag
+    & info [ "show-driver" ] ~doc:"Print the generated test driver (MiniC) and exit.")
+
+let dump_ram_arg =
+  Arg.(value & flag & info [ "dump-ram" ] ~doc:"Print the lowered RAM-machine code and exit.")
+
+let coverage_arg =
+  Arg.(
+    value & flag
+    & info [ "coverage" ] ~doc:"Print a per-function branch-coverage report after the search.")
+
+let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
+    show_interface show_driver dump_ram coverage =
+  try
+    let src = read_file file in
+    let ast = Minic.Parser.parse_program ~file src in
+    if show_interface then begin
+      let typed = Minic.Typecheck.check ast in
+      print_string (Dart.Interface.to_string (Dart.Interface.extract typed ~toplevel));
+      0
+    end
+    else if show_driver then begin
+      print_string (Dart.Driver_gen.driver_source ast ~toplevel ~depth);
+      0
+    end
+    else begin
+      let prog = Dart.Driver.prepare ~toplevel ~depth ast in
+      if dump_ram then begin
+        Hashtbl.iter
+          (fun _ f -> print_string (Ram.Instr.func_to_string f))
+          prog.Ram.Instr.funcs;
+        0
+      end
+      else if random_mode then begin
+        let report = Dart.Random_search.run ~seed ~max_runs prog in
+        print_endline (Dart.Random_search.report_to_string report);
+        match report.Dart.Random_search.verdict with `Bug_found _ -> 1 | `No_bug -> 0
+      end
+      else begin
+        let options =
+          { Dart.Driver.seed;
+            depth;
+            max_runs;
+            strategy;
+            stop_on_first_bug = not all_bugs;
+            exec =
+              { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs } }
+        in
+        let report = Dart.Driver.run ~options prog in
+        print_endline (Dart.Driver.report_to_string report);
+        if coverage then
+          print_string
+            (Dart.Coverage.to_string
+               (Dart.Coverage.compute prog ~covered:report.Dart.Driver.coverage_sites));
+        List.iter
+          (fun (b : Dart.Driver.bug) ->
+            Printf.printf "  - %s in %s at %s (run %d)\n"
+              (Machine.fault_to_string b.bug_fault)
+              b.bug_site.Machine.site_fn
+              (Minic.Loc.to_string b.bug_site.Machine.site_loc)
+              b.bug_run)
+          report.Dart.Driver.bugs;
+        match report.Dart.Driver.verdict with
+        | Dart.Driver.Bug_found _ -> 1
+        | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> 0
+      end
+    end
+  with
+  | Minic.Lexer.Error (loc, msg) | Minic.Parser.Error (loc, msg)
+  | Minic.Typecheck.Error (loc, msg) ->
+    Printf.eprintf "%s: error: %s\n" (Minic.Loc.to_string loc) msg;
+    2
+  | Dart.Driver_gen.No_toplevel name ->
+    Printf.eprintf "error: no function named %s with a body\n" name;
+    2
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+let cmd =
+  let doc = "directed automated random testing for MiniC programs" in
+  let term =
+    Term.(
+      const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
+      $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg
+      $ show_interface_arg $ show_driver_arg $ dump_ram_arg $ coverage_arg)
+  in
+  Cmd.v (Cmd.info "dartc" ~doc) term
+
+let () = exit (Cmd.eval' cmd)

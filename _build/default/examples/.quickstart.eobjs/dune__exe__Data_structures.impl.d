@@ -1,0 +1,1 @@
+examples/data_structures.ml: Dart List Printf

@@ -1,0 +1,1 @@
+examples/library_fuzzing.ml: Dart List Machine Minic Option Printf Workloads

@@ -1,0 +1,1 @@
+examples/packet_construction.ml: Char Dart List Printf String Workloads

@@ -1,0 +1,1 @@
+examples/protocol_attack.ml: Dart List Option Printf Workloads

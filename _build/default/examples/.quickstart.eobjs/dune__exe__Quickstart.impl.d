@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dart List Minic Printf

@@ -1,0 +1,1 @@
+lib/core/concolic.ml: Array Constr Dart_util Hashtbl Inputs Linexpr List Machine Minic Ram Symbolic Symmem Zarith_lite Zint

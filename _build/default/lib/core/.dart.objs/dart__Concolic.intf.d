@@ -1,0 +1,1 @@
+lib/core/concolic.mli: Dart_util Inputs Machine Ram Symbolic

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Buffer Driver_gen Hashtbl List Option Printf Ram String

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Concolic Dart_util Driver_gen Hashtbl Inputs List Machine Minic Printf Ram Solve_pc Solver Strategy

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Concolic Machine Minic Ram Solver Strategy

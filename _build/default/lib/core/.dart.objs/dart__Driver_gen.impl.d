@@ -1,0 +1,1 @@
+lib/core/driver_gen.ml: Ast Ctype List Loc Minic Pretty Printf

@@ -1,0 +1,1 @@
+lib/core/driver_gen.mli: Minic

@@ -1,0 +1,1 @@
+lib/core/inputs.ml: Dart_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/interface.ml: Buffer Ctype List Minic Printf String Tast

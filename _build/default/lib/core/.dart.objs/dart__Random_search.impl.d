@@ -1,0 +1,1 @@
+lib/core/random_search.ml: Concolic Dart_util Driver Driver_gen Hashtbl Inputs List Machine Minic Printf

@@ -1,0 +1,1 @@
+lib/core/solve_pc.ml: Array Concolic Constr Dart_util Fun Hashtbl Inputs Linexpr List Option Solver Strategy Symbolic Zarith_lite Zint

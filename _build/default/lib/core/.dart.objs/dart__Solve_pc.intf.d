@@ -1,0 +1,1 @@
+lib/core/solve_pc.mli: Concolic Dart_util Inputs Solver Strategy Symbolic

@@ -1,0 +1,53 @@
+(** One instrumented run (paper Figures 1, 3 and 4).
+
+    Executes the program concretely on the machine while maintaining
+    the symbolic memory S, collecting the path constraint at every
+    conditional, checking the branch predictions recorded in the stack
+    from the previous run, and randomly initializing whatever the
+    external interface supplies (toplevel arguments via the generated
+    driver's argument functions, external variables, external function
+    results) following Figure 8. *)
+
+type branch_record = {
+  br_branch : bool; (* 1 = then branch taken (paper's branch bit) *)
+  br_done : bool; (* both directions explored at this history? *)
+}
+
+type run_outcome =
+  | Run_fault of Machine.fault * Machine.site (* a bug: paper's "exception" *)
+  | Run_prediction_failure (* forcing_ok went to 0; restart *)
+  | Run_halted (* normal termination *)
+
+type run_data = {
+  outcome : run_outcome;
+  stack : branch_record array; (* every conditional executed, in order *)
+  path_constraint : Symbolic.Constr.t option array;
+      (* same indexing as [stack]; [None] for conditions outside the
+         linear theory or without symbolic variables *)
+  conditionals : int; (* the paper's k *)
+  steps : int;
+  all_linear : bool; (* flags *cleared during this run* are false *)
+  all_locs_definite : bool;
+  branch_sites : (string * int * bool) list; (* coverage: fn, pc, direction *)
+}
+
+type exec_options = {
+  machine_config : Machine.config;
+  library : (string * Machine.library_impl) list;
+  symbolic_pointers : bool;
+      (* extension: make the NULL/non-NULL coin of Figure 8 a
+         directable branch instead of pure randomness *)
+  max_ptr_depth : int; (* cap on recursive data-structure depth *)
+  symbolic : bool; (* false = plain random testing execution *)
+}
+
+val default_exec_options : exec_options
+
+val run_once :
+  opts:exec_options ->
+  rng:Dart_util.Prng.t ->
+  im:Inputs.t ->
+  prev_stack:branch_record array ->
+  entry:string ->
+  Ram.Instr.program ->
+  run_data

@@ -1,0 +1,72 @@
+type entry = {
+  cov_fn : string;
+  cov_sites : int;
+  cov_directions : int;
+  cov_full : int;
+}
+
+type t = {
+  entries : entry list;
+  total_sites : int;
+  total_directions : int;
+}
+
+let is_driver_function name =
+  name = Driver_gen.wrapper_name
+  || String.length name >= 7 && String.sub name 0 7 = "__dart_"
+
+let compute (prog : Ram.Instr.program) ~covered =
+  let by_site : (string * int, bool * bool) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (fn, pc, dir) ->
+      let taken, fallthrough =
+        Option.value ~default:(false, false) (Hashtbl.find_opt by_site (fn, pc))
+      in
+      Hashtbl.replace by_site (fn, pc)
+        (if dir then (true, fallthrough) else (taken, true)))
+    covered;
+  let entries =
+    Hashtbl.fold
+      (fun name (f : Ram.Instr.func) acc ->
+        if is_driver_function name then acc
+        else begin
+          let sites = ref 0 and dirs = ref 0 and full = ref 0 in
+          Array.iteri
+            (fun pc instr ->
+              match instr with
+              | Ram.Instr.Iif _ ->
+                incr sites;
+                (match Hashtbl.find_opt by_site (name, pc) with
+                 | Some (true, true) ->
+                   dirs := !dirs + 2;
+                   incr full
+                 | Some (true, false) | Some (false, true) -> incr dirs
+                 | Some (false, false) | None -> ())
+              | _ -> ())
+            f.Ram.Instr.code;
+          { cov_fn = name; cov_sites = !sites; cov_directions = !dirs; cov_full = !full }
+          :: acc
+        end)
+      prog.Ram.Instr.funcs []
+    |> List.sort (fun a b -> compare a.cov_fn b.cov_fn)
+  in
+  let total_sites = List.fold_left (fun acc e -> acc + e.cov_sites) 0 entries in
+  let total_directions = List.fold_left (fun acc e -> acc + e.cov_directions) 0 entries in
+  { entries; total_sites; total_directions }
+
+let percent t =
+  if t.total_sites = 0 then 100.0
+  else 100.0 *. float_of_int t.total_directions /. float_of_int (2 * t.total_sites)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "branch coverage (directions taken / possible):\n";
+  List.iter
+    (fun e ->
+      if e.cov_sites > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-30s %3d/%3d  (%d sites fully covered)\n" e.cov_fn
+             e.cov_directions (2 * e.cov_sites) e.cov_full))
+    t.entries;
+  Buffer.add_string buf (Printf.sprintf "  total: %.1f%%\n" (percent t));
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Branch-coverage accounting.
+
+    The paper motivates automated unit testing by coverage ("its role
+    is precisely to ... check all corner cases, and provide 100% code
+    coverage", §1). A coverage report relates the branch directions a
+    search exercised to the program's totals, per function. *)
+
+type entry = {
+  cov_fn : string;
+  cov_sites : int; (* conditional instructions in the function *)
+  cov_directions : int; (* of the 2 * cov_sites possible outcomes, how many ran *)
+  cov_full : int; (* sites with both directions exercised *)
+}
+
+type t = {
+  entries : entry list; (* sorted by function name; driver-internal
+                           functions excluded *)
+  total_sites : int;
+  total_directions : int;
+}
+
+val compute : Ram.Instr.program -> covered:(string * int * bool) list -> t
+(** [covered] is the list of (function, pc, direction) triples a search
+    reports. *)
+
+val percent : t -> float
+(** Covered directions over all possible ones, 0..100. *)
+
+val to_string : t -> string

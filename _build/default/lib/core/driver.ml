@@ -1,0 +1,197 @@
+type options = {
+  seed : int;
+  depth : int;
+  max_runs : int;
+  strategy : Strategy.t;
+  exec : Concolic.exec_options;
+  stop_on_first_bug : bool;
+}
+
+let default_options =
+  { seed = 42;
+    depth = 1;
+    max_runs = 10_000;
+    strategy = Strategy.Dfs;
+    exec = Concolic.default_exec_options;
+    stop_on_first_bug = true }
+
+type bug = {
+  bug_fault : Machine.fault;
+  bug_site : Machine.site;
+  bug_run : int;
+  bug_inputs : (int * int) list;
+}
+
+type verdict =
+  | Bug_found of bug
+  | Complete
+  | Budget_exhausted
+
+type report = {
+  verdict : verdict;
+  runs : int;
+  restarts : int;
+  total_steps : int;
+  branches_covered : int;
+  coverage_sites : (string * int * bool) list;
+  paths_explored : int;
+  all_linear : bool;
+  all_locs_definite : bool;
+  solver_stats : Solver.stats;
+  bugs : bug list;
+}
+
+let prepare ?(library_sigs = []) ~toplevel ~depth (ast : Minic.Ast.program) =
+  let ast = Driver_gen.generate ast ~toplevel ~depth in
+  let tp = Minic.Typecheck.check ~library:library_sigs ast in
+  Ram.Lower.lower_program tp
+
+let run ?(options = default_options) (prog : Ram.Instr.program) : report =
+  let rng = Dart_util.Prng.create options.seed in
+  let stats = Solver.create_stats () in
+  let im = Inputs.create () in
+  let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
+  let bug_sites : (string * int * Machine.fault, unit) Hashtbl.t = Hashtbl.create 16 in
+  let runs = ref 0 in
+  let restarts = ref 0 in
+  let total_steps = ref 0 in
+  let paths = ref 0 in
+  let all_linear = ref true in
+  let all_locs_definite = ref true in
+  let bugs = ref [] in
+  let first_bug = ref None in
+  let entry = Driver_gen.wrapper_name in
+  let record_run (data : Concolic.run_data) =
+    incr runs;
+    total_steps := !total_steps + data.Concolic.steps;
+    if not data.Concolic.all_linear then all_linear := false;
+    if not data.Concolic.all_locs_definite then all_locs_definite := false;
+    List.iter (fun site -> Hashtbl.replace coverage site ()) data.Concolic.branch_sites
+  in
+  let record_bug fault site =
+    let key = (site.Machine.site_fn, site.Machine.site_pc, fault) in
+    let bug =
+      { bug_fault = fault;
+        bug_site = site;
+        bug_run = !runs;
+        bug_inputs = Inputs.to_alist im }
+    in
+    if not (Hashtbl.mem bug_sites key) then begin
+      Hashtbl.replace bug_sites key ();
+      bugs := bug :: !bugs
+    end;
+    if !first_bug = None then first_bug := Some bug
+  in
+  let budget_left () = !runs < options.max_runs in
+  (* Inner loop: directed search from a fresh random seed point. Returns
+     [`Bug], [`Exhausted] (directed search over) or [`Restart]. *)
+  let directed_search () =
+    let rec loop prev_stack =
+      if not (budget_left ()) then `Budget
+      else begin
+        let data =
+          Concolic.run_once ~opts:options.exec ~rng ~im ~prev_stack ~entry prog
+        in
+        record_run data;
+        match data.Concolic.outcome with
+        | Concolic.Run_fault (fault, site) ->
+          record_bug fault site;
+          if options.stop_on_first_bug then `Bug
+          else begin
+            (* Keep searching: treat the faulting path as fully
+               explored and force the next branch. *)
+            incr paths;
+            continue_solving data
+          end
+        | Concolic.Run_prediction_failure ->
+          (* forcing_ok = 0: caused by an earlier incompleteness; the
+             outer loop restarts with fresh random inputs. *)
+          all_linear := false;
+          `Restart
+        | Concolic.Run_halted ->
+          incr paths;
+          continue_solving data
+      end
+    and continue_solving data =
+      match
+        Solve_pc.solve ~strategy:options.strategy ~rng ~stats ~im
+          ~stack:data.Concolic.stack ~path_constraint:data.Concolic.path_constraint
+      with
+      | Solve_pc.Next_run stack' -> loop stack'
+      | Solve_pc.Exhausted { solver_incomplete } ->
+        if solver_incomplete then all_linear := false;
+        `Exhausted
+    in
+    loop [||]
+  in
+  (* Theorem 1(b)'s completeness argument relies on the depth-first
+     discipline: flipping a shallow branch discards the pending work
+     beneath it, so BFS/random exhaustion does not imply full path
+     coverage and only triggers a restart. *)
+  let may_claim_complete () =
+    options.strategy = Strategy.Dfs && !all_linear && !all_locs_definite
+  in
+  (* Outer loop (Figure 2): repeat until the directed search terminates
+     with completeness flags intact, or the budget runs out. *)
+  let complete = ref false in
+  let rec outer () =
+    Inputs.clear im;
+    match directed_search () with
+    | `Bug -> ()
+    | `Budget -> ()
+    | `Restart ->
+      if budget_left () then begin
+        incr restarts;
+        outer ()
+      end
+    | `Exhausted ->
+      if may_claim_complete () then complete := true
+      else if budget_left () then begin
+        incr restarts;
+        outer ()
+      end
+  in
+  outer ();
+  let verdict =
+    match !first_bug with
+    | Some bug -> Bug_found bug
+    | None -> if !complete then Complete else Budget_exhausted
+  in
+  { verdict;
+    runs = !runs;
+    restarts = !restarts;
+    total_steps = !total_steps;
+    branches_covered = Hashtbl.length coverage;
+    coverage_sites = Hashtbl.fold (fun site () acc -> site :: acc) coverage [];
+    paths_explored = !paths;
+    all_linear = !all_linear;
+    all_locs_definite = !all_locs_definite;
+    solver_stats = stats;
+    bugs = List.rev !bugs }
+
+let test_source ?(options = default_options) ?(library_sigs = []) ~toplevel src =
+  let ast = Minic.Parser.parse_program src in
+  let prog = prepare ~library_sigs ~toplevel ~depth:options.depth ast in
+  run ~options prog
+
+let verdict_to_string = function
+  | Bug_found b ->
+    Printf.sprintf "BUG FOUND: %s in %s (line %d) (run %d)"
+      (Machine.fault_to_string b.bug_fault)
+      b.bug_site.Machine.site_fn b.bug_site.Machine.site_loc.Minic.Loc.line b.bug_run
+  | Complete -> "COMPLETE: all feasible paths explored, no bug"
+  | Budget_exhausted -> "BUDGET EXHAUSTED: no bug found within the run budget"
+
+let report_to_string r =
+  Printf.sprintf
+    "%s\n\
+     runs: %d  restarts: %d  paths: %d  steps: %d  branch-dirs covered: %d\n\
+     all_linear: %b  all_locs_definite: %b\n\
+     solver: %d queries (%d sat, %d unsat, %d unknown), %d fast-path, %d simplex, %d \
+     ne-splits\n\
+     distinct bugs: %d"
+    (verdict_to_string r.verdict) r.runs r.restarts r.paths_explored r.total_steps
+    r.branches_covered r.all_linear r.all_locs_definite r.solver_stats.Solver.queries
+    r.solver_stats.Solver.sat r.solver_stats.Solver.unsat r.solver_stats.Solver.unknown
+    r.solver_stats.Solver.fast_path r.solver_stats.Solver.simplex_queries
+    r.solver_stats.Solver.ne_splits (List.length r.bugs)

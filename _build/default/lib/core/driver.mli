@@ -1,0 +1,65 @@
+(** run_DART (paper Figure 2): the outer random-restart loop and the
+    inner directed-search loop, plus program preparation (driver
+    generation, typechecking, lowering). *)
+
+type options = {
+  seed : int;
+  depth : int; (* iterations of the toplevel function per run (paper §3.2) *)
+  max_runs : int; (* overall budget of instrumented runs *)
+  strategy : Strategy.t;
+  exec : Concolic.exec_options;
+  stop_on_first_bug : bool;
+}
+
+val default_options : options
+
+type bug = {
+  bug_fault : Machine.fault;
+  bug_site : Machine.site;
+  bug_run : int; (* 1-based index of the run that found it *)
+  bug_inputs : (int * int) list; (* input id -> value (the witness IM) *)
+}
+
+type verdict =
+  | Bug_found of bug
+  | Complete
+      (** Directed search exhausted with all completeness flags intact:
+          Theorem 1(b) — every feasible path was exercised, no bug
+          exists (within [depth]). *)
+  | Budget_exhausted (* max_runs reached, or incompleteness forced restarts *)
+
+type report = {
+  verdict : verdict;
+  runs : int; (* instrumented runs ("iterations" in the paper's tables) *)
+  restarts : int; (* fresh random restarts of the outer loop *)
+  total_steps : int;
+  branches_covered : int; (* distinct (function, pc, direction) *)
+  coverage_sites : (string * int * bool) list; (* the triples themselves *)
+  paths_explored : int; (* completed runs, i.e. distinct execution paths *)
+  all_linear : bool;
+  all_locs_definite : bool;
+  solver_stats : Solver.stats;
+  bugs : bug list; (* every distinct bug site seen (>= 1 when Bug_found) *)
+}
+
+val prepare :
+  ?library_sigs:Minic.Tast.fsig list ->
+  toplevel:string ->
+  depth:int ->
+  Minic.Ast.program ->
+  Ram.Instr.program
+(** Synthesize the test driver, typecheck and lower. The resulting
+    entry point is {!Driver_gen.wrapper_name}. *)
+
+val run : ?options:options -> Ram.Instr.program -> report
+(** Run DART on a prepared program. *)
+
+val test_source :
+  ?options:options ->
+  ?library_sigs:Minic.Tast.fsig list ->
+  toplevel:string ->
+  string ->
+  report
+(** Parse MiniC source, prepare it with [options.depth], and run. *)
+
+val report_to_string : report -> string

@@ -1,0 +1,24 @@
+(** Test-driver generation (paper §3.2, technique 2).
+
+    Synthesizes, at the AST level, the nondeterministic driver the
+    paper generates as C code: a [__dart_main] that calls the toplevel
+    function [depth] times, each argument supplied by a fresh
+    per-position external function — so every argument value is an
+    input DART controls. External variables are initialized by the
+    engine directly in memory, and declared external functions are
+    simulated at call time; both follow Figure 8. *)
+
+val wrapper_name : string
+(** The generated entry point, ["__dart_main"]. *)
+
+val arg_fn_name : int -> string
+(** The external function supplying the i-th toplevel argument. *)
+
+exception No_toplevel of string
+
+val generate : Minic.Ast.program -> toplevel:string -> depth:int -> Minic.Ast.program
+(** Extend the program with the generated driver.
+    @raise No_toplevel if [toplevel] is not a defined function. *)
+
+val driver_source : Minic.Ast.program -> toplevel:string -> depth:int -> string
+(** Only the generated part, pretty-printed (the paper's Figure 7). *)

@@ -1,0 +1,48 @@
+(** The input vector IM (paper §2.2): a persistent map from input
+    identifiers to 32-bit values, carried from one run to the next.
+
+    Inputs are identified by creation order within a run (the paper
+    keys them by memory address; creation order is the stable analogue
+    when heap addresses vary). Each input has a kind that fixes its
+    random distribution and its solver domain. *)
+
+type kind =
+  | Kint (* full 32-bit signed range *)
+  | Kchar (* 0..255 *)
+  | Kcoin (* pointer-shape coin: 0 = NULL, 1 = fresh object *)
+
+type t = {
+  values : (int, int) Hashtbl.t;
+  kinds : (int, kind) Hashtbl.t;
+}
+
+let create () = { values = Hashtbl.create 32; kinds = Hashtbl.create 32 }
+
+let clear t =
+  Hashtbl.reset t.values;
+  Hashtbl.reset t.kinds
+
+let random_of_kind rng = function
+  | Kint -> Dart_util.Prng.bits32 rng
+  | Kchar -> Dart_util.Prng.int_range rng 0 255
+  | Kcoin -> if Dart_util.Prng.bool rng then 1 else 0
+
+(** Value of input [id]: the persisted one if present, else a fresh
+    random draw (recorded for the next run). *)
+let get t ~id ~kind ~rng =
+  Hashtbl.replace t.kinds id kind;
+  match Hashtbl.find_opt t.values id with
+  | Some v -> v
+  | None ->
+    let v = random_of_kind rng kind in
+    Hashtbl.replace t.values id v;
+    v
+
+let set t ~id v = Hashtbl.replace t.values id v
+
+let kind_of t id = Hashtbl.find_opt t.kinds id
+let value_of t id = Hashtbl.find_opt t.values id
+
+let to_alist t =
+  Hashtbl.fold (fun id v acc -> (id, v) :: acc) t.values []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

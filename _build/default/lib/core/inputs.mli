@@ -1,0 +1,33 @@
+(** The input vector IM (paper §2.2): a persistent map from input
+    identifiers to 32-bit values, carried from one run to the next
+    ([IM + IM'] in Figure 5).
+
+    Inputs are identified by creation order within a run — the stable
+    analogue of the paper's by-address keying when heap addresses vary
+    across runs. Each input has a kind fixing its random distribution
+    and its solver domain. *)
+
+type kind =
+  | Kint (* full 32-bit signed range *)
+  | Kchar (* 0..255 *)
+  | Kcoin (* pointer-shape coin: 0 = NULL, 1 = fresh object *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Fresh random restart: forget all recorded inputs. *)
+
+val get : t -> id:int -> kind:kind -> rng:Dart_util.Prng.t -> int
+(** The value of input [id]: the persisted one if present, else a fresh
+    draw of the right [kind] (recorded for subsequent runs). *)
+
+val set : t -> id:int -> int -> unit
+(** Overwrite one input (the solver's [IM'] update). *)
+
+val kind_of : t -> int -> kind option
+val value_of : t -> int -> int option
+
+val to_alist : t -> (int * int) list
+(** All recorded inputs, sorted by id (the bug-witness vector). *)

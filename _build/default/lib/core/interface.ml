@@ -1,0 +1,53 @@
+(** Interface extraction (paper §3.1, technique 1).
+
+    The external interface of a MiniC program is (a) its [extern]
+    variables, (b) its external functions — prototypes without bodies
+    that are not registered as host library functions — and (c) the
+    parameters of the user-chosen toplevel function. All three are
+    obtained by a static traversal of the typed program, with no alias
+    analysis. *)
+
+open Minic
+
+type t = {
+  toplevel : string;
+  params : (string * Ctype.t) list;
+  external_vars : (string * Ctype.t) list;
+  external_funcs : Tast.fsig list;
+}
+
+exception No_toplevel of string
+
+let extract (tp : Tast.tprogram) ~toplevel =
+  let f =
+    match Tast.find_func tp toplevel with
+    | Some f -> f
+    | None -> raise (No_toplevel toplevel)
+  in
+  let params = List.map (fun (_, name, ty) -> (name, ty)) f.Tast.tparams in
+  let external_vars =
+    List.filter_map
+      (fun (g : Tast.tglobal) -> if g.gl_extern then Some (g.gl_name, g.gl_ty) else None)
+      tp.Tast.tglobals
+  in
+  { toplevel; params; external_vars; external_funcs = tp.Tast.texternals }
+
+let to_string t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "toplevel: %s\n" t.toplevel);
+  List.iter
+    (fun (n, ty) ->
+      Buffer.add_string buf (Printf.sprintf "  arg %s : %s\n" n (Ctype.to_string ty)))
+    t.params;
+  List.iter
+    (fun (n, ty) ->
+      Buffer.add_string buf (Printf.sprintf "  extern var %s : %s\n" n (Ctype.to_string ty)))
+    t.external_vars;
+  List.iter
+    (fun (s : Tast.fsig) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  extern fun %s : (%s) -> %s\n" s.sig_name
+           (String.concat ", " (List.map Ctype.to_string s.sig_params))
+           (Ctype.to_string s.sig_ret)))
+    t.external_funcs;
+  Buffer.contents buf

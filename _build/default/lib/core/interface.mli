@@ -1,0 +1,21 @@
+(** Interface extraction (paper §3.1, technique 1).
+
+    The external interface of a MiniC program is (a) its [extern]
+    variables, (b) its external functions — body-less prototypes not
+    registered as host library functions — and (c) the parameters of
+    the chosen toplevel function. All three come from a static
+    traversal of the typed program; no alias analysis is involved. *)
+
+type t = {
+  toplevel : string;
+  params : (string * Minic.Ctype.t) list;
+  external_vars : (string * Minic.Ctype.t) list;
+  external_funcs : Minic.Tast.fsig list;
+}
+
+exception No_toplevel of string
+
+val extract : Minic.Tast.tprogram -> toplevel:string -> t
+(** @raise No_toplevel if no defined function has that name. *)
+
+val to_string : t -> string

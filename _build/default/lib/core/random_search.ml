@@ -1,0 +1,65 @@
+type report = {
+  verdict : [ `Bug_found of Driver.bug | `No_bug ];
+  runs : int;
+  total_steps : int;
+  branches_covered : int;
+  coverage_sites : (string * int * bool) list;
+}
+
+let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options) prog =
+  let exec = { exec with Concolic.symbolic = false } in
+  let rng = Dart_util.Prng.create seed in
+  let im = Inputs.create () in
+  let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
+  let total_steps = ref 0 in
+  let entry = Driver_gen.wrapper_name in
+  let rec loop run_index =
+    if run_index > max_runs then
+      { verdict = `No_bug;
+        runs = max_runs;
+        total_steps = !total_steps;
+        branches_covered = Hashtbl.length coverage;
+        coverage_sites = Hashtbl.fold (fun site () acc -> site :: acc) coverage [] }
+    else begin
+      Inputs.clear im; (* fresh random inputs every run *)
+      let data = Concolic.run_once ~opts:exec ~rng ~im ~prev_stack:[||] ~entry prog in
+      total_steps := !total_steps + data.Concolic.steps;
+      List.iter (fun site -> Hashtbl.replace coverage site ()) data.Concolic.branch_sites;
+      match data.Concolic.outcome with
+      | Concolic.Run_fault (fault, site) ->
+        let bug =
+          { Driver.bug_fault = fault;
+            bug_site = site;
+            bug_run = run_index;
+            bug_inputs = Inputs.to_alist im }
+        in
+        { verdict = `Bug_found bug;
+          runs = run_index;
+          total_steps = !total_steps;
+          branches_covered = Hashtbl.length coverage;
+          coverage_sites = Hashtbl.fold (fun site () acc -> site :: acc) coverage [] }
+      | Concolic.Run_prediction_failure ->
+        (* Impossible with an empty prediction stack. *)
+        assert false
+      | Concolic.Run_halted -> loop (run_index + 1)
+    end
+  in
+  loop 1
+
+let test_source ?seed ?max_runs ?(depth = 1) ?(library_sigs = []) ~toplevel src =
+  let ast = Minic.Parser.parse_program src in
+  let prog = Driver.prepare ~library_sigs ~toplevel ~depth ast in
+  run ?seed ?max_runs prog
+
+let report_to_string r =
+  let v =
+    match r.verdict with
+    | `Bug_found b ->
+      Printf.sprintf "BUG FOUND: %s in %s (line %d) (run %d)"
+        (Machine.fault_to_string b.Driver.bug_fault)
+        b.Driver.bug_site.Machine.site_fn
+        b.Driver.bug_site.Machine.site_loc.Minic.Loc.line b.Driver.bug_run
+    | `No_bug -> "NO BUG within budget"
+  in
+  Printf.sprintf "%s\nruns: %d  steps: %d  branch-dirs covered: %d" v r.runs r.total_steps
+    r.branches_covered

@@ -1,0 +1,32 @@
+(** The pure random-testing baseline every experiment in the paper
+    compares against: the same generated test driver and random
+    initialization (Figure 8), but fresh random inputs on every run and
+    no symbolic execution, no constraint solving, no direction. *)
+
+type report = {
+  verdict : [ `Bug_found of Driver.bug | `No_bug ];
+  runs : int;
+  total_steps : int;
+  branches_covered : int;
+  coverage_sites : (string * int * bool) list;
+}
+
+val run :
+  ?seed:int ->
+  ?max_runs:int ->
+  ?exec:Concolic.exec_options ->
+  Ram.Instr.program ->
+  report
+(** Entry point is {!Driver_gen.wrapper_name}, i.e. the program must
+    have been prepared with {!Driver.prepare}. *)
+
+val test_source :
+  ?seed:int ->
+  ?max_runs:int ->
+  ?depth:int ->
+  ?library_sigs:Minic.Tast.fsig list ->
+  toplevel:string ->
+  string ->
+  report
+
+val report_to_string : report -> string

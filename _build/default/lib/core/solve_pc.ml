@@ -1,0 +1,87 @@
+open Zarith_lite
+open Symbolic
+
+type next =
+  | Next_run of Concolic.branch_record array
+  | Exhausted of { solver_incomplete : bool }
+
+(* Domain constraints from input kinds: chars live in 0..255, pointer
+   coins in 0..1 (ints already carry the solver's 32-bit box). *)
+let domain_constraints im vars =
+  List.concat_map
+    (fun v ->
+      let range lo hi =
+        [ Constr.make (Linexpr.sub (Linexpr.of_int lo) (Linexpr.var v)) Constr.Le0;
+          Constr.make (Linexpr.sub (Linexpr.var v) (Linexpr.of_int hi)) Constr.Le0 ]
+      in
+      match Inputs.kind_of im v with
+      | Some Inputs.Kchar -> range 0 255
+      | Some Inputs.Kcoin -> range 0 1
+      | Some Inputs.Kint | None -> [])
+    vars
+
+let solve ~strategy ~rng ~stats ~im ~stack ~path_constraint =
+  let n = Array.length stack in
+  assert (Array.length path_constraint = n);
+  let initial_candidates =
+    List.filter
+      (fun j -> (not stack.(j).Concolic.br_done) && path_constraint.(j) <> None)
+      (List.init n Fun.id)
+  in
+  let solver_incomplete = ref false in
+  let rec go candidates =
+    match Strategy.choose strategy rng candidates with
+    | None -> Exhausted { solver_incomplete = !solver_incomplete }
+    | Some j ->
+      let pivot =
+        match path_constraint.(j) with
+        | Some c -> Constr.negate c
+        | None -> assert false
+      in
+      let prefix =
+        List.filter_map (fun h -> path_constraint.(h)) (List.init j Fun.id)
+      in
+      let base_cs = pivot :: prefix in
+      let vars =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun c -> List.iter (fun v -> Hashtbl.replace tbl v ()) (Constr.vars c))
+          base_cs;
+        Hashtbl.fold (fun v () acc -> v :: acc) tbl []
+      in
+      let cs = base_cs @ domain_constraints im vars in
+      let prefer v = Option.map Zint.of_int (Inputs.value_of im v) in
+      (match Solver.solve ~stats ~prefer cs with
+       | Solver.Sat model ->
+         (* IM + IM': overwrite solved inputs, keep the rest. *)
+         List.iter
+           (fun (v, z) -> Inputs.set im ~id:v (Dart_util.Word32.of_zint_trunc z))
+           model;
+         let next_stack =
+           Array.init (j + 1) (fun i ->
+               if i = j then
+                 { Concolic.br_branch = not stack.(j).Concolic.br_branch; br_done = false }
+               else stack.(i))
+         in
+         Next_run next_stack
+       | Solver.Unsat ->
+         (* Figure 5 recurses with ktry = j: depth-first discards all
+            deeper candidates; other strategies just drop this one. *)
+         let candidates' =
+           match strategy with
+           | Strategy.Dfs -> List.filter (fun h -> h < j) candidates
+           | Strategy.Bfs | Strategy.Random_branch ->
+             List.filter (fun h -> h <> j) candidates
+         in
+         go candidates'
+       | Solver.Unknown ->
+         solver_incomplete := true;
+         let candidates' =
+           match strategy with
+           | Strategy.Dfs -> List.filter (fun h -> h < j) candidates
+           | Strategy.Bfs | Strategy.Random_branch ->
+             List.filter (fun h -> h <> j) candidates
+         in
+         go candidates')
+  in
+  go initial_candidates

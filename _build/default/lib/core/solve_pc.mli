@@ -1,0 +1,26 @@
+(** solve_path_constraint (paper Figure 5).
+
+    Given the stack and path constraint of a completed run, pick the
+    next pending branch according to the search strategy, negate its
+    predicate, and solve the resulting constraint prefix. On success
+    the input vector is updated in place ([IM + IM']) and the truncated
+    stack for the next run is returned; on UNSAT the search backtracks
+    to an earlier pending branch. *)
+
+type next =
+  | Next_run of Concolic.branch_record array
+      (** Stack to pass to the next instrumented run (prefix up to and
+          including the flipped branch). *)
+  | Exhausted of { solver_incomplete : bool }
+      (** No pending branch can be forced. [solver_incomplete] reports
+          whether any solver query came back unknown, which voids the
+          completeness claim (Theorem 1(b)). *)
+
+val solve :
+  strategy:Strategy.t ->
+  rng:Dart_util.Prng.t ->
+  stats:Solver.stats ->
+  im:Inputs.t ->
+  stack:Concolic.branch_record array ->
+  path_constraint:Symbolic.Constr.t option array ->
+  next

@@ -1,0 +1,24 @@
+(** Which pending branch the directed search flips next (paper
+    footnote 4: "a depth-first search is used for exposition, but the
+    next branch to be forced could be selected using a different
+    strategy, e.g., randomly or in a breadth-first manner"). *)
+
+type t =
+  | Dfs (* deepest pending branch: the paper's default *)
+  | Bfs (* shallowest pending branch *)
+  | Random_branch
+
+let to_string = function
+  | Dfs -> "dfs"
+  | Bfs -> "bfs"
+  | Random_branch -> "random-branch"
+
+(** Pick the next candidate index from a non-empty ascending list. *)
+let choose t rng candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+    (match t with
+     | Dfs -> Some (List.nth candidates (List.length candidates - 1))
+     | Bfs -> Some (List.hd candidates)
+     | Random_branch -> Some (Dart_util.Prng.choose rng candidates))

@@ -1,0 +1,19 @@
+(** Branch-selection strategies for the directed search (paper
+    footnote 4).
+
+    Only {!Dfs} supports the completeness claim of Theorem 1(b): the
+    single-stack bookkeeping discards pending sibling subtrees when a
+    shallow branch is flipped, so {!Bfs} and {!Random_branch} are
+    bug-finding heuristics whose exhaustion proves nothing (the driver
+    restarts instead of claiming completeness). *)
+
+type t =
+  | Dfs (* deepest pending branch: the paper's default *)
+  | Bfs (* shallowest pending branch *)
+  | Random_branch
+
+val to_string : t -> string
+
+val choose : t -> Dart_util.Prng.t -> int list -> int option
+(** Pick the next candidate from an ascending list of pending branch
+    indices; [None] on the empty list. *)

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Char Dart_util Hashtbl Instr List Memory Minic Option Printf Ram String

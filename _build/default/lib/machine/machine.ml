@@ -1,0 +1,447 @@
+open Ram
+
+type fault =
+  | Abort
+  | Null_deref
+  | Invalid_deref
+  | Uninitialized_read
+  | Div_by_zero
+  | Step_limit
+  | Call_depth
+  | Missing_return
+  | Bad_free
+
+let fault_to_string = function
+  | Abort -> "abort"
+  | Null_deref -> "NULL dereference"
+  | Invalid_deref -> "invalid dereference"
+  | Uninitialized_read -> "read of uninitialized memory"
+  | Div_by_zero -> "division by zero"
+  | Step_limit -> "step limit exceeded (possible non-termination)"
+  | Call_depth -> "call stack exhausted"
+  | Missing_return -> "missing return value"
+  | Bad_free -> "invalid free"
+
+type site = { site_fn : string; site_pc : int; site_loc : Minic.Loc.t }
+
+type outcome =
+  | Halted
+  | Faulted of fault * site
+
+exception Fault_exn of fault
+
+(* Memory layout (cell addresses, all well below 2^31): *)
+let globals_base = 0x1000
+let heap_base = 0x2000_0000
+let stack_base = 0x4000_0000
+
+type frame = {
+  func : Instr.func;
+  base : int;
+  mutable pc : int;
+  ret_dst : int option;
+  saved_stack_top : int; (* restore point: frees the frame and its allocas *)
+}
+
+type config = {
+  step_limit : int;
+  stack_limit : int;
+  max_call_depth : int;
+}
+
+let default_config = { step_limit = 2_000_000; stack_limit = 1 lsl 20; max_call_depth = 512 }
+
+type t = {
+  prog : Instr.program;
+  config : config;
+  mem : Memory.t;
+  global_addrs : (string, int) Hashtbl.t;
+  string_addrs : int array;
+  externals : (string, Minic.Tast.fsig) Hashtbl.t;
+  library_impls : (string, t -> int list -> int) Hashtbl.t;
+  malloc_blocks : (int, int) Hashtbl.t; (* block address -> size *)
+  mutable frames : frame list;
+  mutable heap_top : int;
+  mutable stack_top : int;
+  mutable step_count : int;
+  mutable cond_count : int;
+}
+
+type listener = {
+  on_store : t -> dst:int -> src:Instr.rexpr -> base:int -> unit;
+  on_branch : t -> cond:Instr.rexpr -> base:int -> taken:bool -> site:site -> unit;
+  on_external : t -> Minic.Tast.fsig -> dst:int option -> unit;
+  on_library : t -> callee:string -> args:Instr.rexpr list -> base:int -> unit;
+  on_entry : t -> entry:Instr.func -> base:int -> unit;
+}
+
+let null_listener =
+  { on_store = (fun _ ~dst:_ ~src:_ ~base:_ -> ());
+    on_branch = (fun _ ~cond:_ ~base:_ ~taken:_ ~site:_ -> ());
+    on_external =
+      (fun t _ ~dst ->
+        match dst with
+        | Some d -> ignore (Memory.write t.mem d 0)
+        | None -> ());
+    on_library = (fun _ ~callee:_ ~args:_ ~base:_ -> ());
+    on_entry = (fun _ ~entry:_ ~base:_ -> ()) }
+
+type library_impl = t -> int list -> int
+
+let program t = t.prog
+let steps t = t.step_count
+let branch_count t = t.cond_count
+
+let load ?(config = default_config) ?(library = []) (prog : Instr.program) : t =
+  let mem = Memory.create () in
+  let global_addrs = Hashtbl.create 16 in
+  let next = ref globals_base in
+  List.iter
+    (fun (g : Minic.Tast.tglobal) ->
+      let size = Minic.Ctype.sizeof prog.structs g.gl_ty in
+      Hashtbl.replace global_addrs g.gl_name !next;
+      (match g.gl_init with
+       | Some values ->
+         (* Listed cells get their constants; the remainder is
+            zero-filled, as C static storage would be. *)
+         let values = Array.of_list values in
+         for i = 0 to size - 1 do
+           Memory.write_init mem (!next + i)
+             (if i < Array.length values then Dart_util.Word32.norm values.(i) else 0)
+         done
+       | None ->
+         (* Extern: allocated but undefined until the driver fills it. *)
+         Memory.alloc mem ~addr:!next ~size);
+      next := !next + size)
+    prog.globals;
+  let string_addrs =
+    Array.map
+      (fun s ->
+        let addr = !next in
+        String.iter
+          (fun c ->
+            Memory.write_init mem !next (Char.code c);
+            incr next)
+          s;
+        Memory.write_init mem !next 0;
+        incr next;
+        addr)
+      prog.strings
+  in
+  let externals = Hashtbl.create 8 in
+  List.iter (fun (s : Minic.Tast.fsig) -> Hashtbl.replace externals s.sig_name s) prog.externals;
+  let library_impls = Hashtbl.create 8 in
+  List.iter (fun (name, impl) -> Hashtbl.replace library_impls name impl) library;
+  { prog;
+    config;
+    mem;
+    global_addrs;
+    string_addrs;
+    externals;
+    library_impls;
+    malloc_blocks = Hashtbl.create 16;
+    frames = [];
+    heap_top = heap_base;
+    stack_top = stack_base;
+    step_count = 0;
+    cond_count = 0 }
+
+let global_addr t name =
+  match Hashtbl.find_opt t.global_addrs name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Machine.global_addr: unknown global %s" name)
+
+let read_word t a = Memory.read t.mem a
+let write_word t a v = Memory.write_init t.mem a (Dart_util.Word32.norm v)
+
+let alloc_heap t n =
+  let addr = t.heap_top in
+  Memory.alloc t.mem ~addr ~size:n;
+  t.heap_top <- t.heap_top + n + 1; (* guard cell between blocks *)
+  Hashtbl.replace t.malloc_blocks addr n;
+  addr
+
+let malloc_block_size t addr = Hashtbl.find_opt t.malloc_blocks addr
+
+(* ---- concrete evaluation --------------------------------------------------- *)
+
+let read_checked t addr =
+  if addr >= 0 && addr < globals_base then raise (Fault_exn Null_deref);
+  match Memory.read t.mem addr with
+  | Ok v -> v
+  | Error Memory.Unmapped -> raise (Fault_exn Invalid_deref)
+  | Error Memory.Undefined -> raise (Fault_exn Uninitialized_read)
+
+let write_checked t addr v =
+  if addr >= 0 && addr < globals_base then raise (Fault_exn Null_deref);
+  match Memory.write t.mem addr v with
+  | Ok () -> ()
+  | Error _ -> raise (Fault_exn Invalid_deref)
+
+let rec eval_concrete t ~base (e : Instr.rexpr) : int =
+  let module W = Dart_util.Word32 in
+  match e with
+  | Instr.Const n -> n
+  | Instr.Load a -> read_checked t (eval_concrete t ~base a)
+  | Instr.Addr_global g -> global_addr t g
+  | Instr.Addr_local off -> base + off
+  | Instr.Addr_string i -> t.string_addrs.(i)
+  | Instr.Unop (op, e1) ->
+    let v = eval_concrete t ~base e1 in
+    (match op with
+     | Minic.Ast.Neg -> W.neg v
+     | Minic.Ast.Bitnot -> W.lognot v
+     | Minic.Ast.Lognot -> W.of_bool (not (W.to_bool v)))
+  | Instr.Binop (op, a, b) ->
+    let va = eval_concrete t ~base a in
+    let vb = eval_concrete t ~base b in
+    (match op with
+     | Minic.Ast.Add -> W.add va vb
+     | Minic.Ast.Sub -> W.sub va vb
+     | Minic.Ast.Mul -> W.mul va vb
+     | Minic.Ast.Div -> (try W.div va vb with Division_by_zero -> raise (Fault_exn Div_by_zero))
+     | Minic.Ast.Mod -> (try W.rem va vb with Division_by_zero -> raise (Fault_exn Div_by_zero))
+     | Minic.Ast.Eq -> W.of_bool (va = vb)
+     | Minic.Ast.Ne -> W.of_bool (va <> vb)
+     | Minic.Ast.Lt -> W.of_bool (va < vb)
+     | Minic.Ast.Le -> W.of_bool (va <= vb)
+     | Minic.Ast.Gt -> W.of_bool (va > vb)
+     | Minic.Ast.Ge -> W.of_bool (va >= vb)
+     | Minic.Ast.Band -> W.logand va vb
+     | Minic.Ast.Bor -> W.logor va vb
+     | Minic.Ast.Bxor -> W.logxor va vb
+     | Minic.Ast.Shl -> W.shift_left va vb
+     | Minic.Ast.Shr -> W.shift_right va vb)
+
+(* ---- execution -------------------------------------------------------------- *)
+
+let current_site t =
+  match t.frames with
+  | [] -> { site_fn = "<no frame>"; site_pc = 0; site_loc = Minic.Loc.dummy }
+  | f :: _ ->
+    let locs = f.func.Instr.locs in
+    let loc =
+      if f.pc >= 0 && f.pc < Array.length locs then locs.(f.pc) else Minic.Loc.dummy
+    in
+    { site_fn = f.func.Instr.fname; site_pc = f.pc; site_loc = loc }
+
+let push_frame t (func : Instr.func) ~ret_dst =
+  if List.length t.frames >= t.config.max_call_depth then raise (Fault_exn Call_depth);
+  if t.stack_top + func.Instr.frame_size - stack_base > t.config.stack_limit then
+    raise (Fault_exn Call_depth);
+  let base = t.stack_top in
+  Memory.alloc t.mem ~addr:base ~size:func.Instr.frame_size;
+  let frame = { func; base; pc = 0; ret_dst; saved_stack_top = t.stack_top } in
+  t.stack_top <- t.stack_top + func.Instr.frame_size;
+  t.frames <- frame :: t.frames;
+  frame
+
+let pop_frame t =
+  match t.frames with
+  | [] -> assert false
+  | f :: rest ->
+    Memory.dealloc t.mem ~addr:f.saved_stack_top ~size:(t.stack_top - f.saved_stack_top);
+    t.stack_top <- f.saved_stack_top;
+    t.frames <- rest;
+    f
+
+let do_alloca t size =
+  if size <= 0 then 0
+  else if t.stack_top + size - stack_base > t.config.stack_limit then
+    (* The paper's oSIP attack hinges on alloca failing and returning
+       NULL when the request exceeds the available stack space. *)
+    0
+  else begin
+    let addr = t.stack_top in
+    Memory.alloc t.mem ~addr ~size;
+    t.stack_top <- t.stack_top + size;
+    addr
+  end
+
+let do_malloc t size =
+  if size < 0 then 0
+  else if size = 0 then begin
+    (* Unique non-NULL address with no cells: any dereference faults. *)
+    let addr = t.heap_top in
+    t.heap_top <- t.heap_top + 1;
+    Hashtbl.replace t.malloc_blocks addr 0;
+    addr
+  end
+  else alloc_heap t size
+
+let do_free t p =
+  if p <> 0 then begin
+    match Hashtbl.find_opt t.malloc_blocks p with
+    | None -> raise (Fault_exn Bad_free)
+    | Some size ->
+      Memory.dealloc t.mem ~addr:p ~size;
+      Hashtbl.remove t.malloc_blocks p
+  end
+
+(* Figure 3 order: S is updated from the pre-store memory, then M is
+   written — otherwise self-referential stores like [h <- *(h+2)]
+   would evaluate their source against the already-updated cell. *)
+let store t (listener : listener) ~dst ~src ~base v =
+  listener.on_store t ~dst ~src ~base;
+  write_checked t dst v
+
+let exec_call t listener frame ~dst ~kind ~callee ~args =
+  let base = frame.base in
+  let dst_addr = Option.map (fun d -> eval_concrete t ~base d) dst in
+  match (kind : Minic.Tast.call_kind) with
+  | Minic.Tast.Cbuiltin b ->
+    let result =
+      match b with
+      | Minic.Tast.Bmalloc ->
+        (match args with
+         | [ a ] -> do_malloc t (eval_concrete t ~base a)
+         | _ -> invalid_arg "malloc arity")
+      | Minic.Tast.Balloca ->
+        (match args with
+         | [ a ] -> do_alloca t (eval_concrete t ~base a)
+         | _ -> invalid_arg "alloca arity")
+      | Minic.Tast.Bfree ->
+        (match args with
+         | [ a ] ->
+           do_free t (eval_concrete t ~base a);
+           0
+         | _ -> invalid_arg "free arity")
+      | Minic.Tast.Babort | Minic.Tast.Bassert | Minic.Tast.Bassume ->
+        (* Lowered to Iabort / branches; never reaches Icall. *)
+        assert false
+    in
+    (match dst_addr with
+     | Some d -> store t listener ~dst:d ~src:(Instr.Const result) ~base result
+     | None -> ());
+    frame.pc <- frame.pc + 1
+  | Minic.Tast.Cexternal ->
+    let signature =
+      match Hashtbl.find_opt t.externals callee with
+      | Some s -> s
+      | None ->
+        (* Evaluating args is still required for faults; then treat the
+           result like an input of the declared type. *)
+        invalid_arg (Printf.sprintf "external function %s has no signature" callee)
+    in
+    (* Arguments are evaluated (for faults) and discarded: external
+       functions have no side effects on program memory (paper §3.4). *)
+    List.iter (fun a -> ignore (eval_concrete t ~base a)) args;
+    listener.on_external t signature ~dst:dst_addr;
+    frame.pc <- frame.pc + 1
+  | Minic.Tast.Clibrary ->
+    let impl =
+      match Hashtbl.find_opt t.library_impls callee with
+      | Some impl -> impl
+      | None -> invalid_arg (Printf.sprintf "library function %s has no implementation" callee)
+    in
+    listener.on_library t ~callee ~args ~base;
+    let vals = List.map (fun a -> eval_concrete t ~base a) args in
+    let result = Dart_util.Word32.norm (impl t vals) in
+    (match dst_addr with
+     | Some d -> store t listener ~dst:d ~src:(Instr.Const result) ~base result
+     | None -> ());
+    frame.pc <- frame.pc + 1
+  | Minic.Tast.Cprogram ->
+    let func =
+      match Instr.find_func t.prog callee with
+      | Some f -> f
+      | None -> invalid_arg (Printf.sprintf "call to unknown function %s" callee)
+    in
+    if List.length args <> func.Instr.nparams then
+      invalid_arg (Printf.sprintf "arity mismatch calling %s" callee);
+    (* Evaluate arguments in the caller's frame before pushing. *)
+    let arg_values = List.map (fun a -> eval_concrete t ~base a) args in
+    frame.pc <- frame.pc + 1; (* return point *)
+    let callee_frame = push_frame t func ~ret_dst:dst_addr in
+    List.iteri
+      (fun i (v, src) ->
+        let dst = callee_frame.base + func.Instr.param_offsets.(i) in
+        (* The source expression is evaluated in the caller's base;
+           on_store lets the symbolic layer track arguments across the
+           call boundary (interprocedural tracing, paper §2.1). *)
+        store t listener ~dst ~src ~base v)
+      (List.combine arg_values args)
+
+let step t listener =
+  (* Returns [Some outcome] when the run ends. *)
+  match t.frames with
+  | [] -> Some Halted
+  | frame :: _ ->
+    if t.step_count >= t.config.step_limit then Some (Faulted (Step_limit, current_site t))
+    else begin
+      t.step_count <- t.step_count + 1;
+      let code = frame.func.Instr.code in
+      if frame.pc < 0 || frame.pc >= Array.length code then
+        invalid_arg
+          (Printf.sprintf "pc out of range in %s: %d" frame.func.Instr.fname frame.pc)
+      else begin
+        let site = current_site t in
+        match code.(frame.pc) with
+        | Instr.Iassign (d, s) ->
+          let base = frame.base in
+          let addr = eval_concrete t ~base d in
+          let v = eval_concrete t ~base s in
+          store t listener ~dst:addr ~src:s ~base v;
+          frame.pc <- frame.pc + 1;
+          None
+        | Instr.Iif (cond, l) ->
+          let base = frame.base in
+          let v = eval_concrete t ~base cond in
+          let taken = Dart_util.Word32.to_bool v in
+          t.cond_count <- t.cond_count + 1;
+          listener.on_branch t ~cond ~base ~taken ~site;
+          frame.pc <- (if taken then l else frame.pc + 1);
+          None
+        | Instr.Igoto l ->
+          frame.pc <- l;
+          None
+        | Instr.Icall { dst; kind; callee; args } ->
+          exec_call t listener frame ~dst ~kind ~callee ~args;
+          None
+        | Instr.Ireturn e ->
+          let v = Option.map (eval_concrete t ~base:frame.base) e in
+          (* The store (and its listener notification) must happen
+             while the callee frame is still mapped: the symbolic layer
+             may re-evaluate [src] in the callee's frame. *)
+          (match (frame.ret_dst, v, e) with
+           | Some d, Some value, Some src ->
+             store t listener ~dst:d ~src ~base:frame.base value
+           | Some _, None, _ -> raise (Fault_exn Missing_return)
+           | None, _, _ -> ()
+           | Some _, Some _, None -> assert false);
+          let _popped = pop_frame t in
+          if t.frames = [] then Some Halted else None
+        | Instr.Iabort -> Some (Faulted (Abort, site))
+        | Instr.Ihalt -> Some Halted
+      end
+    end
+
+let run ?args ?(listener = null_listener) t ~entry =
+  let func =
+    match Instr.find_func t.prog entry with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Machine.run: unknown entry %s" entry)
+  in
+  if t.frames <> [] || t.step_count > 0 then
+    invalid_arg "Machine.run: machines are single-shot; load a fresh one";
+  let frame = push_frame t func ~ret_dst:None in
+  (match args with
+   | None -> ()
+   | Some vs ->
+     if List.length vs <> func.Instr.nparams then
+       invalid_arg "Machine.run: argument count mismatch";
+     List.iteri
+       (fun i v ->
+         let dst = frame.base + func.Instr.param_offsets.(i) in
+         let v = Dart_util.Word32.norm v in
+         write_word t dst v;
+         listener.on_store t ~dst ~src:(Instr.Const v) ~base:frame.base)
+       vs);
+  listener.on_entry t ~entry:func ~base:frame.base;
+  let rec loop () =
+    match step t listener with
+    | Some outcome -> outcome
+    | None -> loop ()
+    | exception Fault_exn f -> Faulted (f, current_site t)
+  in
+  loop ()

@@ -1,0 +1,114 @@
+(** Concrete execution of RAM-machine programs.
+
+    The machine owns the memory layout (globals, interned strings, a
+    bump-allocated heap, a stack of frames) and detects the standard
+    errors DART reports: aborts, NULL and wild dereferences, reads of
+    uninitialized or freed cells, division by zero, stack exhaustion
+    via the [alloca] failure model, and non-termination via a step
+    budget (paper §4.3 note 9).
+
+    A {!listener} observes stores, branches and call boundaries; the
+    concolic layer implements the paper's symbolic shadow execution on
+    top of it without the machine knowing anything about symbols. *)
+
+type fault =
+  | Abort (* abort() or failed assert *)
+  | Null_deref
+  | Invalid_deref (* unmapped address: wild pointer, use-after-free *)
+  | Uninitialized_read
+  | Div_by_zero
+  | Step_limit (* non-termination proxy *)
+  | Call_depth
+  | Missing_return (* caller uses the value of a function that fell off its end *)
+  | Bad_free (* free of a non-malloc'd address or double free *)
+
+val fault_to_string : fault -> string
+
+type site = { site_fn : string; site_pc : int; site_loc : Minic.Loc.t }
+
+type outcome =
+  | Halted
+  | Faulted of fault * site
+
+type t
+
+(** Observation points. Callbacks receive the machine, so they can read
+    and write memory through the public API. [base] is the frame base
+    address in which [src]/[cond]/argument expressions are to be
+    evaluated. *)
+type listener = {
+  on_store : t -> dst:int -> src:Ram.Instr.rexpr -> base:int -> unit;
+      (** Immediately {e before} every memory write that carries a
+          program value (assignments, parameter passing, returned
+          results, builtin and library results — the latter two with a
+          [Const] source), so the listener sees pre-store memory, as in
+          the paper's Figure 3. *)
+  on_branch : t -> cond:Ram.Instr.rexpr -> base:int -> taken:bool -> site:site -> unit;
+      (** At every conditional, after its concrete evaluation. *)
+  on_external : t -> Minic.Tast.fsig -> dst:int option -> unit;
+      (** When an external (interface) function is called: the listener
+          must supply the result by writing to [dst] (when [Some]);
+          the default listener writes 0. *)
+  on_library : t -> callee:string -> args:Ram.Instr.rexpr list -> base:int -> unit;
+      (** Before a black-box library function executes. *)
+  on_entry : t -> entry:Ram.Instr.func -> base:int -> unit;
+      (** After the entry frame is set up, before the first step; the
+          test driver initializes parameters here. *)
+}
+
+val null_listener : listener
+
+type config = {
+  step_limit : int;
+  stack_limit : int; (* cells of stack space; exceeded => alloca returns NULL,
+                        frame pushes fault with Call_depth *)
+  max_call_depth : int;
+}
+
+val default_config : config
+
+type library_impl = t -> int list -> int
+
+val load :
+  ?config:config ->
+  ?library:(string * library_impl) list ->
+  Ram.Instr.program ->
+  t
+(** Build a fresh machine: globals initialized (externs left
+    undefined), strings interned. [library] supplies host
+    implementations for {!Minic.Tast.Clibrary} calls; a library call
+    with no implementation raises [Invalid_argument]. *)
+
+val program : t -> Ram.Instr.program
+
+val run : ?args:int list -> ?listener:listener -> t -> entry:string -> outcome
+(** Execute [entry]. When [args] is given, parameter cells are
+    initialized with those words; otherwise the listener's [on_entry]
+    is expected to initialize them (unread parameters may stay
+    undefined). A machine is single-shot: load a fresh one per run.
+    @raise Invalid_argument if [entry] is not a defined function or the
+    argument count mismatches. *)
+
+val steps : t -> int
+(** Instructions executed so far. *)
+
+val branch_count : t -> int
+(** Conditionals executed so far. *)
+
+(* -- memory and layout, for the test driver and random initializer -- *)
+
+val global_addr : t -> string -> int
+val read_word : t -> int -> (int, Memory.read_error) result
+val write_word : t -> int -> int -> unit
+(** Unchecked initializing write (allocates the cell if needed). *)
+
+val alloc_heap : t -> int -> int
+(** Allocate [n] fresh undefined heap cells, returning their address. *)
+
+val malloc_block_size : t -> int -> int option
+(** Size of the live malloc/heap block starting at the given address. *)
+
+val eval_concrete : t -> base:int -> Ram.Instr.rexpr -> int
+(** Evaluate an expression concretely (paper's [evaluate_concrete]).
+    May raise the machine's internal fault exception; only call from
+    listener callbacks during a run. *)

@@ -1,0 +1,41 @@
+type cell =
+  | Undef
+  | Val of int
+
+type read_error =
+  | Unmapped
+  | Undefined
+
+type t = { cells : (int, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 1024 }
+
+let alloc t ~addr ~size =
+  for a = addr to addr + size - 1 do
+    Hashtbl.replace t.cells a Undef
+  done
+
+let dealloc t ~addr ~size =
+  for a = addr to addr + size - 1 do
+    Hashtbl.remove t.cells a
+  done
+
+let is_mapped t a = Hashtbl.mem t.cells a
+
+let read t a =
+  match Hashtbl.find_opt t.cells a with
+  | None -> Error Unmapped
+  | Some Undef -> Error Undefined
+  | Some (Val v) -> Ok v
+
+let write t a v =
+  if Hashtbl.mem t.cells a then begin
+    Hashtbl.replace t.cells a (Val v);
+    Ok ()
+  end
+  else Error Unmapped
+
+let write_init t a v = Hashtbl.replace t.cells a (Val v)
+
+let defined_count t =
+  Hashtbl.fold (fun _ c acc -> match c with Val _ -> acc + 1 | Undef -> acc) t.cells 0

@@ -1,0 +1,35 @@
+(** Word-addressed memory for the RAM machine.
+
+    Cells are 32-bit words. The map distinguishes unmapped addresses
+    (never allocated — reads and writes fault), allocated-but-undefined
+    cells (reads fault, catching uninitialized and use-after-free
+    accesses), and defined cells. *)
+
+type t
+
+type read_error =
+  | Unmapped
+  | Undefined
+
+val create : unit -> t
+
+val alloc : t -> addr:int -> size:int -> unit
+(** Mark [size] cells starting at [addr] as allocated and undefined. *)
+
+val dealloc : t -> addr:int -> size:int -> unit
+(** Unmap cells, so later access faults (dangling pointers). *)
+
+val is_mapped : t -> int -> bool
+
+val read : t -> int -> (int, read_error) result
+
+val write : t -> int -> int -> (unit, read_error) result
+(** [write mem addr v] stores [v]; fails with [Unmapped] if [addr] was
+    never allocated. *)
+
+val write_init : t -> int -> int -> unit
+(** Allocate-and-write in one step (used for loading globals, strings,
+    and machine-internal cells). *)
+
+val defined_count : t -> int
+(** Number of cells currently holding a defined value (statistics). *)

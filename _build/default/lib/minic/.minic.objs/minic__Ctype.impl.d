@@ -1,0 +1,1 @@
+lib/minic/ctype.ml: Format Hashtbl List Printf

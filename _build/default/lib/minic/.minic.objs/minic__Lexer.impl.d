@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Array Buffer Lazy List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Ctype Lexer List Loc Printf Token

@@ -1,0 +1,1 @@
+lib/minic/tast.ml: Ast Ctype List Loc

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Char Ctype Hashtbl List Loc Option Printf Tast

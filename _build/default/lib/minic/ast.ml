@@ -1,0 +1,97 @@
+(** Untyped abstract syntax of MiniC, as produced by the parser. *)
+
+type unop =
+  | Neg (* -e *)
+  | Lognot (* !e *)
+  | Bitnot (* ~e *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type expr = { edesc : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | Eint of int
+  | Echar of char
+  | Estring of string
+  | Enull
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eand of expr * expr (* short-circuit && *)
+  | Eor of expr * expr (* short-circuit || *)
+  | Econd of expr * expr * expr (* e ? e : e *)
+  | Ecall of string * expr list
+  | Ederef of expr
+  | Eaddr of expr
+  | Efield of expr * string (* e.f *)
+  | Earrow of expr * string (* e->f *)
+  | Eindex of expr * expr (* e[e] *)
+  | Ecast of Ctype.t * expr
+  | Esizeof of Ctype.t
+
+(* Initializers: a plain expression, or a brace list for arrays (as in
+   C, a short list zero-fills the remainder). *)
+type initializer_ =
+  | Init_expr of expr
+  | Init_list of expr list
+
+type stmt = { sdesc : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sassign of expr * expr (* lhs = rhs *)
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sdowhile of block * expr
+  | Sfor of stmt option * expr option * stmt option * block
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sdecl of Ctype.t * string * initializer_ option
+  | Sswitch of expr * switch_case list
+  | Sblock of block
+
+and block = stmt list
+
+(* One 'case k:'/'default:' group; fallthrough runs into the next
+   group unless the body breaks. *)
+and switch_case = { case_labels : case_label list; case_body : block }
+
+and case_label =
+  | Case of expr (* must be a constant expression *)
+  | Default
+
+type func = {
+  fname : string;
+  fret : Ctype.t;
+  fparams : (Ctype.t * string) list;
+  fbody : block option; (* [None] for a prototype (external function) *)
+  floc : Loc.t;
+}
+
+type global =
+  | Gstruct of Ctype.struct_def
+  | Genum of { ename : string option; emembers : (string * expr option) list }
+  | Gvar of { gty : Ctype.t; gname : string; ginit : initializer_ option; gextern : bool; gloc : Loc.t }
+  | Gfun of func
+
+type program = global list
+
+let mk_expr ?(loc = Loc.dummy) edesc = { edesc; eloc = loc }
+let mk_stmt ?(loc = Loc.dummy) sdesc = { sdesc; sloc = loc }

@@ -1,0 +1,62 @@
+(** MiniC types.
+
+    The RAM machine is word-addressed: every scalar (including [char])
+    occupies exactly one memory cell, so [sizeof] counts cells rather
+    than bytes. Struct and array layout is consecutive cells. *)
+
+type t =
+  | Tint
+  | Tchar
+  | Tvoid
+  | Tptr of t
+  | Tarray of t * int
+  | Tstruct of string
+
+type struct_def = { sname : string; sfields : (string * t) list }
+
+type struct_env = (string, struct_def) Hashtbl.t
+
+let rec to_string = function
+  | Tint -> "int"
+  | Tchar -> "char"
+  | Tvoid -> "void"
+  | Tptr t -> to_string t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (to_string t) n
+  | Tstruct s -> "struct " ^ s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) (b : t) = a = b
+
+let is_scalar = function
+  | Tint | Tchar | Tptr _ -> true
+  | Tvoid | Tarray _ | Tstruct _ -> false
+
+let is_pointer = function Tptr _ -> true | _ -> false
+let is_arith = function Tint | Tchar -> true | _ -> false
+
+exception Unknown_struct of string
+
+let find_struct env name =
+  match Hashtbl.find_opt env name with
+  | Some def -> def
+  | None -> raise (Unknown_struct name)
+
+(** Size in cells. *)
+let rec sizeof env = function
+  | Tint | Tchar | Tptr _ -> 1
+  | Tvoid -> 0
+  | Tarray (t, n) -> n * sizeof env t
+  | Tstruct name ->
+    let def = find_struct env name in
+    List.fold_left (fun acc (_, ft) -> acc + sizeof env ft) 0 def.sfields
+
+(** Offset of a field within a struct, in cells, together with its
+    type. @raise Not_found if the field is absent. *)
+let field_offset env sname fname =
+  let def = find_struct env sname in
+  let rec go off = function
+    | [] -> raise Not_found
+    | (f, ft) :: rest -> if f = fname then (off, ft) else go (off + sizeof env ft) rest
+  in
+  go 0 def.sfields

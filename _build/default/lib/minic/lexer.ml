@@ -1,0 +1,254 @@
+exception Error of Loc.t * string
+
+let keyword_table =
+  [ ("int", Token.KW_INT);
+    ("char", Token.KW_CHAR);
+    ("void", Token.KW_VOID);
+    ("struct", Token.KW_STRUCT);
+    ("extern", Token.KW_EXTERN);
+    ("if", Token.KW_IF);
+    ("else", Token.KW_ELSE);
+    ("while", Token.KW_WHILE);
+    ("do", Token.KW_DO);
+    ("for", Token.KW_FOR);
+    ("return", Token.KW_RETURN);
+    ("break", Token.KW_BREAK);
+    ("continue", Token.KW_CONTINUE);
+    ("sizeof", Token.KW_SIZEOF);
+    ("NULL", Token.KW_NULL);
+    ("switch", Token.KW_SWITCH);
+    ("case", Token.KW_CASE);
+    ("default", Token.KW_DEFAULT);
+    ("enum", Token.KW_ENUM) ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (loc st, msg))
+
+let rec skip_blank_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_blank_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_blank_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = loc st in
+    advance st;
+    advance st;
+    let rec eat () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        eat ()
+      | None, _ -> raise (Error (start, "unterminated comment"))
+    in
+    eat ();
+    skip_blank_and_comments st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    let hstart = st.pos in
+    while (match peek st with Some c -> is_hex_digit c | None -> false) do
+      advance st
+    done;
+    if st.pos = hstart then error st "expected hexadecimal digits after 0x";
+    Token.INT_LIT (int_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    Token.INT_LIT (int_of_string (String.sub st.src start (st.pos - start)))
+  end
+
+let lex_escaped st =
+  (* Called after the backslash has been consumed. *)
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> error st (Printf.sprintf "unknown escape '\\%c'" c)
+  | None -> error st "unterminated escape"
+
+let lex_char_lit st =
+  advance st; (* opening quote *)
+  let c =
+    match peek st with
+    | Some '\\' ->
+      advance st;
+      lex_escaped st
+    | Some c when c <> '\'' ->
+      advance st;
+      c
+    | Some _ | None -> error st "empty character literal"
+  in
+  (match peek st with
+   | Some '\'' -> advance st
+   | Some _ | None -> error st "unterminated character literal");
+  Token.CHAR_LIT c
+
+let lex_string_lit st =
+  advance st; (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      Buffer.add_char buf (lex_escaped st);
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+    | None -> error st "unterminated string literal"
+  in
+  go ();
+  Token.STRING_LIT (Buffer.contents buf)
+
+let lex_ident_or_keyword st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match List.assoc_opt s keyword_table with
+  | Some kw -> kw
+  | None -> Token.IDENT s
+
+(* Multi-character operators must be tried longest-first. *)
+let lex_operator st =
+  let two a b tok =
+    if peek st = Some a && peek2 st = Some b then begin
+      advance st;
+      advance st;
+      Some tok
+    end
+    else None
+  in
+  let candidates =
+    [ lazy (two '-' '>' Token.ARROW);
+      lazy (two '&' '&' Token.AMPAMP);
+      lazy (two '|' '|' Token.PIPEPIPE);
+      lazy (two '=' '=' Token.EQEQ);
+      lazy (two '!' '=' Token.NEQ);
+      lazy (two '<' '=' Token.LE);
+      lazy (two '>' '=' Token.GE);
+      lazy (two '<' '<' Token.SHL);
+      lazy (two '>' '>' Token.SHR);
+      lazy (two '+' '=' Token.PLUSEQ);
+      lazy (two '-' '=' Token.MINUSEQ);
+      lazy (two '*' '=' Token.STAREQ);
+      lazy (two '/' '=' Token.SLASHEQ);
+      lazy (two '+' '+' Token.PLUSPLUS);
+      lazy (two '-' '-' Token.MINUSMINUS) ]
+  in
+  let rec try_two = function
+    | [] -> None
+    | c :: rest -> (match Lazy.force c with Some t -> Some t | None -> try_two rest)
+  in
+  match try_two candidates with
+  | Some t -> Some t
+  | None ->
+    let one tok =
+      advance st;
+      Some tok
+    in
+    (match peek st with
+     | Some '(' -> one Token.LPAREN
+     | Some ')' -> one Token.RPAREN
+     | Some '{' -> one Token.LBRACE
+     | Some '}' -> one Token.RBRACE
+     | Some '[' -> one Token.LBRACKET
+     | Some ']' -> one Token.RBRACKET
+     | Some ';' -> one Token.SEMI
+     | Some ',' -> one Token.COMMA
+     | Some '.' -> one Token.DOT
+     | Some '?' -> one Token.QUESTION
+     | Some ':' -> one Token.COLON
+     | Some '+' -> one Token.PLUS
+     | Some '-' -> one Token.MINUS
+     | Some '*' -> one Token.STAR
+     | Some '/' -> one Token.SLASH
+     | Some '%' -> one Token.PERCENT
+     | Some '&' -> one Token.AMP
+     | Some '|' -> one Token.PIPE
+     | Some '^' -> one Token.CARET
+     | Some '~' -> one Token.TILDE
+     | Some '!' -> one Token.BANG
+     | Some '<' -> one Token.LT
+     | Some '>' -> one Token.GT
+     | Some '=' -> one Token.ASSIGN
+     | Some _ | None -> None)
+
+let tokenize ?(file = "<input>") src =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let toks = ref [] in
+  let emit tok l = toks := (tok, l) :: !toks in
+  let rec go () =
+    skip_blank_and_comments st;
+    let l = loc st in
+    match peek st with
+    | None -> emit Token.EOF l
+    | Some c when is_digit c ->
+      emit (lex_number st) l;
+      go ()
+    | Some c when is_ident_start c ->
+      emit (lex_ident_or_keyword st) l;
+      go ()
+    | Some '\'' ->
+      emit (lex_char_lit st) l;
+      go ()
+    | Some '"' ->
+      emit (lex_string_lit st) l;
+      go ()
+    | Some c ->
+      (match lex_operator st with
+       | Some tok ->
+         emit tok l;
+         go ()
+       | None -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  go ();
+  Array.of_list (List.rev !toks)

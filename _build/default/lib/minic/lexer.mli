@@ -1,0 +1,8 @@
+(** Hand-written lexer for MiniC. *)
+
+exception Error of Loc.t * string
+
+val tokenize : ?file:string -> string -> (Token.t * Loc.t) array
+(** Tokenize a whole source buffer; the result always ends with
+    {!Token.EOF}.
+    @raise Error on an invalid character or malformed literal. *)

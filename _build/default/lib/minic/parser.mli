@@ -1,0 +1,14 @@
+(** Recursive-descent parser for MiniC.
+
+    Assignment is a statement form (not an expression), which keeps
+    side effects out of expressions — the property the RAM-machine
+    lowering relies on. *)
+
+exception Error of Loc.t * string
+
+val parse_program : ?file:string -> string -> Ast.program
+(** Parse a full translation unit. @raise Error on syntax errors and
+    {!Lexer.Error} on lexical errors. *)
+
+val parse_expr : ?file:string -> string -> Ast.expr
+(** Parse a single expression (used by tests). *)

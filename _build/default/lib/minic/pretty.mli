@@ -1,0 +1,11 @@
+(** Pretty-printer for the untyped AST.
+
+    The output re-parses to an equal AST (modulo locations), a property
+    exercised by the round-trip tests. *)
+
+val unop_to_string : Ast.unop -> string
+val binop_to_string : Ast.binop -> string
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val program_to_string : Ast.program -> string
+val pp_program : Format.formatter -> Ast.program -> unit

@@ -1,0 +1,134 @@
+(** Lexical tokens of MiniC. *)
+
+type t =
+  | IDENT of string
+  | INT_LIT of int
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  (* keywords *)
+  | KW_INT
+  | KW_CHAR
+  | KW_VOID
+  | KW_STRUCT
+  | KW_EXTERN
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_SIZEOF
+  | KW_NULL
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_ENUM
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ARROW
+  | QUESTION
+  | COLON
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | AMPAMP
+  | PIPE
+  | PIPEPIPE
+  | CARET
+  | TILDE
+  | BANG
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ASSIGN
+  | SHL
+  | SHR
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | PLUSPLUS
+  | MINUSMINUS
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT i -> Printf.sprintf "integer %d" i
+  | CHAR_LIT c -> Printf.sprintf "char %C" c
+  | STRING_LIT s -> Printf.sprintf "string %S" s
+  | KW_INT -> "'int'"
+  | KW_CHAR -> "'char'"
+  | KW_VOID -> "'void'"
+  | KW_STRUCT -> "'struct'"
+  | KW_EXTERN -> "'extern'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_DO -> "'do'"
+  | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'"
+  | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'"
+  | KW_SIZEOF -> "'sizeof'"
+  | KW_NULL -> "'NULL'"
+  | KW_SWITCH -> "'switch'"
+  | KW_CASE -> "'case'"
+  | KW_DEFAULT -> "'default'"
+  | KW_ENUM -> "'enum'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | ARROW -> "'->'"
+  | QUESTION -> "'?'"
+  | COLON -> "':'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'"
+  | AMPAMP -> "'&&'"
+  | PIPE -> "'|'"
+  | PIPEPIPE -> "'||'"
+  | CARET -> "'^'"
+  | TILDE -> "'~'"
+  | BANG -> "'!'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | ASSIGN -> "'='"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | PLUSEQ -> "'+='"
+  | MINUSEQ -> "'-='"
+  | STAREQ -> "'*='"
+  | SLASHEQ -> "'/='"
+  | PLUSPLUS -> "'++'"
+  | MINUSMINUS -> "'--'"
+  | EOF -> "end of input"

@@ -1,0 +1,18 @@
+(** Type checker and elaborator: {!Ast.program} -> {!Tast.tprogram}.
+
+    Resolves variables to globals or local slots, desugars [e->f],
+    [NULL] and [sizeof], inserts array-to-pointer decay, scales pointer
+    arithmetic, classifies calls (program / external / library /
+    builtin) and enforces MiniC's typing rules (no struct assignment,
+    scalar conditions, lvalue checks, etc.). *)
+
+exception Error of Loc.t * string
+
+val check : ?library:Tast.fsig list -> Ast.program -> Tast.tprogram
+(** [check ~library prog] elaborates [prog]. Functions whose name
+    appears in [library] must be declared as body-less prototypes with
+    a matching signature; they are classified {!Tast.Clibrary}
+    (black-box, executed concretely). All other body-less prototypes
+    and all [extern] variables form the program's external interface
+    (paper §3.1).
+    @raise Error on any type or scope violation. *)

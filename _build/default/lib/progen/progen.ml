@@ -1,0 +1,263 @@
+open Minic
+
+type cfg = {
+  max_functions : int;
+  max_params : int;
+  max_statements : int;
+  max_expr_depth : int;
+  max_block_depth : int;
+  abort_probability_pct : int;
+}
+
+let default_cfg =
+  { max_functions = 3;
+    max_params = 3;
+    max_statements = 5;
+    max_expr_depth = 3;
+    max_block_depth = 3;
+    abort_probability_pct = 10 }
+
+let toplevel_name = "top"
+
+type scope = {
+  rng : Dart_util.Prng.t;
+  cfg : cfg;
+  globals : string list;
+  funcs : (string * int) list; (* callable earlier functions: name, arity *)
+  mutable vars : string list; (* in-scope int variables *)
+  mutable arrays : (string * int) list; (* in-scope arrays: name, power-of-2 size *)
+  mutable fresh : int;
+}
+
+let e d = Ast.mk_expr d
+let s d = Ast.mk_stmt d
+
+let fresh_name sc prefix =
+  let n = sc.fresh in
+  sc.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let pick_var sc =
+  match sc.vars @ sc.globals with
+  | [] -> e (Ast.Eint (Dart_util.Prng.int_range sc.rng (-8) 8))
+  | vars -> e (Ast.Evar (Dart_util.Prng.choose sc.rng vars))
+
+(* Array reads are kept in bounds by masking the index with size-1
+   (sizes are powers of two and [&] of any two's-complement values is
+   non-negative when the right operand is). *)
+let pick_array_read sc depth gen_expr =
+  match sc.arrays with
+  | [] -> pick_var sc
+  | arrays ->
+    let name, size = Dart_util.Prng.choose sc.rng arrays in
+    let idx = e (Ast.Ebinop (Ast.Band, gen_expr sc (depth - 1), e (Ast.Eint (size - 1)))) in
+    e (Ast.Eindex (e (Ast.Evar name), idx))
+
+let rec gen_expr sc depth =
+  if depth <= 0 then begin
+    match Dart_util.Prng.int_below sc.rng 3 with
+    | 0 -> e (Ast.Eint (Dart_util.Prng.int_range sc.rng (-100) 100))
+    | 1 ->
+      (* occasionally interesting extremes *)
+      e (Ast.Eint (Dart_util.Prng.choose sc.rng [ 0; 1; -1; 1 lsl 20; -(1 lsl 20); 2147483647; -2147483647 ]))
+    | _ -> pick_var sc
+  end
+  else begin
+    match Dart_util.Prng.int_below sc.rng 10 with
+    | 0 | 1 -> pick_var sc
+    | 2 -> e (Ast.Eint (Dart_util.Prng.int_range sc.rng (-1000) 1000))
+    | 3 ->
+      let op = Dart_util.Prng.choose sc.rng [ Ast.Neg; Ast.Bitnot; Ast.Lognot ] in
+      e (Ast.Eunop (op, gen_expr sc (depth - 1)))
+    | 4 -> pick_array_read sc depth gen_expr
+    | 5 ->
+      let c = gen_expr sc (depth - 1) in
+      e (Ast.Econd (c, gen_expr sc (depth - 1), gen_expr sc (depth - 1)))
+    | 6 ->
+      e (Ast.Eand (gen_expr sc (depth - 1), gen_expr sc (depth - 1)))
+    | 7 ->
+      e (Ast.Eor (gen_expr sc (depth - 1), gen_expr sc (depth - 1)))
+    | _ ->
+      let op =
+        Dart_util.Prng.choose sc.rng
+          [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le;
+            Ast.Gt; Ast.Ge; Ast.Band; Ast.Bor; Ast.Bxor; Ast.Shl; Ast.Shr ]
+      in
+      e (Ast.Ebinop (op, gen_expr sc (depth - 1), gen_expr sc (depth - 1)))
+  end
+
+let gen_call sc =
+  match sc.funcs with
+  | [] -> None
+  | funcs ->
+    let name, arity = Dart_util.Prng.choose sc.rng funcs in
+    let args = List.init arity (fun _ -> gen_expr sc (sc.cfg.max_expr_depth - 1)) in
+    Some (e (Ast.Ecall (name, args)))
+
+let assignable sc ~excluded =
+  List.filter (fun v -> not (List.mem v excluded)) (sc.vars @ sc.globals)
+
+let rec gen_stmt sc ~excluded ~block_depth : Ast.stmt =
+  let choice = Dart_util.Prng.int_below sc.rng 12 in
+  let depth = sc.cfg.max_expr_depth in
+  match choice with
+  | 0 | 1 ->
+    (* fresh local *)
+    let name = fresh_name sc "v" in
+    let init = gen_expr sc depth in
+    sc.vars <- name :: sc.vars;
+    s (Ast.Sdecl (Ctype.Tint, name, Some (Ast.Init_expr init)))
+  | 2 | 3 | 4 ->
+    (match assignable sc ~excluded with
+     | [] -> s (Ast.Sblock [])
+     | vars ->
+       let v = Dart_util.Prng.choose sc.rng vars in
+       s (Ast.Sassign (e (Ast.Evar v), gen_expr sc depth)))
+  | 5 when block_depth < sc.cfg.max_block_depth ->
+    let cond = gen_expr sc depth in
+    let then_b = gen_block sc ~excluded ~block_depth:(block_depth + 1) in
+    let else_b =
+      if Dart_util.Prng.bool sc.rng then
+        gen_block sc ~excluded ~block_depth:(block_depth + 1)
+      else []
+    in
+    s (Ast.Sif (cond, then_b, else_b))
+  | 6 when block_depth < sc.cfg.max_block_depth ->
+    (* Bounded loop: the counter is fresh and never assigned inside, so
+       termination is structural. *)
+    let i = fresh_name sc "i" in
+    let bound = Dart_util.Prng.int_range sc.rng 1 4 in
+    let saved_vars = sc.vars in
+    sc.vars <- i :: sc.vars;
+    let body = gen_block sc ~excluded:(i :: excluded) ~block_depth:(block_depth + 1) in
+    sc.vars <- saved_vars;
+    s
+      (Ast.Sfor
+         ( Some (s (Ast.Sdecl (Ctype.Tint, i, Some (Ast.Init_expr (e (Ast.Eint 0)))))),
+           Some (e (Ast.Ebinop (Ast.Lt, e (Ast.Evar i), e (Ast.Eint bound)))),
+           Some
+             (s
+                (Ast.Sassign
+                   (e (Ast.Evar i), e (Ast.Ebinop (Ast.Add, e (Ast.Evar i), e (Ast.Eint 1)))))),
+           body ))
+  | 7 ->
+    (match gen_call sc with
+     | Some call ->
+       (match assignable sc ~excluded with
+        | [] -> s (Ast.Sexpr call)
+        | vars ->
+          let v = Dart_util.Prng.choose sc.rng vars in
+          s (Ast.Sassign (e (Ast.Evar v), call)))
+     | None -> s (Ast.Sblock []))
+  | 8 ->
+    (* array write, masked index *)
+    (match sc.arrays with
+     | [] -> s (Ast.Sblock [])
+     | arrays ->
+       let name, size = Dart_util.Prng.choose sc.rng arrays in
+       let idx = e (Ast.Ebinop (Ast.Band, gen_expr sc (depth - 1), e (Ast.Eint (size - 1)))) in
+       s (Ast.Sassign (e (Ast.Eindex (e (Ast.Evar name), idx)), gen_expr sc depth)))
+  | 9 when block_depth < sc.cfg.max_block_depth ->
+    (* switch with distinct constant cases, random fallthrough *)
+    let scrutinee = gen_expr sc depth in
+    let n_cases = Dart_util.Prng.int_range sc.rng 1 3 in
+    let base = Dart_util.Prng.int_range sc.rng (-3) 3 in
+    let rec build_cases acc i =
+      if i >= n_cases then List.rev acc
+      else begin
+        let body = gen_block sc ~excluded ~block_depth:(block_depth + 1) in
+        let body = if Dart_util.Prng.bool sc.rng then body @ [ s Ast.Sbreak ] else body in
+        let g = { Ast.case_labels = [ Ast.Case (e (Ast.Eint (base + i))) ]; case_body = body } in
+        build_cases (g :: acc) (i + 1)
+      end
+    in
+    let cases = build_cases [] 0 in
+    let groups =
+      if Dart_util.Prng.bool sc.rng then
+        cases
+        @ [ { Ast.case_labels = [ Ast.Default ];
+              case_body = gen_block sc ~excluded ~block_depth:(block_depth + 1) } ]
+      else cases
+    in
+    s (Ast.Sswitch (scrutinee, groups))
+  | 10 when Dart_util.Prng.int_below sc.rng 100 < sc.cfg.abort_probability_pct ->
+    (* a guarded abort: the bug the search is meant to find *)
+    let cond = gen_expr sc depth in
+    s (Ast.Sif (cond, [ s (Ast.Sexpr (e (Ast.Ecall ("abort", [])))) ], []))
+  | _ ->
+    (* a local capturing a possibly-faulting computation *)
+    let init = gen_expr sc depth in
+    let name = fresh_name sc "t" in
+    sc.vars <- name :: sc.vars;
+    s (Ast.Sdecl (Ctype.Tint, name, Some (Ast.Init_expr init)))
+
+and gen_block sc ~excluded ~block_depth : Ast.block =
+  let n = Dart_util.Prng.int_range sc.rng 1 sc.cfg.max_statements in
+  let saved_vars = sc.vars in
+  let saved_arrays = sc.arrays in
+  (* Statements must be generated in order: later ones may reference
+     locals declared by earlier ones. *)
+  let rec build acc k =
+    if k = 0 then List.rev acc else build (gen_stmt sc ~excluded ~block_depth :: acc) (k - 1)
+  in
+  let stmts = build [] n in
+  sc.vars <- saved_vars;
+  sc.arrays <- saved_arrays;
+  stmts
+
+let gen_function rng cfg ~globals ~funcs ~name ~nparams =
+  let sc =
+    { rng; cfg; globals; funcs; vars = []; arrays = []; fresh = 0 }
+  in
+  let params = List.init nparams (fun i -> (Ctype.Tint, Printf.sprintf "p%d" i)) in
+  sc.vars <- List.map snd params;
+  (* Give every function a small local array to exercise indexing. *)
+  let arr_name = fresh_name sc "a" in
+  let arr_size = Dart_util.Prng.choose rng [ 2; 4; 8 ] in
+  let arr_decl = s (Ast.Sdecl (Ctype.Tarray (Ctype.Tint, arr_size), arr_name, None)) in
+  let arr_init =
+    List.init arr_size (fun i ->
+        s
+          (Ast.Sassign
+             ( e (Ast.Eindex (e (Ast.Evar arr_name), e (Ast.Eint i))),
+               e (Ast.Eint (Dart_util.Prng.int_range rng (-50) 50)) )))
+  in
+  sc.arrays <- [ (arr_name, arr_size) ];
+  let body = gen_block sc ~excluded:[] ~block_depth:0 in
+  let ret = s (Ast.Sreturn (Some (gen_expr sc cfg.max_expr_depth))) in
+  { Ast.fname = name;
+    fret = Ctype.Tint;
+    fparams = params;
+    fbody = Some ((arr_decl :: arr_init) @ body @ [ ret ]);
+    floc = Loc.dummy }
+
+let generate ?(cfg = default_cfg) rng : Ast.program =
+  let n_globals = Dart_util.Prng.int_range rng 0 3 in
+  let globals =
+    List.init n_globals (fun i ->
+        Ast.Gvar
+          { gty = Ctype.Tint;
+            gname = Printf.sprintf "g%d" i;
+            ginit = Some (Ast.Init_expr (e (Ast.Eint (Dart_util.Prng.int_range rng (-100) 100))));
+            gextern = false;
+            gloc = Loc.dummy })
+  in
+  let global_names = List.init n_globals (Printf.sprintf "g%d") in
+  let n_funcs = Dart_util.Prng.int_below rng (cfg.max_functions + 1) in
+  let rec build i acc_funcs acc_sigs =
+    if i >= n_funcs then (List.rev acc_funcs, acc_sigs)
+    else begin
+      let name = Printf.sprintf "callee%d" i in
+      let nparams = Dart_util.Prng.int_below rng (cfg.max_params + 1) in
+      let f = gen_function rng cfg ~globals:global_names ~funcs:acc_sigs ~name ~nparams in
+      build (i + 1) (Ast.Gfun f :: acc_funcs) ((name, nparams) :: acc_sigs)
+    end
+  in
+  let callees, sigs = build 0 [] [] in
+  let nparams = Dart_util.Prng.int_range rng 1 cfg.max_params in
+  let top =
+    gen_function rng cfg ~globals:global_names ~funcs:sigs ~name:toplevel_name ~nparams
+  in
+  globals @ callees @ [ Ast.Gfun top ]
+
+let generate_source ?cfg rng = Pretty.program_to_string (generate ?cfg rng)

@@ -1,0 +1,1 @@
+lib/ram/instr.ml: Array Buffer Hashtbl List Minic Printf String

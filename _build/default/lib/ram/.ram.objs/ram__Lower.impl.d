@@ -1,0 +1,1 @@
+lib/ram/lower.ml: Array Ast Ctype Dart_util Hashtbl Instr List Loc Minic Parser Printf Tast Typecheck

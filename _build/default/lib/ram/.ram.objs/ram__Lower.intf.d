@@ -1,0 +1,1 @@
+lib/ram/lower.mli: Instr Minic

@@ -1,0 +1,1 @@
+lib/ram/opt.ml: Array Ast Dart_util Hashtbl Instr List Minic Option

@@ -1,0 +1,1 @@
+lib/ram/opt.mli: Instr

@@ -1,0 +1,15 @@
+(** Lowering from the typed AST to the RAM-machine IR.
+
+    Flattens nested calls, [&&], [||] and [?:] into statements with
+    fresh frame temporaries; lowers [assert(e)] to
+    [if e goto ok; abort] and [assume(e)] to [if e goto ok; halt], so
+    both conditions become regular directable branches; resolves
+    struct field and array offsets into address arithmetic. *)
+
+exception Error of Minic.Loc.t * string
+
+val lower_program : Minic.Tast.tprogram -> Instr.program
+
+val lower_source : ?file:string -> ?library:Minic.Tast.fsig list -> string -> Instr.program
+(** Parse, typecheck and lower in one step. Raises {!Minic.Parser.Error},
+    {!Minic.Typecheck.Error} or {!Error}. *)

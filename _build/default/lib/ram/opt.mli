@@ -1,0 +1,19 @@
+(** Optimization passes over RAM-machine code.
+
+    Fault-preserving by construction: folds never erase a subexpression
+    that could trap (loads, division), and division by a constant zero
+    is left for the machine to fault on. Verified against the
+    unoptimized semantics by differential testing on random programs. *)
+
+val fold_rexpr : Instr.rexpr -> Instr.rexpr
+(** Constant folding with exact 32-bit semantics, plus the algebraic
+    identities that are safe on potentially-trapping operands
+    ([e+0], [e*1], [e&&-style] branches are handled at the instruction
+    level). *)
+
+val optimize_func : Instr.func -> Instr.func
+(** Constant folding, branch simplification ([if const goto]) and jump
+    threading. Instruction positions are preserved (no deletion), so
+    labels and the [locs] table stay valid. *)
+
+val optimize_program : Instr.program -> Instr.program

@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Branch_bound Constr Gauss Hashtbl Intervals Linexpr List Option Problem Symbolic Zarith_lite Zint

@@ -1,0 +1,1 @@
+lib/solver/branch_bound.ml: Intervals Linexpr List Qnum Simplex Symbolic Zarith_lite Zint

@@ -1,0 +1,1 @@
+lib/solver/gauss.ml: Hashtbl Linexpr List Problem Symbolic Zarith_lite Zint

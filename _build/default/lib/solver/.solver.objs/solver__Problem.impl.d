@@ -1,0 +1,1 @@
+lib/solver/problem.ml: Constr Dart_util Hashtbl Linexpr List Printf String Symbolic Zarith_lite Zint

@@ -1,0 +1,1 @@
+lib/solver/simplex.ml: Array Fun Hashtbl Linexpr List Qnum Symbolic Zarith_lite Zint

@@ -1,0 +1,1 @@
+lib/solver/simplex.mli: Symbolic Zarith_lite

@@ -1,0 +1,48 @@
+(** Integer feasibility by branch-and-bound over the rational
+    relaxation. Branching tightens the per-variable box around a
+    fractional coordinate of the simplex sample point; the 32-bit box
+    bounds make the search finite. *)
+
+open Zarith_lite
+open Symbolic
+
+type result =
+  | Sat of (Linexpr.var * Zint.t) list
+  | Unsat
+  | Unknown
+
+let solve ?(node_limit = 400) ~(intervals : Intervals.t) ~les ~vars () =
+  let budget = ref node_limit in
+  let rec bb (box : Intervals.t) =
+    if !budget <= 0 then Unknown
+    else begin
+      decr budget;
+      if not (Intervals.consistent box) then Unsat
+      else begin
+        match
+          Simplex.feasible ~vars ~lo:(Intervals.lo box) ~hi:(Intervals.hi box) ~les ()
+        with
+        | Simplex.Unsat -> Unsat
+        | Simplex.Aborted -> Unknown
+        | Simplex.Sat q_assignment ->
+          let fractional =
+            List.find_opt (fun (_, q) -> not (Qnum.is_integer q)) q_assignment
+          in
+          (match fractional with
+           | None -> Sat (List.map (fun (v, q) -> (v, Qnum.to_zint q)) q_assignment)
+           | Some (v, q) ->
+             let fl = Qnum.floor q in
+             (* Left branch: v <= floor(q). *)
+             let left = Intervals.copy box in
+             Intervals.tighten_hi left v fl;
+             (match bb left with
+              | Sat _ as s -> s
+              | Unknown -> Unknown
+              | Unsat ->
+                let right = Intervals.copy box in
+                Intervals.tighten_lo right v (Zint.succ fl);
+                bb right))
+      end
+    end
+  in
+  bb intervals

@@ -1,0 +1,90 @@
+(** Equality elimination with unit pivots.
+
+    Each equality [... + x + rest = 0] whose pivot variable has
+    coefficient +-1 defines [x] as an integer-coefficient expression of
+    the other variables; substituting it everywhere shrinks the
+    problem while preserving integer solutions exactly. Equalities
+    without a unit-coefficient variable are conservatively rewritten as
+    a pair of inequalities and left to branch-and-bound. *)
+
+open Zarith_lite
+open Symbolic
+
+type subst = (Linexpr.var * Linexpr.t) list
+(** [x := e] definitions whose right-hand sides only mention surviving
+    variables, so back-substitution is order-independent. *)
+
+type result =
+  | Unsat
+  | Reduced of Problem.t * subst
+
+let substitute_var x def e =
+  let c = Linexpr.coeff e x in
+  if Zint.is_zero c then e
+  else begin
+    (* e - c*x + c*def *)
+    let without = Linexpr.sub e (Linexpr.scale c (Linexpr.var x)) in
+    Linexpr.add without (Linexpr.scale c def)
+  end
+
+let find_unit_pivot e =
+  List.find_opt (fun (_, c) -> Zint.is_one c || Zint.equal c Zint.minus_one) (Linexpr.terms e)
+
+let eliminate (p : Problem.t) : result =
+  let subst : subst ref = ref [] in
+  let les = ref p.les in
+  let nes = ref p.nes in
+  let kept_eqs = ref [] in
+  let apply_everywhere x def =
+    les := List.map (substitute_var x def) !les;
+    nes := List.map (substitute_var x def) !nes;
+    kept_eqs := List.map (substitute_var x def) !kept_eqs;
+    subst := List.map (fun (v, e) -> (v, substitute_var x def e)) !subst;
+    subst := (x, def) :: !subst
+  in
+  let unsat = ref false in
+  let rec process eqs =
+    match eqs with
+    | [] -> ()
+    | e :: rest ->
+      let e = List.fold_left (fun e (x, def) -> substitute_var x def e) e !subst in
+      (match Linexpr.is_const e with
+       | Some c -> if not (Zint.is_zero c) then unsat := true else process rest
+       | None ->
+         (match find_unit_pivot e with
+          | Some (x, c) ->
+            (* c*x + rest = 0  =>  x = -rest/c with c = +-1. *)
+            let rest_expr = Linexpr.sub e (Linexpr.scale c (Linexpr.var x)) in
+            let def =
+              if Zint.is_one c then Linexpr.neg rest_expr else rest_expr
+            in
+            apply_everywhere x def;
+            if not !unsat then process rest
+          | None ->
+            kept_eqs := e :: !kept_eqs;
+            process rest))
+  in
+  process p.eqs;
+  if !unsat then Unsat
+  else begin
+    (* Equalities without unit pivot become e <= 0 and -e <= 0; the
+       reduced problem carries no equalities at all. *)
+    let extra_les = List.concat_map (fun e -> [ e; Linexpr.neg e ]) !kept_eqs in
+    Reduced ({ Problem.eqs = []; les = extra_les @ !les; nes = !nes }, !subst)
+  end
+
+(** Extend an assignment of the surviving variables to the eliminated
+    ones. *)
+let back_substitute (subst : subst) env_tbl =
+  List.iter
+    (fun (x, def) ->
+      let value =
+        Linexpr.eval
+          (fun v ->
+            match Hashtbl.find_opt env_tbl v with
+            | Some z -> z
+            | None -> Zint.zero)
+          def
+      in
+      Hashtbl.replace env_tbl x value)
+    subst

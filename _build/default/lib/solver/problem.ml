@@ -1,0 +1,95 @@
+(** Normalized constraint problems.
+
+    A conjunction of {!Symbolic.Constr.t} atoms is normalized into
+    - equalities [e = 0],
+    - non-strict inequalities [e <= 0] (strict [e < 0] becomes
+      [e + 1 <= 0], exact over the integers), and
+    - disequalities [e <> 0], handled by case splitting downstream.
+
+    Every variable is additionally bounded to the signed 32-bit range,
+    the domain of C [int] inputs, which keeps integer feasibility
+    decidable and generated inputs representable. *)
+
+open Zarith_lite
+open Symbolic
+
+type t = {
+  eqs : Linexpr.t list;
+  les : Linexpr.t list;
+  nes : Linexpr.t list;
+}
+
+let empty = { eqs = []; les = []; nes = [] }
+
+let add_constr p (c : Constr.t) =
+  match c.rel with
+  | Constr.Eq0 -> { p with eqs = c.lhs :: p.eqs }
+  | Constr.Ne0 -> { p with nes = c.lhs :: p.nes }
+  | Constr.Le0 -> { p with les = c.lhs :: p.les }
+  | Constr.Lt0 -> { p with les = Linexpr.add_const Zint.one c.lhs :: p.les }
+
+let of_constrs cs = List.fold_left add_constr empty cs
+
+let vars p =
+  let tbl = Hashtbl.create 16 in
+  let add e = List.iter (fun v -> Hashtbl.replace tbl v ()) (Linexpr.vars e) in
+  List.iter add p.eqs;
+  List.iter add p.les;
+  List.iter add p.nes;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) tbl [])
+
+let word_min = Zint.of_int Dart_util.Word32.min_value
+let word_max = Zint.of_int Dart_util.Word32.max_value
+
+let coeff_gcd e =
+  List.fold_left (fun g (_, c) -> Zint.gcd g c) Zint.zero (Linexpr.terms e)
+
+(** Integer tightening: divide every atom by the gcd of its variable
+    coefficients. An equality [g*t + c = 0] with [g] not dividing [c]
+    is unsatisfiable; an inequality [g*t + c <= 0] tightens to
+    [t - floor(-c/g) <= 0]. Returns [None] on direct unsat. *)
+let tighten p =
+  let exception Unsat_exn in
+  let divide_terms g e =
+    List.fold_left
+      (fun acc (v, c) -> Linexpr.add acc (Linexpr.scale (Zint.div c g) (Linexpr.var v)))
+      Linexpr.zero (Linexpr.terms e)
+  in
+  let tighten_eq e =
+    let g = coeff_gcd e in
+    if Zint.is_zero g || Zint.is_one g then e
+    else begin
+      let c = Linexpr.constant_part e in
+      if not (Zint.is_zero (Zint.rem c g)) then raise Unsat_exn;
+      Linexpr.add_const (Zint.div c g) (divide_terms g e)
+    end
+  in
+  let tighten_le e =
+    let g = coeff_gcd e in
+    if Zint.is_zero g || Zint.is_one g then e
+    else begin
+      let c = Linexpr.constant_part e in
+      (* g*t <= -c  <=>  t <= floor(-c / g) *)
+      let bound = Zint.fdiv (Zint.neg c) g in
+      Linexpr.add_const (Zint.neg bound) (divide_terms g e)
+    end
+  in
+  match
+    { eqs = List.map tighten_eq p.eqs; les = List.map tighten_le p.les; nes = p.nes }
+  with
+  | p' -> Some p'
+  | exception Unsat_exn -> None
+
+(** Check a full assignment against the problem (used by tests and by
+    the solver's internal sanity check). *)
+let satisfied_by env p =
+  let holds_eq e = Zint.is_zero (Linexpr.eval env e) in
+  let holds_le e = Zint.sign (Linexpr.eval env e) <= 0 in
+  let holds_ne e = not (Zint.is_zero (Linexpr.eval env e)) in
+  List.for_all holds_eq p.eqs && List.for_all holds_le p.les && List.for_all holds_ne p.nes
+
+let to_string p =
+  let line rel e = Printf.sprintf "  %s %s" (Linexpr.to_string e) rel in
+  String.concat "\n"
+    (List.map (line "= 0") p.eqs @ List.map (line "<= 0") p.les
+    @ List.map (line "!= 0") p.nes)

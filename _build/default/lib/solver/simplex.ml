@@ -1,0 +1,157 @@
+open Zarith_lite
+open Symbolic
+
+type result =
+  | Sat of (Linexpr.var * Qnum.t) list
+  | Unsat
+  | Aborted
+
+(* The tableau holds rows of [Sum coef_j * col_j = rhs] with a
+   designated basic column per row. Columns: 0..n-1 shifted original
+   variables (y = x - lo, so y >= 0), n..n+m-1 slacks, then
+   artificials. The phase-1 objective (sum of artificials) is kept as
+   an extra row updated by the same pivots. *)
+let feasible ?(max_pivots = 20_000) ~vars ~lo ~hi ~les () =
+  let vars = Array.of_list vars in
+  let n = Array.length vars in
+  let var_index = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace var_index v i) vars;
+  (* Build raw rows: coefficients over y, and rhs. *)
+  let raw_rows =
+    (* Inequalities: sum a_v x_v + c <= 0 becomes sum a_v y_v <= -c - sum a_v lo_v. *)
+    List.map
+      (fun e ->
+        let coefs = Array.make n Qnum.zero in
+        let shift = ref (Linexpr.constant_part e) in
+        List.iter
+          (fun (v, a) ->
+            let i = Hashtbl.find var_index v in
+            coefs.(i) <- Qnum.add coefs.(i) (Qnum.of_zint a);
+            shift := Zint.add !shift (Zint.mul a (lo v)))
+          (Linexpr.terms e);
+        (coefs, Qnum.of_zint (Zint.neg !shift)))
+      les
+    (* Box upper bounds: y_v <= hi_v - lo_v. *)
+    @ (Array.to_list vars
+      |> List.map (fun v ->
+             let coefs = Array.make n Qnum.zero in
+             coefs.(Hashtbl.find var_index v) <- Qnum.one;
+             (coefs, Qnum.of_zint (Zint.sub (hi v) (lo v)))))
+  in
+  let m = List.length raw_rows in
+  (* Count artificials: rows with negative rhs (after slack insertion
+     and sign flip). *)
+  let needs_art = List.map (fun (_, b) -> Qnum.sign b < 0) raw_rows in
+  let nart = List.length (List.filter Fun.id needs_art) in
+  let ncols = n + m + nart in
+  let tableau = Array.make_matrix m (ncols + 1) Qnum.zero in
+  let basis = Array.make m 0 in
+  let art_cols = ref [] in
+  let next_art = ref (n + m) in
+  List.iteri
+    (fun i ((coefs, b), neg) ->
+      let flip = if neg then Qnum.neg else Fun.id in
+      for j = 0 to n - 1 do
+        tableau.(i).(j) <- flip coefs.(j)
+      done;
+      (* Slack for this row. *)
+      tableau.(i).(n + i) <- flip Qnum.one;
+      tableau.(i).(ncols) <- flip b;
+      if neg then begin
+        let a = !next_art in
+        incr next_art;
+        art_cols := a :: !art_cols;
+        tableau.(i).(a) <- Qnum.one;
+        basis.(i) <- a
+      end
+      else basis.(i) <- n + i)
+    (List.combine raw_rows needs_art);
+  let is_art = Array.make (ncols + 1) false in
+  List.iter (fun a -> is_art.(a) <- true) !art_cols;
+  (* Phase-1 objective: minimize w = sum artificials. Expressed over
+     nonbasic columns by subtracting each artificial's row; obj.(ncols)
+     holds -w. *)
+  let obj = Array.make (ncols + 1) Qnum.zero in
+  List.iter (fun a -> obj.(a) <- Qnum.one) !art_cols;
+  for i = 0 to m - 1 do
+    if is_art.(basis.(i)) then
+      for j = 0 to ncols do
+        obj.(j) <- Qnum.sub obj.(j) tableau.(i).(j)
+      done
+  done;
+  let pivot row col =
+    let p = tableau.(row).(col) in
+    for j = 0 to ncols do
+      tableau.(row).(j) <- Qnum.div tableau.(row).(j) p
+    done;
+    for i = 0 to m - 1 do
+      if i <> row then begin
+        let f = tableau.(i).(col) in
+        if not (Qnum.is_zero f) then
+          for j = 0 to ncols do
+            tableau.(i).(j) <- Qnum.sub tableau.(i).(j) (Qnum.mul f tableau.(row).(j))
+          done
+      end
+    done;
+    let f = obj.(col) in
+    if not (Qnum.is_zero f) then
+      for j = 0 to ncols do
+        obj.(j) <- Qnum.sub obj.(j) (Qnum.mul f tableau.(row).(j))
+      done;
+    basis.(row) <- col
+  in
+  (* Bland's rule: entering column = smallest index with negative
+     reduced cost; leaving row = ratio test with smallest basis index
+     tie-break. *)
+  let rec iterate k =
+    if k > max_pivots then `Aborted
+    else begin
+      let entering = ref (-1) in
+      (try
+         for j = 0 to ncols - 1 do
+           if Qnum.sign obj.(j) < 0 then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then `Optimal
+      else begin
+        let col = !entering in
+        let best = ref None in
+        for i = 0 to m - 1 do
+          if Qnum.sign tableau.(i).(col) > 0 then begin
+            let ratio = Qnum.div tableau.(i).(ncols) tableau.(i).(col) in
+            match !best with
+            | None -> best := Some (i, ratio)
+            | Some (bi, br) ->
+              let c = Qnum.compare ratio br in
+              if c < 0 || (c = 0 && basis.(i) < basis.(bi)) then best := Some (i, ratio)
+          end
+        done;
+        match !best with
+        | None -> `Unbounded (* cannot happen: w is bounded below by 0 *)
+        | Some (row, _) ->
+          pivot row col;
+          iterate (k + 1)
+      end
+    end
+  in
+  match iterate 0 with
+  | `Aborted -> Aborted
+  | `Unbounded -> Unsat
+  | `Optimal ->
+    let w = Qnum.neg obj.(ncols) in
+    if Qnum.sign w > 0 then Unsat
+    else begin
+      (* Sample point: basic y variables take their row's rhs. *)
+      let y = Array.make n Qnum.zero in
+      for i = 0 to m - 1 do
+        if basis.(i) < n then y.(basis.(i)) <- tableau.(i).(ncols)
+      done;
+      let assignment =
+        Array.to_list
+          (Array.mapi (fun i v -> (v, Qnum.add (Qnum.of_zint (lo v)) y.(i))) vars)
+      in
+      Sat assignment
+    end

@@ -1,0 +1,22 @@
+(** Exact rational phase-1 simplex (feasibility only).
+
+    Decides whether a conjunction of linear inequalities [e <= 0] has a
+    rational solution within the per-variable box bounds, and produces
+    a sample point. Pivoting uses Bland's rule, so it terminates; all
+    arithmetic is exact over {!Zarith_lite.Qnum}. *)
+
+type result =
+  | Sat of (Symbolic.Linexpr.var * Zarith_lite.Qnum.t) list
+  | Unsat
+  | Aborted (* pivot budget exhausted; caller must treat as unknown *)
+
+val feasible :
+  ?max_pivots:int ->
+  vars:Symbolic.Linexpr.var list ->
+  lo:(Symbolic.Linexpr.var -> Zarith_lite.Zint.t) ->
+  hi:(Symbolic.Linexpr.var -> Zarith_lite.Zint.t) ->
+  les:Symbolic.Linexpr.t list ->
+  unit ->
+  result
+(** Variables not in [vars] must not occur in [les]. Box bounds must
+    satisfy [lo <= hi] for every variable. *)

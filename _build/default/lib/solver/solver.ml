@@ -1,0 +1,253 @@
+open Zarith_lite
+open Symbolic
+
+type result =
+  | Sat of (Linexpr.var * Zint.t) list
+  | Unsat
+  | Unknown
+
+type stats = {
+  mutable queries : int;
+  mutable sat : int;
+  mutable unsat : int;
+  mutable unknown : int;
+  mutable fast_path : int;
+  mutable simplex_queries : int;
+  mutable ne_splits : int;
+}
+
+let create_stats () =
+  { queries = 0; sat = 0; unsat = 0; unknown = 0; fast_path = 0; simplex_queries = 0;
+    ne_splits = 0 }
+
+let dummy_stats = create_stats ()
+
+let check_model cs model =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (v, z) -> Hashtbl.replace tbl v z) model;
+  let env v = match Hashtbl.find_opt tbl v with Some z -> z | None -> Zint.zero in
+  List.for_all (Constr.holds env) cs
+
+(* Choose an integer in [lo, hi] avoiding [forbidden], preferring
+   [pref] (clamped into the interval), then walking up, then down. The
+   forbidden list is tiny in practice (one entry per != atom on the
+   variable). *)
+let choose_value ~lo ~hi ~forbidden ~pref =
+  if Zint.compare lo hi > 0 then None
+  else begin
+    let clamp z = Zint.max lo (Zint.min hi z) in
+    let start = clamp pref in
+    let is_ok z = not (List.exists (Zint.equal z) forbidden) in
+    let rec up z = if Zint.compare z hi > 0 then None else if is_ok z then Some z else up (Zint.succ z) in
+    let rec down z = if Zint.compare z lo < 0 then None else if is_ok z then Some z else down (Zint.pred z) in
+    match up start with
+    | Some z -> Some z
+    | None -> down (Zint.pred start)
+  end
+
+(* Univariate disequality [a*v + c <> 0] forbids a single value when a
+   divides -c, and is vacuous otherwise. *)
+let univariate_forbidden nes =
+  let tbl : (Linexpr.var, Zint.t list) Hashtbl.t = Hashtbl.create 8 in
+  let rest = ref [] in
+  let contradiction = ref false in
+  List.iter
+    (fun e ->
+      match Linexpr.terms e with
+      | [] -> if Zint.is_zero (Linexpr.constant_part e) then contradiction := true
+      | [ (v, a) ] ->
+        let c = Linexpr.constant_part e in
+        let q, r = Zint.div_rem (Zint.neg c) a in
+        if Zint.is_zero r then begin
+          let prev = Option.value ~default:[] (Hashtbl.find_opt tbl v) in
+          Hashtbl.replace tbl v (q :: prev)
+        end
+      | _ -> rest := e :: !rest)
+    nes;
+  (!contradiction, tbl, List.rev !rest)
+
+let max_ne_split_depth = 24
+
+let solve ?(stats = dummy_stats) ?(prefer = fun _ -> None) ?(use_simplex = true) cs =
+  stats.queries <- stats.queries + 1;
+  let all_vars =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun c -> List.iter (fun v -> Hashtbl.replace tbl v ()) (Constr.vars c)) cs;
+    Hashtbl.fold (fun v () acc -> v :: acc) tbl []
+  in
+  let pref v = match prefer v with Some z -> z | None -> Zint.zero in
+  let rec attempt depth cs =
+    let p = Problem.of_constrs cs in
+    match Problem.tighten p with
+    | None -> Unsat
+    | Some p ->
+      attempt_tightened depth cs p
+  and attempt_tightened depth cs p =
+    match Gauss.eliminate p with
+    | Gauss.Unsat -> Unsat
+    | Gauss.Reduced (p', subst) ->
+      (* Keep eliminated variables inside the 32-bit word range by
+         constraining their defining expressions. *)
+      let range_les =
+        List.concat_map
+          (fun (_, def) ->
+            [ Linexpr.add_const (Zint.neg Problem.word_max) def;
+              (* def - max <= 0 *)
+              Linexpr.add_const Problem.word_min (Linexpr.neg def) (* min - def <= 0 *) ])
+          subst
+      in
+      let box = Intervals.create () in
+      let all_les =
+        (* Post-elimination expressions can pick up common factors;
+           tighten again so the interval fast path sees exact bounds. *)
+        match Problem.tighten { Problem.eqs = []; les = range_les @ p'.Problem.les; nes = [] } with
+        | None -> None
+        | Some tp -> Some tp.Problem.les
+      in
+      (match Option.bind all_les (Intervals.absorb_univariate box) with
+       | None -> Unsat
+       | Some multi_les ->
+         (* Multivariate disequalities need no special handling here:
+            the final model check below catches any violation and the
+            caller splits on it. *)
+         let contradiction, forbidden_tbl, _multi_nes = univariate_forbidden p'.Problem.nes in
+         if contradiction then Unsat
+         else begin
+           let assignment : (Linexpr.var, Zint.t) Hashtbl.t = Hashtbl.create 16 in
+           let les_vars =
+             let tbl = Hashtbl.create 8 in
+             List.iter
+               (fun e -> List.iter (fun v -> Hashtbl.replace tbl v ()) (Linexpr.vars e))
+               multi_les;
+             Hashtbl.fold (fun v () acc -> v :: acc) tbl []
+           in
+           (* Before falling back to simplex, try the preferred values
+              (the previous run's inputs, clamped into their intervals):
+              when they already satisfy the residual system — the common
+              case after Gaussian elimination pivoted the constrained
+              variable away — the solution stays close to the previous
+              run instead of jumping to a polytope corner. Corner
+              solutions are not wrong, but they are deterministic, which
+              starves randomness-dependent branches (e.g. parity checks)
+              across restarts. *)
+           let preferred_satisfies () =
+             let candidate = Hashtbl.create 8 in
+             List.iter
+               (fun v ->
+                 let lo = Intervals.lo box v and hi = Intervals.hi box v in
+                 let clamped = Zint.max lo (Zint.min hi (pref v)) in
+                 Hashtbl.replace candidate v clamped)
+               les_vars;
+             let env v =
+               match Hashtbl.find_opt candidate v with
+               | Some z -> z
+               | None -> Zint.zero
+             in
+             if List.for_all (fun e -> Zint.sign (Linexpr.eval env e) <= 0) multi_les
+             then begin
+               Hashtbl.iter (fun v z -> Hashtbl.replace assignment v z) candidate;
+               true
+             end
+             else false
+           in
+           let core_result =
+             if multi_les = [] then begin
+               stats.fast_path <- stats.fast_path + 1;
+               `Ok
+             end
+             else if preferred_satisfies () then begin
+               stats.fast_path <- stats.fast_path + 1;
+               `Ok
+             end
+             else if not use_simplex then `Unknown
+             else begin
+               stats.simplex_queries <- stats.simplex_queries + 1;
+               match Branch_bound.solve ~intervals:box ~les:multi_les ~vars:les_vars () with
+               | Branch_bound.Unsat -> `Unsat
+               | Branch_bound.Unknown -> `Unknown
+               | Branch_bound.Sat model ->
+                 List.iter (fun (v, z) -> Hashtbl.replace assignment v z) model;
+                 `Ok
+             end
+           in
+           match core_result with
+           | `Unsat -> Unsat
+           | `Unknown -> Unknown
+           | `Ok ->
+             (* Free variables: pick a value in their interval avoiding
+                univariate-forbidden values. *)
+             let unsat_free = ref false in
+             let surviving_vars =
+               (* every var of the reduced problem plus all original
+                  vars not eliminated *)
+               let eliminated = List.map fst subst in
+               List.filter (fun v -> not (List.mem v eliminated)) all_vars
+             in
+             List.iter
+               (fun v ->
+                 if not (Hashtbl.mem assignment v) then begin
+                   let forbidden =
+                     Option.value ~default:[] (Hashtbl.find_opt forbidden_tbl v)
+                   in
+                   match
+                     choose_value ~lo:(Intervals.lo box v) ~hi:(Intervals.hi box v)
+                       ~forbidden ~pref:(pref v)
+                   with
+                   | Some z -> Hashtbl.replace assignment v z
+                   | None -> unsat_free := true
+                 end)
+               surviving_vars;
+             if !unsat_free then Unsat
+             else begin
+               (* Variables fixed by branch-and-bound may still violate a
+                  univariate disequality (the box knows bounds, not
+                  holes) — re-check every remaining atom and split. *)
+               Gauss.back_substitute subst assignment;
+               let env v =
+                 match Hashtbl.find_opt assignment v with
+                 | Some z -> z
+                 | None -> Zint.zero
+               in
+               let violated =
+                 List.find_opt (fun c -> not (Constr.holds env c)) cs
+               in
+               match violated with
+               | None -> Sat (List.map (fun v -> (v, env v)) all_vars)
+               | Some c when depth < max_ne_split_depth ->
+                 (match c.Constr.rel with
+                  | Constr.Ne0 ->
+                    stats.ne_splits <- stats.ne_splits + 1;
+                    (* e <> 0: try e <= -1, then e >= 1. *)
+                    let below =
+                      Constr.make (Linexpr.add_const Zint.one c.Constr.lhs) Constr.Le0
+                    in
+                    let above =
+                      Constr.make
+                        (Linexpr.add_const Zint.one (Linexpr.neg c.Constr.lhs))
+                        Constr.Le0
+                    in
+                    (match attempt (depth + 1) (below :: cs) with
+                     | Sat m -> Sat m
+                     | Unsat -> attempt (depth + 1) (above :: cs)
+                     | Unknown ->
+                       (match attempt (depth + 1) (above :: cs) with
+                        | Sat m -> Sat m
+                        | Unsat | Unknown -> Unknown))
+                  | Constr.Eq0 | Constr.Le0 | Constr.Lt0 ->
+                    (* A violated core atom after a successful solve is
+                       a solver bug; stay sound and give up. *)
+                    Unknown)
+               | Some _ -> Unknown
+             end
+         end)
+  in
+  let r = attempt 0 cs in
+  (match r with
+   | Sat model ->
+     if check_model cs model then stats.sat <- stats.sat + 1
+     else stats.unknown <- stats.unknown + 1
+   | Unsat -> stats.unsat <- stats.unsat + 1
+   | Unknown -> stats.unknown <- stats.unknown + 1);
+  match r with
+  | Sat model when not (check_model cs model) -> Unknown
+  | r -> r

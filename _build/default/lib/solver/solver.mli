@@ -1,0 +1,44 @@
+(** Front door of the linear integer constraint solver (the role
+    lp_solve plays in the paper, §3.3).
+
+    Decides satisfiability of a conjunction of {!Symbolic.Constr.t}
+    atoms over 32-bit-bounded integer variables and produces a model.
+    Pipeline: unit-pivot Gaussian elimination of equalities, interval
+    absorption of univariate inequalities (fast path), then rational
+    simplex with branch-and-bound for anything multivariate, with
+    case-splitting for disequalities. Every model returned is verified
+    against the input constraints before being handed back. *)
+
+type result =
+  | Sat of (Symbolic.Linexpr.var * Zarith_lite.Zint.t) list
+      (** Model covering every variable occurring in the input. *)
+  | Unsat
+  | Unknown (* resource limits hit; callers must treat conservatively *)
+
+type stats = {
+  mutable queries : int;
+  mutable sat : int;
+  mutable unsat : int;
+  mutable unknown : int;
+  mutable fast_path : int; (* queries discharged without simplex *)
+  mutable simplex_queries : int;
+  mutable ne_splits : int;
+}
+
+val create_stats : unit -> stats
+
+val solve :
+  ?stats:stats ->
+  ?prefer:(Symbolic.Linexpr.var -> Zarith_lite.Zint.t option) ->
+  ?use_simplex:bool ->
+  Symbolic.Constr.t list ->
+  result
+(** [solve cs] finds an integer model of the conjunction [cs].
+    [prefer] suggests values for under-constrained variables (the
+    directed search passes the previous run's inputs, matching the
+    paper's [IM + IM'] update). [use_simplex:false] disables the
+    simplex/branch-and-bound stage (ablation A2): multivariate systems
+    then come back [Unknown]. *)
+
+val check_model : Symbolic.Constr.t list -> (Symbolic.Linexpr.var * Zarith_lite.Zint.t) list -> bool
+(** [check_model cs model] verifies that [model] satisfies [cs]. *)

@@ -1,0 +1,1 @@
+lib/symbolic/constr.ml: Format Linexpr Minic Printf Zarith_lite Zint

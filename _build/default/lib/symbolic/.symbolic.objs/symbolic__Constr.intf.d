@@ -1,0 +1,1 @@
+lib/symbolic/constr.mli: Format Linexpr Minic Zarith_lite

@@ -1,0 +1,1 @@
+lib/symbolic/linexpr.ml: Format Fun List Printf Stdlib String Zarith_lite Zint

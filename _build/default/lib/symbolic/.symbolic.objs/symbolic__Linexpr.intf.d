@@ -1,0 +1,1 @@
+lib/symbolic/linexpr.mli: Format Zarith_lite

@@ -1,0 +1,1 @@
+lib/symbolic/symmem.ml: Hashtbl Linexpr

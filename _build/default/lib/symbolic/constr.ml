@@ -1,0 +1,53 @@
+open Zarith_lite
+
+type rel =
+  | Eq0
+  | Ne0
+  | Le0
+  | Lt0
+
+type t = { lhs : Linexpr.t; rel : rel }
+
+let make lhs rel = { lhs; rel }
+
+let of_comparison op a b =
+  match (op : Minic.Ast.binop) with
+  | Minic.Ast.Eq -> Some { lhs = Linexpr.sub a b; rel = Eq0 }
+  | Minic.Ast.Ne -> Some { lhs = Linexpr.sub a b; rel = Ne0 }
+  | Minic.Ast.Lt -> Some { lhs = Linexpr.sub a b; rel = Lt0 }
+  | Minic.Ast.Le -> Some { lhs = Linexpr.sub a b; rel = Le0 }
+  | Minic.Ast.Gt -> Some { lhs = Linexpr.sub b a; rel = Lt0 }
+  | Minic.Ast.Ge -> Some { lhs = Linexpr.sub b a; rel = Le0 }
+  | Minic.Ast.Add | Minic.Ast.Sub | Minic.Ast.Mul | Minic.Ast.Div | Minic.Ast.Mod
+  | Minic.Ast.Band | Minic.Ast.Bor | Minic.Ast.Bxor | Minic.Ast.Shl | Minic.Ast.Shr ->
+    None
+
+let truth e taken = { lhs = e; rel = (if taken then Ne0 else Eq0) }
+
+let negate c =
+  match c.rel with
+  | Eq0 -> { c with rel = Ne0 }
+  | Ne0 -> { c with rel = Eq0 }
+  | Le0 -> { lhs = Linexpr.neg c.lhs; rel = Lt0 } (* not (l <= 0)  <=>  -l < 0 *)
+  | Lt0 -> { lhs = Linexpr.neg c.lhs; rel = Le0 } (* not (l < 0)   <=>  -l <= 0 *)
+
+let holds env c =
+  let v = Linexpr.eval env c.lhs in
+  match c.rel with
+  | Eq0 -> Zint.is_zero v
+  | Ne0 -> not (Zint.is_zero v)
+  | Le0 -> Zint.sign v <= 0
+  | Lt0 -> Zint.sign v < 0
+
+let vars c = Linexpr.vars c.lhs
+
+let equal a b = a.rel = b.rel && Linexpr.equal a.lhs b.lhs
+
+let rel_to_string = function
+  | Eq0 -> "= 0"
+  | Ne0 -> "!= 0"
+  | Le0 -> "<= 0"
+  | Lt0 -> "< 0"
+
+let to_string c = Printf.sprintf "%s %s" (Linexpr.to_string c.lhs) (rel_to_string c.rel)
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -1,0 +1,35 @@
+(** Atomic linear constraints, normalized as [lhs REL 0].
+
+    These are the predicates DART collects into path constraints at
+    conditional statements (paper §2.1) and negates to force new
+    execution paths. *)
+
+type rel =
+  | Eq0 (* lhs =  0 *)
+  | Ne0 (* lhs <> 0 *)
+  | Le0 (* lhs <= 0 *)
+  | Lt0 (* lhs <  0 *)
+
+type t = { lhs : Linexpr.t; rel : rel }
+
+val make : Linexpr.t -> rel -> t
+
+val of_comparison : Minic.Ast.binop -> Linexpr.t -> Linexpr.t -> t option
+(** [of_comparison op a b] is the constraint [a op b] for a comparison
+    operator, [None] for non-comparison operators. *)
+
+val truth : Linexpr.t -> bool -> t
+(** The constraint for using a linear value as a condition: [e <> 0]
+    when [taken], [e = 0] otherwise. *)
+
+val negate : t -> t
+(** Logical negation; exact over the integers
+    (e.g. [not (l <= 0)] is [-l < 0]). *)
+
+val holds : (Linexpr.var -> Zarith_lite.Zint.t) -> t -> bool
+(** Evaluate under an assignment of variables. *)
+
+val vars : t -> Linexpr.var list
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

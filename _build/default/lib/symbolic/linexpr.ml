@@ -1,0 +1,86 @@
+open Zarith_lite
+
+type var = int
+
+(* Terms sorted by variable id, zero coefficients never stored. *)
+type t = { const : Zint.t; terms : (var * Zint.t) list }
+
+let const c = { const = c; terms = [] }
+let of_int n = const (Zint.of_int n)
+let zero = const Zint.zero
+let var x = { const = Zint.zero; terms = [ (x, Zint.one) ] }
+
+let is_const e = if e.terms = [] then Some e.const else None
+
+let as_var e =
+  match (Zint.is_zero e.const, e.terms) with
+  | true, [ (x, c) ] when Zint.is_one c -> Some x
+  | _ -> None
+
+(* Merge sorted term lists, combining coefficients with [sign] applied
+   to the right operand's. *)
+let rec merge_terms ~sign a b =
+  match (a, b) with
+  | [], rest -> List.filter_map (fun (x, c) -> let c = sign c in if Zint.is_zero c then None else Some (x, c)) rest
+  | rest, [] -> rest
+  | (xa, ca) :: ta, (xb, cb) :: tb ->
+    if xa < xb then (xa, ca) :: merge_terms ~sign ta b
+    else if xa > xb then (xb, sign cb) :: merge_terms ~sign a tb
+    else begin
+      let c = Zint.add ca (sign cb) in
+      if Zint.is_zero c then merge_terms ~sign ta tb else (xa, c) :: merge_terms ~sign ta tb
+    end
+
+let add a b =
+  { const = Zint.add a.const b.const; terms = merge_terms ~sign:Fun.id a.terms b.terms }
+
+let sub a b =
+  { const = Zint.sub a.const b.const; terms = merge_terms ~sign:Zint.neg a.terms b.terms }
+
+let neg e =
+  { const = Zint.neg e.const; terms = List.map (fun (x, c) -> (x, Zint.neg c)) e.terms }
+
+let scale k e =
+  if Zint.is_zero k then zero
+  else { const = Zint.mul k e.const; terms = List.map (fun (x, c) -> (x, Zint.mul k c)) e.terms }
+
+let add_const k e = { e with const = Zint.add k e.const }
+
+let constant_part e = e.const
+
+let coeff e x =
+  match List.assoc_opt x e.terms with
+  | Some c -> c
+  | None -> Zint.zero
+
+let terms e = e.terms
+let vars e = List.map fst e.terms
+
+let eval env e =
+  List.fold_left (fun acc (x, c) -> Zint.add acc (Zint.mul c (env x))) e.const e.terms
+
+let equal a b = Zint.equal a.const b.const && List.equal (fun (xa, ca) (xb, cb) -> xa = xb && Zint.equal ca cb) a.terms b.terms
+
+let compare a b =
+  let c = Zint.compare a.const b.const in
+  if c <> 0 then c
+  else
+    List.compare (fun (xa, ca) (xb, cb) ->
+        let c = Stdlib.compare xa xb in
+        if c <> 0 then c else Zint.compare ca cb)
+      a.terms b.terms
+
+let to_string e =
+  let term_str (x, c) =
+    if Zint.is_one c then Printf.sprintf "x%d" x
+    else if Zint.equal c Zint.minus_one then Printf.sprintf "-x%d" x
+    else Printf.sprintf "%s*x%d" (Zint.to_string c) x
+  in
+  match e.terms with
+  | [] -> Zint.to_string e.const
+  | ts ->
+    let body = String.concat " + " (List.map term_str ts) in
+    if Zint.is_zero e.const then body
+    else Printf.sprintf "%s + %s" body (Zint.to_string e.const)
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,40 @@
+(** Linear expressions [c0 + c1*x1 + ... + cn*xn] over symbolic input
+    variables, the fragment DART's directed search reasons about
+    (paper §2.3: "the theory of integer linear constraints").
+
+    Variables are input identifiers (allocation order of inputs during
+    a run). Coefficients are arbitrary-precision to survive solver
+    pivoting. *)
+
+type var = int
+
+type t
+
+val const : Zarith_lite.Zint.t -> t
+val of_int : int -> t
+val var : var -> t
+val zero : t
+
+val is_const : t -> Zarith_lite.Zint.t option
+(** [Some c] when the expression has no variables. *)
+
+val as_var : t -> var option
+(** [Some x] when the expression is exactly [1*x + 0]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Zarith_lite.Zint.t -> t -> t
+val add_const : Zarith_lite.Zint.t -> t -> t
+
+val constant_part : t -> Zarith_lite.Zint.t
+val coeff : t -> var -> Zarith_lite.Zint.t
+val terms : t -> (var * Zarith_lite.Zint.t) list
+(** Sorted by variable, zero coefficients omitted. *)
+
+val vars : t -> var list
+val eval : (var -> Zarith_lite.Zint.t) -> t -> Zarith_lite.Zint.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** 32-bit two's-complement machine words, the scalar type of the RAM
+    machine (paper §2.2: "memory addresses m to, say, 32-bit words").
+
+    Words are carried as native OCaml [int]s normalized to the signed
+    range [-2{^31}, 2{^31}); all arithmetic wraps around exactly as C
+    [int] arithmetic does on a 32-bit machine. *)
+
+type t = int
+
+val min_value : t
+val max_value : t
+
+val norm : int -> t
+(** Wrap an arbitrary native integer into the signed 32-bit range. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+val div : t -> t -> t
+(** C semantics: truncation toward zero.
+    @raise Division_by_zero on zero divisor. *)
+
+val rem : t -> t -> t
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val shift_left : t -> t -> t
+val shift_right : t -> t -> t
+(** Arithmetic right shift. Shift amounts are masked to 5 bits, as on
+    x86. *)
+
+val of_bool : bool -> t
+val to_bool : t -> bool
+(** C truthiness: non-zero is true. *)
+
+val to_zint : t -> Zarith_lite.Zint.t
+val of_zint_trunc : Zarith_lite.Zint.t -> t
+(** Truncate a bignum to 32 bits (two's complement), as a C cast
+    would. *)

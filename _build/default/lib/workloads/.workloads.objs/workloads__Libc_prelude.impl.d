@@ -1,0 +1,1 @@
+lib/workloads/libc_prelude.ml:

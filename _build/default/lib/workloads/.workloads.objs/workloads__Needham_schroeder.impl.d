@@ -1,0 +1,1 @@
+lib/workloads/needham_schroeder.ml: Printf

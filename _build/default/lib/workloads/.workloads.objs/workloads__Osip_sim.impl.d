@@ -1,0 +1,1 @@
+lib/workloads/osip_sim.ml: Buffer Dart_util List Printf

@@ -1,0 +1,1 @@
+lib/workloads/paper_examples.ml: Machine Minic

@@ -1,0 +1,1 @@
+lib/workloads/sip_parser.ml: Libc_prelude

@@ -1,0 +1,99 @@
+(** A small C standard library written in MiniC itself.
+
+    The paper notes that real C code calls a library function "every 10
+    lines or so"; these are the *program-function* versions (defined,
+    hence traced through by the symbolic execution) of the classics.
+    Workloads prepend {!source} and call them; DART tracks inputs
+    through them interprocedurally, e.g. a branch on [mc_strlen(s)]
+    constrains the characters of [s]. *)
+
+let source =
+  {|
+/* ---- MiniC prelude: string and memory helpers ---- */
+
+int mc_strlen(char *s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int mc_strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) {
+    i = i + 1;
+  }
+  return a[i] - b[i];
+}
+
+int mc_strncmp(char *a, char *b, int n) {
+  int i = 0;
+  while (i < n) {
+    if (a[i] != b[i]) return a[i] - b[i];
+    if (a[i] == 0) return 0;
+    i = i + 1;
+  }
+  return 0;
+}
+
+void mc_strcpy(char *dst, char *src) {
+  int i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+}
+
+void mc_memset(char *p, int value, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    p[i] = value;
+  }
+}
+
+void mc_memcpy(char *dst, char *src, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    dst[i] = src[i];
+  }
+}
+
+/* Find the first occurrence of c in s; -1 if absent. */
+int mc_strchr(char *s, int c) {
+  int i = 0;
+  while (s[i] != 0) {
+    if (s[i] == c) return i;
+    i = i + 1;
+  }
+  return -1;
+}
+
+/* Parse a non-negative decimal integer prefix; -1 on no digits. */
+int mc_atoi(char *s) {
+  int i = 0;
+  int acc = 0;
+  int any = 0;
+  while (s[i] >= '0' && s[i] <= '9') {
+    acc = acc * 10 + (s[i] - '0');
+    any = 1;
+    i = i + 1;
+  }
+  if (any == 0) return -1;
+  return acc;
+}
+
+int mc_isspace(int c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+int mc_isdigit(int c) { return c >= '0' && c <= '9'; }
+
+int mc_isalpha(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+|}
+
+(** Prepend the prelude to a workload source. *)
+let with_prelude body = source ^ "\n" ^ body

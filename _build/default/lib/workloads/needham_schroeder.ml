@@ -1,0 +1,244 @@
+(** A MiniC implementation of the Needham–Schroeder public-key
+    protocol (paper §4.2).
+
+    The program simulates the interleaved behaviour of initiator A and
+    responder B in a single process, driven by input messages; an
+    assertion fires whenever B completes a session apparently with A
+    while A never initiated a session with B — i.e. whenever Lowe's
+    man-in-the-middle attack has succeeded.
+
+    Modelling conventions (documented in DESIGN.md):
+    - agents are integers (A=1, B=2, intruder I=3); the public key of
+      agent [x] is [10 + x];
+    - an "encrypted" message is a tuple (type, d1, d2, d3) plus the key
+      it is encrypted under; decryption succeeds iff the receiver owns
+      the key — the standard Dolev–Yao black-box cipher;
+    - nonces are the constants Na=101, Nb=102.
+
+    Two environments:
+    - {!possibilistic}: the most general environment (paper Figure 9) —
+      every field of every delivered message is an unconstrained input,
+      so the "intruder" can guess secrets; DART finds the projection of
+      Lowe's attack (steps 2 and 6) at depth 2.
+    - {!dolev_yao}: a realistic intruder (paper Figure 10) acting as an
+      input filter: it can only decrypt messages for key Ki, compose
+      messages from nonces it has learned, and forward messages it has
+      seen. The full 4-step attack appears at depth 4.
+
+    Three fix levels reproduce §4.2's anecdote: [`None] (original
+    protocol), [`Buggy] (Lowe's fix implemented incompletely: B sends
+    its identity but A computes the check and forgets to enforce it),
+    and [`Correct]. *)
+
+type fix =
+  [ `None
+  | `Buggy
+  | `Correct
+  ]
+
+(* Shared protocol core: agents A and B, message emission, and the
+   attack assertion. The [a_check] hole receives the acceptance test A
+   runs on the responder identity field of message 2. *)
+let core ~(fix : fix) =
+  let b_identity = match fix with `None -> "0" | `Buggy | `Correct -> "2" in
+  let a_accept =
+    match fix with
+    | `None ->
+      (* Original protocol: no identity check at all. *)
+      {|
+      a_state = 2;
+      emit_msg(3, d2, 0, 0, 10 + a_peer);
+|}
+    | `Buggy ->
+      (* Lowe's fix, implemented incompletely: the check is computed
+         but the failure path forgets to bail out. *)
+      {|
+      int check_ok = 0;
+      if (d3 == a_peer) check_ok = 1;
+      /* BUG: missing "if (!check_ok) return;" */
+      a_state = 2;
+      emit_msg(3, d2, 0, 0, 10 + a_peer);
+|}
+    | `Correct ->
+      {|
+      if (d3 == a_peer) {
+        a_state = 2;
+        emit_msg(3, d2, 0, 0, 10 + a_peer);
+      }
+|}
+  in
+  Printf.sprintf
+    {|
+/* ---- protocol state ---- */
+int a_state = 0;           /* 0 idle, 1 waiting for msg2, 2 complete */
+int a_peer = 0;            /* whom A believes it talks to */
+int a_started_with_b = 0;  /* ground truth for the attack assertion */
+int b_state = 0;           /* 0 idle, 1 sent msg2, 2 complete */
+int b_peer = 0;            /* whom B believes it talks to */
+
+/* ---- the wire: every message any agent sends ---- */
+int out_count = 0;
+int out_type[16];
+int out_d1[16];
+int out_d2[16];
+int out_d3[16];
+int out_key[16];
+
+void emit_msg(int type, int d1, int d2, int d3, int key) {
+  if (out_count < 16) {
+    out_type[out_count] = type;
+    out_d1[out_count] = d1;
+    out_d2[out_count] = d2;
+    out_d3[out_count] = d3;
+    out_key[out_count] = key;
+    out_count = out_count + 1;
+  }
+}
+
+/* A starts a session with peer (2 = B, 3 = I):
+   sends msg1 = {Na, A} under the peer's key. */
+void a_start(int peer) {
+  if (a_state == 0) {
+    a_state = 1;
+    a_peer = peer;
+    if (peer == 2) a_started_with_b = 1;
+    emit_msg(1, 101, 1, 0, 10 + peer);
+  }
+}
+
+/* A receives a message encrypted under key. Only msg2 = {Na, Nb, id}
+   matters to A, and only if it is encrypted with A's key (11). */
+void a_receive(int type, int d1, int d2, int d3, int key) {
+  if (key != 11) return;   /* A cannot decrypt */
+  if (type != 2) return;
+  if (a_state == 1) {
+    if (d1 == 101) {       /* contains A's nonce: looks like a response */
+%s    }
+  }
+}
+
+/* B receives a message encrypted under its key (12). */
+void b_receive(int type, int d1, int d2, int d3, int key) {
+  if (key != 12) return;   /* B cannot decrypt */
+  if (type == 1) {
+    /* msg1 = {nonce, claimed-sender} */
+    if (b_state == 0) {
+      b_peer = d2;
+      b_state = 1;
+      /* msg2 = {nonce, Nb, B?} under the claimed sender's key */
+      emit_msg(2, d1, 102, %s, 10 + d2);
+    }
+  }
+  if (type == 3) {
+    /* msg3 = {Nb} */
+    if (b_state == 1) {
+      if (d1 == 102) {
+        b_state = 2;
+        /* B now believes it completed a session with b_peer. */
+        if (b_peer == 1) {
+          if (a_started_with_b == 0)
+            abort();   /* Lowe's attack: B authenticated a phantom A */
+        }
+      }
+    }
+  }
+}
+|}
+    a_accept b_identity
+
+(** The most general environment (Figure 9 setup): each protocol step
+    consumes one raw message whose every field is an input. *)
+let possibilistic ~fix =
+  core ~fix
+  ^ {|
+/* target 0: instruct A to start with agent d1 (only 2 or 3 are agents);
+   target 1: deliver (type,d1,d2,d3) under key to A;
+   target 2: same, to B. */
+void ns_step(int target, int type, int d1, int d2, int d3, int key) {
+  if (target == 0) {
+    if (d1 == 2 || d1 == 3) a_start(d1);
+  }
+  if (target == 1) a_receive(type, d1, d2, d3, key);
+  if (target == 2) b_receive(type, d1, d2, d3, key);
+}
+|}
+
+(** The Dolev–Yao intruder (Figure 10 setup), acting as an input
+    filter between the environment and the protocol entities. The
+    intruder observes every emitted message, learns nonces from
+    messages under its own key (13), and the environment can only
+    select legal intruder actions. *)
+let dolev_yao ~fix =
+  core ~fix
+  ^ {|
+/* ---- intruder state ---- */
+int known[8];          /* nonces the intruder knows */
+int known_count = 0;
+int obs_next = 0;      /* next wire message to observe */
+
+void learn(int nonce) {
+  int i;
+  int present = 0;
+  if (nonce < 100) return;  /* only nonces are worth learning */
+  for (i = 0; i < known_count; i++) {
+    if (known[i] == nonce) present = 1;
+  }
+  if (present == 0) {
+    if (known_count < 8) {
+      known[known_count] = nonce;
+      known_count = known_count + 1;
+    }
+  }
+}
+
+/* The intruder sees everything on the wire and decrypts what it can. */
+void intruder_observe() {
+  while (obs_next < out_count) {
+    if (out_key[obs_next] == 13) {
+      learn(out_d1[obs_next]);
+      learn(out_d2[obs_next]);
+    }
+    obs_next = obs_next + 1;
+  }
+}
+
+/* action 0: tell A to start a session with agent x (2 or 3)
+   action 1: compose msg1 {known[x], claimed y} to B (y in {1,3})
+   action 2: forward wire message x to its addressee
+   action 3: compose msg3 {known[x]} to B */
+void ns_dy_step(int action, int x, int y) {
+  intruder_observe();
+  if (action == 0) {
+    if (x == 2 || x == 3) a_start(x);
+  }
+  if (action == 1) {
+    int i;
+    for (i = 0; i < known_count; i++) {
+      if (i == x) {
+        if (y == 1 || y == 3) b_receive(1, known[i], y, 0, 12);
+      }
+    }
+  }
+  if (action == 2) {
+    int i;
+    for (i = 0; i < out_count; i++) {
+      if (i == x) {
+        if (out_key[i] == 11)
+          a_receive(out_type[i], out_d1[i], out_d2[i], out_d3[i], 11);
+        if (out_key[i] == 12)
+          b_receive(out_type[i], out_d1[i], out_d2[i], out_d3[i], 12);
+      }
+    }
+  }
+  if (action == 3) {
+    int i;
+    for (i = 0; i < known_count; i++) {
+      if (i == x) b_receive(3, known[i], 0, 0, 12);
+    }
+  }
+  intruder_observe();
+}
+|}
+
+let possibilistic_toplevel = "ns_step"
+let dolev_yao_toplevel = "ns_dy_step"

@@ -1,0 +1,336 @@
+(** The oSIP simulacrum (paper §4.3).
+
+    The paper's oSIP experiment is statistical: out of ~600 externally
+    visible library functions, DART crashed 65% within 1,000 runs each,
+    almost all by passing NULL for a pointer argument that some path
+    dereferences unguarded; a handful of functions check their
+    arguments consistently and survive. Since the original 30 kLoC C
+    library cannot be vendored here, this module *generates* a MiniC
+    library with the same API shape and defect distribution:
+
+    - SIP-flavoured data types (uris, headers as linked lists,
+      messages);
+    - a seeded mix of function patterns: plain getters/setters
+      (guarded or not), list walkers (the [while (h != NULL)] pattern
+      is inherently guarded; the [while (h->name != k)] pattern is
+      not), condition-gated dereferences that random testing rarely
+      reaches (equality against a 32-bit constant) but the directed
+      search reaches in a handful of runs, and wrappers that pass
+      unchecked pointers down to other generated functions;
+    - ground truth: the generator records, per function, whether a
+      NULL dereference is reachable by construction, so the experiment
+      can report DART's detection rate against truth.
+
+    The parser attack of §4.3 (alloca of an attacker-controlled size,
+    missing NULL check) is a separate hand-written program below. *)
+
+type pattern =
+  | Getter_unguarded
+  | Getter_guarded
+  | Setter_gated (* unguarded deref behind a value filter *)
+  | Walker_safe (* while (h != NULL) *)
+  | Walker_unsafe (* while (h->name != k) *)
+  | Deep_gated (* deref of m->from behind an equality filter on m->status *)
+  | Wrapper (* passes m->from (m unchecked) to a guarded helper *)
+  | Lenfield_unchecked (* trusts an attacker-controlled length field *)
+  | Lenfield_checked (* validates the length field first *)
+
+type gen_func = {
+  gf_name : string;
+  gf_toplevel : string; (* name to hand to DART as toplevel *)
+  gf_vulnerable : bool; (* ground truth: reachable NULL deref exists *)
+  gf_pattern : pattern;
+}
+
+let prelude =
+  {|
+struct osip_buf { char data[8]; int len; };
+struct osip_uri { int scheme; int user; int host; int port; };
+struct osip_header { int name; int value; struct osip_header *next; };
+struct osip_message {
+  int status;
+  struct osip_uri *from;
+  struct osip_uri *to;
+  struct osip_header *headers;
+  int content_length;
+};
+|}
+
+(* Each generated function gets a distinct "interesting constant" so
+   that gated patterns need directed search, not luck. *)
+let magic rng = Dart_util.Prng.int_range rng 1000 1_000_000
+
+let render_function rng idx pattern =
+  let n = idx in
+  let name, body, vulnerable =
+    match pattern with
+    | Getter_unguarded ->
+      let field = Dart_util.Prng.choose rng [ "status"; "content_length" ] in
+      ( Printf.sprintf "osip_message_get_%s_%d" field n,
+        Printf.sprintf
+          {|
+int osip_message_get_%s_%d(struct osip_message *m) {
+  return m->%s;
+}
+|}
+          field n field,
+        true )
+    | Getter_guarded ->
+      let field = Dart_util.Prng.choose rng [ "status"; "content_length" ] in
+      ( Printf.sprintf "osip_message_check_get_%s_%d" field n,
+        Printf.sprintf
+          {|
+int osip_message_check_get_%s_%d(struct osip_message *m) {
+  if (m == NULL) return -1;
+  return m->%s;
+}
+|}
+          field n field,
+        false )
+    | Setter_gated ->
+      let c = magic rng in
+      ( Printf.sprintf "osip_uri_set_port_%d" n,
+        Printf.sprintf
+          {|
+int osip_uri_set_port_%d(struct osip_uri *u, int port) {
+  if (port > 0) {
+    if (port < 65536) {
+      u->port = port;
+      return 0;
+    }
+  }
+  if (port == %d) {
+    u->scheme = 1;
+  }
+  return -1;
+}
+|}
+          n c,
+        true )
+    | Walker_safe ->
+      ( Printf.sprintf "osip_list_length_%d" n,
+        Printf.sprintf
+          {|
+int osip_list_length_%d(struct osip_header *h) {
+  int count = 0;
+  while (h != NULL) {
+    count = count + 1;
+    h = h->next;
+  }
+  return count;
+}
+|}
+          n,
+        false )
+    | Walker_unsafe ->
+      ( Printf.sprintf "osip_list_find_%d" n,
+        Printf.sprintf
+          {|
+int osip_list_find_%d(struct osip_header *h, int key) {
+  while (h->name != key) {
+    h = h->next;
+  }
+  return h->value;
+}
+|}
+          n,
+        true )
+    | Deep_gated ->
+      let c = magic rng in
+      ( Printf.sprintf "osip_message_route_%d" n,
+        Printf.sprintf
+          {|
+int osip_message_route_%d(struct osip_message *m) {
+  if (m == NULL) return -1;
+  if (m->status == %d) {
+    /* fast path added for status %d; from is not validated here */
+    return m->from->host;
+  }
+  return 0;
+}
+|}
+          n c c,
+        true )
+    | Lenfield_unchecked ->
+      ( Printf.sprintf "osip_buf_checksum_%d" n,
+        Printf.sprintf
+          {|
+int osip_buf_checksum_%d(struct osip_buf *b) {
+  int sum = 0;
+  int i;
+  if (b == NULL) return -1;
+  for (i = 0; i < b->len; i++) {
+    sum = sum + b->data[i];   /* len is never validated against the buffer */
+  }
+  return sum;
+}
+|}
+          n,
+        true )
+    | Lenfield_checked ->
+      ( Printf.sprintf "osip_buf_safe_checksum_%d" n,
+        Printf.sprintf
+          {|
+int osip_buf_safe_checksum_%d(struct osip_buf *b) {
+  int sum = 0;
+  int i;
+  if (b == NULL) return -1;
+  if (b->len < 0) return -1;
+  if (b->len > 8) return -1;
+  for (i = 0; i < b->len; i++) {
+    sum = sum + b->data[i];
+  }
+  return sum;
+}
+|}
+          n,
+        false )
+    | Wrapper ->
+      ( Printf.sprintf "osip_message_from_scheme_%d" n,
+        Printf.sprintf
+          {|
+int osip_uri_scheme_of_%d(struct osip_uri *u) {
+  if (u == NULL) return -1;
+  return u->scheme;
+}
+
+int osip_message_from_scheme_%d(struct osip_message *m) {
+  /* m itself is never checked */
+  if (m->status > 0)
+    return osip_uri_scheme_of_%d(m->from);
+  return -1;
+}
+|}
+          n n n,
+        true )
+  in
+  (name, body, vulnerable)
+
+(* The paper observed 65% of functions crashable. The pattern mix is
+   weighted to put the constructed vulnerable fraction in that
+   region. *)
+let pattern_mix =
+  [ (Getter_unguarded, 20);
+    (Getter_guarded, 18);
+    (Setter_gated, 11);
+    (Walker_safe, 13);
+    (Walker_unsafe, 11);
+    (Deep_gated, 10);
+    (Wrapper, 7);
+    (Lenfield_unchecked, 6);
+    (Lenfield_checked, 4) ]
+
+let pick_pattern rng =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 pattern_mix in
+  let r = Dart_util.Prng.int_below rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (p, w) :: rest -> if r < acc + w then p else go (acc + w) rest
+  in
+  go 0 pattern_mix
+
+(** Generate a library of [n] externally visible functions. Returns the
+    full source (one translation unit) and the per-function records. *)
+let generate ~seed ~n =
+  let rng = Dart_util.Prng.create seed in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf prelude;
+  let funcs = ref [] in
+  for idx = 0 to n - 1 do
+    let pattern = pick_pattern rng in
+    let name, body, vulnerable = render_function rng idx pattern in
+    Buffer.add_string buf body;
+    funcs :=
+      { gf_name = name; gf_toplevel = name; gf_vulnerable = vulnerable; gf_pattern = pattern }
+      :: !funcs
+  done;
+  (Buffer.contents buf, List.rev !funcs)
+
+(* ---- the parser attack (paper §4.3, the security vulnerability) ---- *)
+
+(** The vulnerable parser: [content_length] is attacker-controlled;
+    the copy buffer is [alloca]'d without checking for failure (the
+    cygwin behaviour the paper describes) and without validating the
+    length against the actual message, so either a NULL write (huge
+    length: alloca fails) or a buffer overflow (length smaller than
+    the message) follows. The driver builds the incoming message from
+    environment characters, as the paper's attack does from an ASCII
+    SIP packet. *)
+let parser_vulnerable =
+  {|
+char env_char();
+
+int osip_message_parse(char *buf, int content_length) {
+  char *copy;
+  int i;
+  int checksum = 0;
+  if (buf == NULL) return -1;
+  copy = (char *) alloca(content_length + 1);
+  /* BUG: alloca may have returned NULL (request too large) and
+     content_length may be smaller than the actual message. */
+  i = 0;
+  while (buf[i] != 0) {
+    copy[i] = buf[i];
+    i = i + 1;
+  }
+  copy[i] = 0;
+  i = 0;
+  while (copy[i] != 0) {
+    checksum = checksum + copy[i];
+    i = i + 1;
+  }
+  return checksum;
+}
+
+int parse_entry(int content_length) {
+  char buf[64];
+  int i;
+  for (i = 0; i < 63; i++) {
+    buf[i] = env_char();
+  }
+  buf[63] = 0;
+  return osip_message_parse(buf, content_length);
+}
+|}
+
+(** The fixed parser (as of oSIP 2.2.0 per the paper's note): the
+    length is validated and the allocation checked. *)
+let parser_fixed =
+  {|
+char env_char();
+
+int osip_message_parse(char *buf, int content_length) {
+  char *copy;
+  int i;
+  int checksum = 0;
+  if (buf == NULL) return -1;
+  if (content_length < 0) return -1;
+  if (content_length > 4096) return -1;
+  copy = (char *) alloca(content_length + 1);
+  if (copy == NULL) return -1;
+  i = 0;
+  while (buf[i] != 0 && i < content_length) {
+    copy[i] = buf[i];
+    i = i + 1;
+  }
+  copy[i] = 0;
+  i = 0;
+  while (copy[i] != 0) {
+    checksum = checksum + copy[i];
+    i = i + 1;
+  }
+  return checksum;
+}
+
+int parse_entry(int content_length) {
+  char buf[64];
+  int i;
+  for (i = 0; i < 63; i++) {
+    buf[i] = env_char();
+  }
+  buf[63] = 0;
+  return osip_message_parse(buf, content_length);
+}
+|}
+
+let parser_toplevel = "parse_entry"

@@ -1,0 +1,162 @@
+(** The example programs of the paper's Sections 1–2 and 4.1, verbatim
+    in MiniC. Each value is a pair of (source, toplevel function). *)
+
+(** §2.1: the introductory h/f example. DART guesses random x, y,
+    takes the then branch of the outer conditional, records
+    [2*x0 != x0 + 10], negates it, solves [x0 = 10] and aborts on the
+    second run. *)
+let section_2_1 =
+  ( {|
+int f(int x) { return 2 * x; }
+
+int h(int x, int y) {
+  if (x != y)
+    if (f(x) == x + 10)
+      abort();
+  return 0;
+}
+|},
+    "h" )
+
+(** §2.4: the worked example whose directed search terminates after
+    proving [x = y /\ y = x + 10] unsatisfiable. *)
+let section_2_4 =
+  ( {|
+int f(int x, int y) {
+  int z;
+  z = y;
+  if (x == z)
+    if (y == x + 10)
+      abort();
+  return 0;
+}
+|},
+    "f" )
+
+(** §2.5: dynamic data — the char-cast aliasing example static
+    analyses cannot decide. The write through the char-cast pointer
+    plus [sizeof(int)] lands on [a->c]; in our word-addressed machine
+    [sizeof(int)] is one cell, which is exactly the offset of [c]. *)
+let section_2_5_cast =
+  ( {|
+struct foo { int i; char c; };
+
+void bar(struct foo *a) {
+  if (a->c == 0) {
+    *((char *)a + sizeof(int)) = 1;
+    if (a->c != 0)
+      abort();
+  }
+}
+|},
+    "bar" )
+
+(** §2.5: the non-linear example. The condition [x*x*x > 0] is outside
+    the linear theory, so DART falls back on its concrete value (and
+    gives up completeness); the abort at the end of the then-branch is
+    still found with ~0.5 probability per random restart, while the
+    abort in the else-branch is unreachable and never reported. *)
+let section_2_5_foobar =
+  ( {|
+void foobar(int x, int y) {
+  if (x*x*x > 0) {
+    if (x > 0 && y == 10)
+      abort();       /* reachable */
+  } else {
+    if (x > 0 && y == 20)
+      abort();       /* unreachable: x>0 implies x*x*x>0 */
+  }
+}
+|},
+    "foobar" )
+
+(** §1: the input-filter motivation — random testing has a 2^-32
+    chance per run, the directed search needs exactly two runs. *)
+let eq_filter =
+  ( {|
+void check(int x) {
+  if (x == 10)
+    abort();
+}
+|},
+    "check" )
+
+(** Figure 6: the AC-controller. With depth 1 there is no reachable
+    abort; with depth 2 the input sequence (3, 0) violates the check
+    (hot room, closed door, AC off). *)
+let ac_controller =
+  ( {|
+/* initially, */
+int is_room_hot = 0;    /* room is not hot */
+int is_door_closed = 0; /* and door is open */
+int ac = 0;             /* so, ac is off */
+
+void ac_controller(int message) {
+  if (message == 0) is_room_hot = 1;
+  if (message == 1) is_room_hot = 0;
+  if (message == 2) {
+    is_door_closed = 0;
+    ac = 0;
+  }
+  if (message == 3) {
+    is_door_closed = 1;
+    if (is_room_hot) ac = 1;
+  }
+  /* check correctness */
+  if (is_room_hot && is_door_closed && !ac)
+    abort();
+}
+|},
+    "ac_controller" )
+
+(** A library-function example (paper §3.1): [lib_hash] is a black box
+    executed concretely; the branch on its output is not directable,
+    but the input-filtering branch before it is. Used by tests for the
+    Clibrary machinery. *)
+let library_example =
+  ( {|
+int lib_hash(int x);
+
+void lib_user(int x, int y) {
+  if (x > 100) {
+    if (lib_hash(x) == 7) {
+      if (y == 42)
+        abort();
+    }
+  }
+}
+|},
+    "lib_user" )
+
+let lib_hash_sig =
+  { Minic.Tast.sig_name = "lib_hash"; sig_ret = Minic.Ctype.Tint; sig_params = [ Minic.Ctype.Tint ] }
+
+(* A deterministic but opaque host implementation. *)
+let lib_hash_impl : Machine.library_impl =
+ fun _ args ->
+  match args with
+  | [ x ] -> (x * 31) land 0xFF
+  | _ -> invalid_arg "lib_hash"
+
+(** A recursive-data-structure example: the paper's random
+    initialization generates lists of unbounded size (§3.2). The bug
+    requires a list of length exactly 3 with specific payloads. *)
+let list_example =
+  ( {|
+struct cell { int value; struct cell *next; };
+
+int sum3(struct cell *l) {
+  int n = 0;
+  int sum = 0;
+  while (l != NULL) {
+    n = n + 1;
+    sum = sum + l->value;
+    l = l->next;
+  }
+  if (n == 3)
+    if (sum == 300)
+      abort();
+  return sum;
+}
+|},
+    "sum3" )

@@ -1,0 +1,93 @@
+(** A string-processing SIP request parser on top of the MiniC libc
+    prelude — the kind of input-filtering code the paper argues
+    directed search shines on (§4.1: "a directed search can learn
+    through trial and error how to generate inputs that satisfy
+    filtering tests").
+
+    The parser only misbehaves on messages that begin with a valid
+    method token ("INVITE "), continue with a decimal dialog id, and
+    use an id outside the dialog table — so the search must *construct
+    the packet character by character* by flipping the comparison
+    branches inside [mc_strncmp] and [mc_atoi]. Random testing needs
+    one chance in 256^7 just to get past the method check. *)
+
+let vulnerable =
+  Libc_prelude.with_prelude
+    {|
+char env_char();
+
+int dialogs[8];
+
+/* Method codes, or -1 for an unknown method. */
+int parse_method(char *line) {
+  if (mc_strncmp(line, "INVITE ", 7) == 0) return 1;
+  if (mc_strncmp(line, "ACK ", 4) == 0) return 2;
+  if (mc_strncmp(line, "BYE ", 4) == 0) return 3;
+  return -1;
+}
+
+int sip_handle(char *msg) {
+  int method = parse_method(msg);
+  if (method == -1) return -1;
+  if (method == 1) {
+    /* INVITE <dialog-id>: register the dialog. */
+    int skip = mc_strchr(msg, ' ');
+    int id = mc_atoi(msg + skip + 1);
+    if (id < 0) return -1;
+    dialogs[id] = 1;   /* BUG: id is attacker-controlled, no bound check */
+    return id;
+  }
+  return 0;
+}
+
+int sip_entry() {
+  char buf[12];
+  int i;
+  for (i = 0; i < 11; i++) {
+    buf[i] = env_char();
+  }
+  buf[11] = 0;
+  return sip_handle(buf);
+}
+|}
+
+let fixed =
+  Libc_prelude.with_prelude
+    {|
+char env_char();
+
+int dialogs[8];
+
+int parse_method(char *line) {
+  if (mc_strncmp(line, "INVITE ", 7) == 0) return 1;
+  if (mc_strncmp(line, "ACK ", 4) == 0) return 2;
+  if (mc_strncmp(line, "BYE ", 4) == 0) return 3;
+  return -1;
+}
+
+int sip_handle(char *msg) {
+  int method = parse_method(msg);
+  if (method == -1) return -1;
+  if (method == 1) {
+    int skip = mc_strchr(msg, ' ');
+    int id = mc_atoi(msg + skip + 1);
+    if (id < 0) return -1;
+    if (id >= 8) return -1;   /* the fix */
+    dialogs[id] = 1;
+    return id;
+  }
+  return 0;
+}
+
+int sip_entry() {
+  char buf[12];
+  int i;
+  for (i = 0; i < 11; i++) {
+    buf[i] = env_char();
+  }
+  buf[11] = 0;
+  return sip_handle(buf);
+}
+|}
+
+let toplevel = "sip_entry"

@@ -1,0 +1,1 @@
+lib/zarith_lite/qnum.mli: Format Zint

@@ -1,0 +1,1 @@
+lib/zarith_lite/zint.ml: Array Buffer Char Format List Printf Stdlib String

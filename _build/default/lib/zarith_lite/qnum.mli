@@ -1,0 +1,47 @@
+(** Exact rational numbers over {!Zint}.
+
+    Values are kept in canonical form: the denominator is positive and
+    the numerator and denominator are coprime. Used by the simplex
+    solver, where pivoting must be exact. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Zint.t -> Zint.t -> t
+(** [make num den] is the rational [num/den] in canonical form.
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_zint : Zint.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+
+val num : t -> Zint.t
+val den : t -> Zint.t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+
+val sign : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+val floor : t -> Zint.t
+val ceil : t -> Zint.t
+
+val to_zint : t -> Zint.t
+(** @raise Failure if the value is not an integer. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(** Arbitrary-precision signed integers.
+
+    A small, dependency-free bignum implementation used by the linear
+    constraint solver, where intermediate simplex coefficients can
+    exceed the native integer range. Values are immutable. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** [to_int z] is the native integer equal to [z].
+    @raise Failure if [z] does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+val fits_int : t -> bool
+
+val of_string : string -> t
+(** Parses an optional sign followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val div_rem : t -> t -> t * t
+(** Truncated division: [div_rem a b = (q, r)] with [a = q*b + r],
+    [|r| < |b|] and [r] having the sign of [a].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val fdiv : t -> t -> t
+(** Floor division: rounds toward negative infinity. *)
+
+val cdiv : t -> t -> t
+(** Ceiling division: rounds toward positive infinity. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative. [gcd zero zero = zero]. *)
+
+val lcm : t -> t -> t
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val sign : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_one : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+val pow : t -> int -> t
+(** [pow b n] is [b] raised to the non-negative power [n].
+    @raise Invalid_argument if [n < 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_concolic.ml: Alcotest Array Constr Dart Dart_util List Machine Minic Option Str_contains Symbolic Workloads

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Dart Dart_util List Machine Minic Printf Str_contains String Workloads

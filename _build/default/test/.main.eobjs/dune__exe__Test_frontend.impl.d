@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Ctype Dart Lexer List Loc Minic Parser Pretty Ram Str_contains Tast Token Typecheck Workloads

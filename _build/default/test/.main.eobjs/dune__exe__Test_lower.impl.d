@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Ast List Loc Minic Ram Str_contains

@@ -1,0 +1,1 @@
+test/test_progen.ml: Alcotest Array Dart Dart_util Hashtbl List Machine Minic Printexc Printf Progen Ram

@@ -1,0 +1,1 @@
+test/test_qnum.ml: Alcotest QCheck2 QCheck_alcotest Qnum Zarith_lite Zint

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Constr Dart_util Linexpr List QCheck2 QCheck_alcotest Solver Symbolic Zarith_lite Zint

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Array Constr Linexpr List Minic Option QCheck2 QCheck_alcotest Symbolic Symmem Zarith_lite Zint

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dart_util Int32 Prng QCheck2 QCheck_alcotest Word32 Zarith_lite Zint

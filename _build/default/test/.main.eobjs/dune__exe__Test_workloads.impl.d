@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Char Dart List Machine Minic Option Ram String Workloads

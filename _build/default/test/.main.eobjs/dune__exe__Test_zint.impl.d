@@ -1,0 +1,1 @@
+test/test_zint.ml: Alcotest QCheck2 QCheck_alcotest Zarith_lite Zint

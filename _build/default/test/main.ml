@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "dart"
+    [ ("zint", Test_zint.suite);
+      ("qnum", Test_qnum.suite);
+      ("util", Test_util.suite);
+      ("frontend", Test_frontend.suite);
+      ("lower", Test_lower.suite);
+      ("machine", Test_machine.suite);
+      ("symbolic", Test_symbolic.suite);
+      ("solver", Test_solver.suite);
+      ("concolic", Test_concolic.suite);
+      ("driver", Test_driver.suite);
+      ("workloads", Test_workloads.suite);
+      ("progen", Test_progen.suite) ]

@@ -1,0 +1,9 @@
+(* Tiny substring-search helper for tests. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec at i = if i + nn > nh then false else String.sub haystack i nn = needle || at (i + 1) in
+    at 0
+  end

@@ -1,0 +1,293 @@
+(* The concolic executor: symbolic tracking across assignments, calls
+   and returns; path constraints; prediction checking; completeness
+   flags; random initialization of every C type. *)
+
+open Symbolic
+
+let run_first src ~toplevel ?(opts = Dart.Concolic.default_exec_options) ?(seed = 42) () =
+  let ast = Minic.Parser.parse_program src in
+  let prog = Dart.Driver.prepare ~toplevel ~depth:1 ast in
+  let rng = Dart_util.Prng.create seed in
+  let im = Dart.Inputs.create () in
+  let data =
+    Dart.Concolic.run_once ~opts ~rng ~im ~prev_stack:[||]
+      ~entry:Dart.Driver_gen.wrapper_name prog
+  in
+  (data, im)
+
+let constraint_strings (data : Dart.Concolic.run_data) =
+  Array.to_list data.Dart.Concolic.path_constraint
+  |> List.filter_map (Option.map Constr.to_string)
+
+let test_pc_stack_parallel () =
+  let data, _ = run_first "void f(int x) { if (x == 3) { } if (x > 5) { } }" ~toplevel:"f" () in
+  Alcotest.(check int) "stack length = pc length"
+    (Array.length data.Dart.Concolic.stack)
+    (Array.length data.Dart.Concolic.path_constraint);
+  Alcotest.(check int) "k matches" data.Dart.Concolic.conditionals
+    (Array.length data.Dart.Concolic.stack)
+
+let test_symbolic_conditions_collected () =
+  let data, _ = run_first "void f(int x) { if (x == 3) { } }" ~toplevel:"f" () in
+  (* Among the conditionals (driver loop + program), exactly one has a
+     symbolic constraint: x == 3 (or its negation). *)
+  Alcotest.(check int) "one symbolic constraint" 1 (List.length (constraint_strings data))
+
+let test_interprocedural_tracking () =
+  (* The f(x) == x+10 pattern from §2.1: the constraint must mention
+     2*x, i.e. symbolic values flow through the call and the return. *)
+  let data, _ =
+    run_first "int dbl(int x) { return 2 * x; } void f(int x) { if (dbl(x) == x + 10) { } }"
+      ~toplevel:"f" ()
+  in
+  match constraint_strings data with
+  | [ s ] ->
+    (* The normalized constraint is (2x) - (x+10) rel 0 = x - 10 rel 0. *)
+    Alcotest.(check bool) ("mentions x: " ^ s) true (Str_contains.contains s "x")
+  | l -> Alcotest.failf "expected one constraint, got %d" (List.length l)
+
+let test_nonlinear_fallback () =
+  let data, _ = run_first "void f(int x, int y) { if (x * y == 12) { } }" ~toplevel:"f" () in
+  Alcotest.(check bool) "all_linear cleared" false data.Dart.Concolic.all_linear;
+  Alcotest.(check int) "no constraint for nonlinear branch" 0
+    (List.length (constraint_strings data))
+
+let test_linear_multiplication_kept () =
+  let data, _ = run_first "void f(int x) { if (3 * x == 12) { } }" ~toplevel:"f" () in
+  Alcotest.(check bool) "const*x stays linear" true data.Dart.Concolic.all_linear;
+  Alcotest.(check int) "constraint collected" 1 (List.length (constraint_strings data))
+
+let test_division_fallback () =
+  let data, _ = run_first "void f(int x) { if (x / 2 == 3) { } }" ~toplevel:"f" () in
+  Alcotest.(check bool) "division clears all_linear" false data.Dart.Concolic.all_linear
+
+let test_shift_linear () =
+  let data, _ = run_first "void f(int x) { if (x << 2 == 12) { } }" ~toplevel:"f" () in
+  Alcotest.(check bool) "x << const stays linear" true data.Dart.Concolic.all_linear;
+  Alcotest.(check int) "constraint collected" 1 (List.length (constraint_strings data))
+
+let test_bitnot_linear () =
+  let data, _ = run_first "void f(int x) { if (~x == -4) { } }" ~toplevel:"f" () in
+  Alcotest.(check bool) "bitnot stays linear" true data.Dart.Concolic.all_linear;
+  Alcotest.(check int) "constraint collected" 1 (List.length (constraint_strings data))
+
+let test_symbolic_deref_fallback () =
+  (* Dereference through an input-dependent address: all_locs_definite
+     is cleared (paper Figure 1). The guarded index needs the directed
+     search to be reached, so run the full driver and inspect the
+     aggregated flags. *)
+  let report =
+    Dart.Driver.test_source
+      ~options:{ Dart.Driver.default_options with max_runs = 50 }
+      ~toplevel:"f"
+      "int g[10]; void f(int i) { if (i >= 0) { if (i < 10) { int v = g[i]; } } }"
+  in
+  Alcotest.(check bool) "all_locs_definite cleared" false report.Dart.Driver.all_locs_definite
+
+let test_pointer_coin_flag () =
+  let data, _ =
+    run_first "struct s { int a; }; void f(struct s *p) { }" ~toplevel:"f" ()
+  in
+  Alcotest.(check bool) "pointer input voids completeness" false
+    data.Dart.Concolic.all_locs_definite;
+  let data, _ = run_first "void f(int x) { }" ~toplevel:"f" () in
+  Alcotest.(check bool) "scalar-only program keeps it" true
+    data.Dart.Concolic.all_locs_definite
+
+let test_self_referential_store () =
+  (* h = h->next must evaluate its source against pre-store memory; a
+     regression here crashes immediately (this was a real bug found
+     during bring-up). *)
+  let src =
+    {|
+struct cell { int v; struct cell *next; };
+int len(struct cell *h) {
+  int n = 0;
+  while (h != NULL) { n = n + 1; h = h->next; }
+  return n;
+}
+|}
+  in
+  for seed = 0 to 30 do
+    let data, _ = run_first src ~toplevel:"len" ~seed () in
+    match data.Dart.Concolic.outcome with
+    | Dart.Concolic.Run_fault (f, _) ->
+      Alcotest.failf "walker crashed (seed %d): %s" seed (Machine.fault_to_string f)
+    | Dart.Concolic.Run_halted | Dart.Concolic.Run_prediction_failure -> ()
+  done
+
+let test_library_clears_linear () =
+  let src = "int lib_hash(int x);\nvoid f(int x) { if (lib_hash(x) == 7) { } }" in
+  let ast = Minic.Parser.parse_program src in
+  let prog =
+    Dart.Driver.prepare ~library_sigs:[ Workloads.Paper_examples.lib_hash_sig ] ~toplevel:"f"
+      ~depth:1 ast
+  in
+  let opts =
+    { Dart.Concolic.default_exec_options with
+      library = [ ("lib_hash", Workloads.Paper_examples.lib_hash_impl) ] }
+  in
+  let data =
+    Dart.Concolic.run_once ~opts ~rng:(Dart_util.Prng.create 1) ~im:(Dart.Inputs.create ())
+      ~prev_stack:[||] ~entry:Dart.Driver_gen.wrapper_name prog
+  in
+  Alcotest.(check bool) "library on symbolic arg clears all_linear" false
+    data.Dart.Concolic.all_linear
+
+let test_inputs_persist_and_replay () =
+  (* Same IM => same path: stack of run 2 must equal stack of run 1
+     when predictions are passed back. *)
+  let src = "void f(int x) { if (x > 100) { if (x > 1000) { } } }" in
+  let ast = Minic.Parser.parse_program src in
+  let prog = Dart.Driver.prepare ~toplevel:"f" ~depth:1 ast in
+  let rng = Dart_util.Prng.create 9 in
+  let im = Dart.Inputs.create () in
+  let opts = Dart.Concolic.default_exec_options in
+  let entry = Dart.Driver_gen.wrapper_name in
+  let d1 = Dart.Concolic.run_once ~opts ~rng ~im ~prev_stack:[||] ~entry prog in
+  (* Replay with the full stack as prediction: all must match. *)
+  let d2 = Dart.Concolic.run_once ~opts ~rng ~im ~prev_stack:d1.Dart.Concolic.stack ~entry prog in
+  Alcotest.(check bool) "no prediction failure" true
+    (d2.Dart.Concolic.outcome <> Dart.Concolic.Run_prediction_failure);
+  Alcotest.(check int) "same number of conditionals" d1.Dart.Concolic.conditionals
+    d2.Dart.Concolic.conditionals
+
+let test_prediction_failure_detected () =
+  (* Forge a wrong prediction: flip the branch without changing inputs. *)
+  let src = "void f(int x) { if (x > 100) { } }" in
+  let ast = Minic.Parser.parse_program src in
+  let prog = Dart.Driver.prepare ~toplevel:"f" ~depth:1 ast in
+  let rng = Dart_util.Prng.create 9 in
+  let im = Dart.Inputs.create () in
+  let opts = Dart.Concolic.default_exec_options in
+  let entry = Dart.Driver_gen.wrapper_name in
+  let d1 = Dart.Concolic.run_once ~opts ~rng ~im ~prev_stack:[||] ~entry prog in
+  let forged =
+    Array.map
+      (fun (r : Dart.Concolic.branch_record) ->
+        { r with Dart.Concolic.br_branch = not r.Dart.Concolic.br_branch })
+      d1.Dart.Concolic.stack
+  in
+  let d2 = Dart.Concolic.run_once ~opts ~rng ~im ~prev_stack:forged ~entry prog in
+  Alcotest.(check bool) "prediction failure" true
+    (d2.Dart.Concolic.outcome = Dart.Concolic.Run_prediction_failure)
+
+let test_randinit_types () =
+  (* Structs, nested arrays, chars and pointers all get initialized:
+     the program reads every field and must not hit uninitialized
+     memory. *)
+  let src =
+    {|
+struct inner { char tag; int data[3]; };
+struct outer { int id; struct inner in; struct outer *next; };
+int consume(struct outer *o) {
+  int acc = 0;
+  while (o != NULL) {
+    acc = acc + o->id + o->in.tag + o->in.data[0] + o->in.data[1] + o->in.data[2];
+    o = o->next;
+  }
+  return acc;
+}
+|}
+  in
+  for seed = 0 to 30 do
+    let data, _ = run_first src ~toplevel:"consume" ~seed () in
+    match data.Dart.Concolic.outcome with
+    | Dart.Concolic.Run_fault (f, _) ->
+      Alcotest.failf "randinit left a hole (seed %d): %s" seed (Machine.fault_to_string f)
+    | Dart.Concolic.Run_halted | Dart.Concolic.Run_prediction_failure -> ()
+  done
+
+let test_char_inputs_in_range () =
+  let _, im = run_first "char env_char(); void f(int n) { char c = env_char(); }" ~toplevel:"f" () in
+  List.iter
+    (fun (id, v) ->
+      match Dart.Inputs.kind_of im id with
+      | Some Dart.Inputs.Kchar ->
+        if v < 0 || v > 255 then Alcotest.failf "char input out of range: %d" v
+      | Some Dart.Inputs.Kcoin ->
+        if v <> 0 && v <> 1 then Alcotest.failf "coin out of range: %d" v
+      | Some Dart.Inputs.Kint | None -> ())
+    (Dart.Inputs.to_alist im)
+
+let test_symbolic_pointers_extension () =
+  (* With the extension on, the NULL/non-NULL coin becomes a stack
+     entry with a constraint the search can flip. *)
+  let opts = { Dart.Concolic.default_exec_options with symbolic_pointers = true } in
+  let data, _ =
+    run_first "struct s { int a; }; void f(struct s *p) { }" ~toplevel:"f" ~opts ()
+  in
+  Alcotest.(check bool) "coin branch recorded" true
+    (List.length (constraint_strings data) >= 1)
+
+let test_external_pointer_function () =
+  (* An external function returning a pointer: Figure 8's rules build a
+     NULL or a fresh recursively-initialized object at call time. *)
+  let src = {|
+struct node { int v; struct node *next; };
+struct node *get_node();
+int use(int k) {
+  struct node *n = get_node();
+  int sum = 0;
+  while (n != NULL) {
+    sum = sum + n->v;
+    n = n->next;
+  }
+  return sum;
+}
+|} in
+  for seed = 0 to 20 do
+    let data, _ = run_first src ~toplevel:"use" ~seed () in
+    match data.Dart.Concolic.outcome with
+    | Dart.Concolic.Run_fault (f, _) ->
+      Alcotest.failf "external pointer init broke (seed %d): %s" seed
+        (Machine.fault_to_string f)
+    | Dart.Concolic.Run_halted | Dart.Concolic.Run_prediction_failure -> ()
+  done
+
+let test_depth_input_ordering () =
+  (* With depth 2, the second call's argument is a distinct input. *)
+  let src = "void f(int x) { if (x == 5) { } }" in
+  let ast = Minic.Parser.parse_program src in
+  let prog = Dart.Driver.prepare ~toplevel:"f" ~depth:2 ast in
+  let im = Dart.Inputs.create () in
+  let data =
+    Dart.Concolic.run_once ~opts:Dart.Concolic.default_exec_options
+      ~rng:(Dart_util.Prng.create 3) ~im ~prev_stack:[||]
+      ~entry:Dart.Driver_gen.wrapper_name prog
+  in
+  ignore data;
+  Alcotest.(check int) "two inputs consumed" 2 (List.length (Dart.Inputs.to_alist im))
+
+let test_external_variables_initialized () =
+  let data, _ =
+    run_first "extern int config; void f(int x) { if (config == 5) { } }" ~toplevel:"f" ()
+  in
+  (match data.Dart.Concolic.outcome with
+   | Dart.Concolic.Run_fault (f, _) ->
+     Alcotest.failf "extern read faulted: %s" (Machine.fault_to_string f)
+   | _ -> ());
+  (* config is an input: the branch on it must carry a constraint. *)
+  Alcotest.(check int) "constraint on extern var" 1 (List.length (constraint_strings data))
+
+let suite =
+  [ Alcotest.test_case "pc/stack parallel" `Quick test_pc_stack_parallel;
+    Alcotest.test_case "symbolic conditions" `Quick test_symbolic_conditions_collected;
+    Alcotest.test_case "interprocedural tracking" `Quick test_interprocedural_tracking;
+    Alcotest.test_case "nonlinear fallback" `Quick test_nonlinear_fallback;
+    Alcotest.test_case "const multiplication linear" `Quick test_linear_multiplication_kept;
+    Alcotest.test_case "division fallback" `Quick test_division_fallback;
+    Alcotest.test_case "shift by const linear" `Quick test_shift_linear;
+    Alcotest.test_case "bitnot linear" `Quick test_bitnot_linear;
+    Alcotest.test_case "symbolic deref fallback" `Quick test_symbolic_deref_fallback;
+    Alcotest.test_case "pointer coin flag" `Quick test_pointer_coin_flag;
+    Alcotest.test_case "self-referential store" `Quick test_self_referential_store;
+    Alcotest.test_case "library clears all_linear" `Quick test_library_clears_linear;
+    Alcotest.test_case "replay stability" `Quick test_inputs_persist_and_replay;
+    Alcotest.test_case "prediction failure" `Quick test_prediction_failure_detected;
+    Alcotest.test_case "randinit covers all types" `Quick test_randinit_types;
+    Alcotest.test_case "input ranges by kind" `Quick test_char_inputs_in_range;
+    Alcotest.test_case "symbolic pointers extension" `Quick test_symbolic_pointers_extension;
+    Alcotest.test_case "external pointer function" `Quick test_external_pointer_function;
+    Alcotest.test_case "depth input ordering" `Quick test_depth_input_ordering;
+    Alcotest.test_case "external variables" `Quick test_external_variables_initialized ]

@@ -1,0 +1,165 @@
+(* Lowering to the RAM machine: shapes of emitted code, short-circuit
+   expansion, assert/assume desugaring, frame layout. *)
+
+open Minic
+
+let lower src = Ram.Lower.lower_source src
+
+let func prog name =
+  match Ram.Instr.find_func prog name with
+  | Some f -> f
+  | None -> Alcotest.failf "no function %s" name
+
+let count_instr f pred = Array.to_list f.Ram.Instr.code |> List.filter pred |> List.length
+
+let is_if = function Ram.Instr.Iif _ -> true | _ -> false
+let is_abort = function Ram.Instr.Iabort -> true | _ -> false
+let is_halt = function Ram.Instr.Ihalt -> true | _ -> false
+let is_call = function Ram.Instr.Icall _ -> true | _ -> false
+
+let test_simple_function () =
+  let prog = lower "int f(int x) { return x + 1; }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "params" 1 f.Ram.Instr.nparams;
+  (match f.Ram.Instr.code with
+   | [| Ram.Instr.Ireturn (Some _); Ram.Instr.Ireturn None |] -> ()
+   | _ -> Alcotest.failf "unexpected code:\n%s" (Ram.Instr.func_to_string f))
+
+let test_if_lowering () =
+  let prog = lower "int f(int x) { if (x > 0) return 1; return 0; }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "one conditional" 1 (count_instr f is_if)
+
+let test_short_circuit_expansion () =
+  (* Each atomic condition becomes its own RAM conditional, so DART can
+     direct them independently (crucial: this is how CIL lowers C). *)
+  let prog = lower "int f(int a, int b, int c) { if (a > 0 && b > 0 && c > 0) return 1; return 0; }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "three conditionals" 3 (count_instr f is_if);
+  let prog = lower "int f(int a, int b) { if (a > 0 || b > 0) return 1; return 0; }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "two conditionals" 2 (count_instr f is_if)
+
+let test_assert_lowering () =
+  let prog = lower "void f(int x) { assert(x > 0); }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "assert has branch" 1 (count_instr f is_if);
+  Alcotest.(check int) "assert has abort" 1 (count_instr f is_abort)
+
+let test_assume_lowering () =
+  let prog = lower "void f(int x) { assume(x > 0); }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "assume has branch" 1 (count_instr f is_if);
+  Alcotest.(check int) "assume has halt" 1 (count_instr f is_halt);
+  Alcotest.(check int) "assume has no abort" 0 (count_instr f is_abort)
+
+let test_abort_lowering () =
+  let prog = lower "void f() { abort(); }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "abort instr" 1 (count_instr f is_abort);
+  Alcotest.(check int) "no call" 0 (count_instr f is_call)
+
+let test_call_flattening () =
+  (* Nested calls become sequenced Icall instructions with temps. *)
+  let prog = lower "int g(int x) { return x; } int f(int x) { return g(g(x)); }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "two calls" 2 (count_instr f is_call)
+
+let test_loop_shape () =
+  let prog = lower "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }" in
+  let f = func prog "f" in
+  Alcotest.(check int) "loop conditional" 1 (count_instr f is_if);
+  let gotos = count_instr f (function Ram.Instr.Igoto _ -> true | _ -> false) in
+  Alcotest.(check bool) "back edge present" true (gotos >= 1)
+
+let test_field_offsets_in_code () =
+  let prog =
+    lower "struct s { int a; int b; int c; }; int f(struct s *p) { return p->c; }"
+  in
+  let f = func prog "f" in
+  (* p->c is Load (p + 2). *)
+  (match f.Ram.Instr.code.(0) with
+   | Ram.Instr.Ireturn
+       (Some (Ram.Instr.Load (Ram.Instr.Binop (Ast.Add, _, Ram.Instr.Const 2)))) ->
+     ()
+   | i -> Alcotest.failf "unexpected instr %s" (Ram.Instr.instr_to_string i))
+
+let test_array_scaling () =
+  let prog =
+    lower "struct s { int a; int b; }; int f(struct s *p, int i) { return p[i].b; }"
+  in
+  let f = func prog "f" in
+  let str = Ram.Instr.func_to_string f in
+  (* The element size 2 must appear as a multiplication. *)
+  Alcotest.(check bool) "scale by 2" true (Str_contains.contains str "* 2")
+
+let test_string_interning () =
+  let prog = lower {|char *f() { return "abc"; } char *g() { return "abc"; } char *h() { return "xyz"; }|} in
+  Alcotest.(check int) "two distinct strings" 2 (Array.length prog.Ram.Instr.strings)
+
+let test_frame_layout () =
+  let prog = lower "int f(int a, int b) { int c[3]; int d; c[0] = a; d = b; return d; }" in
+  let f = func prog "f" in
+  (* params at 0,1; c at 2..4; d at 5; temps beyond. *)
+  Alcotest.(check (list int)) "param offsets" [ 0; 1 ]
+    (Array.to_list f.Ram.Instr.param_offsets);
+  Alcotest.(check bool) "frame covers locals" true (f.Ram.Instr.frame_size >= 6)
+
+let test_break_continue_targets () =
+  let prog =
+    lower
+      {|
+int f(int n) {
+  int s = 0;
+  while (n > 0) {
+    n = n - 1;
+    if (n == 5) continue;
+    if (n == 2) break;
+    s = s + 1;
+  }
+  return s;
+}
+|}
+  in
+  (* Executing semantics are checked in machine tests; here we just
+     require that lowering resolved every label in range. *)
+  let f = func prog "f" in
+  Array.iter
+    (fun i ->
+      match i with
+      | Ram.Instr.Igoto l | Ram.Instr.Iif (_, l) ->
+        if l < 0 || l > Array.length f.Ram.Instr.code then
+          Alcotest.failf "label out of range: %d" l
+      | _ -> ())
+    f.Ram.Instr.code
+
+let test_locs_attached () =
+  let prog = lower "int f(int x) {\n  if (x > 0)\n    abort();\n  return 0;\n}" in
+  let f = func prog "f" in
+  Alcotest.(check int) "locs parallel to code" (Array.length f.Ram.Instr.code)
+    (Array.length f.Ram.Instr.locs);
+  (* The conditional came from line 2. *)
+  let found = ref false in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Ram.Instr.Iif _ -> if f.Ram.Instr.locs.(i).Loc.line = 2 then found := true
+      | _ -> ())
+    f.Ram.Instr.code;
+  Alcotest.(check bool) "if on line 2" true !found
+
+let suite =
+  [ Alcotest.test_case "simple function" `Quick test_simple_function;
+    Alcotest.test_case "if lowering" `Quick test_if_lowering;
+    Alcotest.test_case "short-circuit expansion" `Quick test_short_circuit_expansion;
+    Alcotest.test_case "assert lowering" `Quick test_assert_lowering;
+    Alcotest.test_case "assume lowering" `Quick test_assume_lowering;
+    Alcotest.test_case "abort lowering" `Quick test_abort_lowering;
+    Alcotest.test_case "call flattening" `Quick test_call_flattening;
+    Alcotest.test_case "loop shape" `Quick test_loop_shape;
+    Alcotest.test_case "field offsets" `Quick test_field_offsets_in_code;
+    Alcotest.test_case "array scaling" `Quick test_array_scaling;
+    Alcotest.test_case "string interning" `Quick test_string_interning;
+    Alcotest.test_case "frame layout" `Quick test_frame_layout;
+    Alcotest.test_case "break/continue labels" `Quick test_break_continue_targets;
+    Alcotest.test_case "source locations" `Quick test_locs_attached ]

@@ -1,0 +1,75 @@
+open Zarith_lite
+
+let qnum = Alcotest.testable Qnum.pp Qnum.equal
+let check_q = Alcotest.check qnum
+
+let test_canonical_form () =
+  (* 4/8 normalizes to 1/2; sign lives on the numerator. *)
+  let q = Qnum.of_ints 4 8 in
+  Alcotest.(check string) "4/8" "1/2" (Qnum.to_string q);
+  let q = Qnum.of_ints 3 (-6) in
+  Alcotest.(check string) "3/-6" "-1/2" (Qnum.to_string q);
+  Alcotest.(check int) "den positive" 1 (Zint.sign (Qnum.den q));
+  Alcotest.(check string) "integer prints bare" "7" (Qnum.to_string (Qnum.of_int 7));
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Qnum.make Zint.one Zint.zero))
+
+let test_arith () =
+  check_q "1/2 + 1/3" (Qnum.of_ints 5 6) (Qnum.add (Qnum.of_ints 1 2) (Qnum.of_ints 1 3));
+  check_q "1/2 - 1/2" Qnum.zero (Qnum.sub (Qnum.of_ints 1 2) (Qnum.of_ints 1 2));
+  check_q "2/3 * 3/4" (Qnum.of_ints 1 2) (Qnum.mul (Qnum.of_ints 2 3) (Qnum.of_ints 3 4));
+  check_q "(1/2) / (1/4)" (Qnum.of_int 2) (Qnum.div (Qnum.of_ints 1 2) (Qnum.of_ints 1 4));
+  check_q "inv" (Qnum.of_ints 3 2) (Qnum.inv (Qnum.of_ints 2 3))
+
+let test_floor_ceil () =
+  let f q = Zint.to_int (Qnum.floor q) and c q = Zint.to_int (Qnum.ceil q) in
+  Alcotest.(check int) "floor 7/2" 3 (f (Qnum.of_ints 7 2));
+  Alcotest.(check int) "ceil 7/2" 4 (c (Qnum.of_ints 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (f (Qnum.of_ints (-7) 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (c (Qnum.of_ints (-7) 2));
+  Alcotest.(check int) "floor integer" 5 (f (Qnum.of_int 5));
+  Alcotest.(check int) "ceil integer" 5 (c (Qnum.of_int 5))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Qnum.compare (Qnum.of_ints 1 3) (Qnum.of_ints 1 2) < 0);
+  Alcotest.(check bool) "-1/3 > -1/2" true
+    (Qnum.compare (Qnum.of_ints (-1) 3) (Qnum.of_ints (-1) 2) > 0);
+  check_q "min" (Qnum.of_ints 1 3) (Qnum.min (Qnum.of_ints 1 3) (Qnum.of_ints 1 2));
+  check_q "max" (Qnum.of_ints 1 2) (Qnum.max (Qnum.of_ints 1 3) (Qnum.of_ints 1 2))
+
+let test_integrality () =
+  Alcotest.(check bool) "6/3 integer" true (Qnum.is_integer (Qnum.of_ints 6 3));
+  Alcotest.(check bool) "5/3 not" false (Qnum.is_integer (Qnum.of_ints 5 3));
+  Alcotest.(check int) "to_zint" 2 (Zint.to_int (Qnum.to_zint (Qnum.of_ints 6 3)))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let frac_gen =
+  QCheck2.Gen.map
+    (fun (n, d) -> Qnum.of_ints n (if d = 0 then 1 else d))
+    (QCheck2.Gen.pair (QCheck2.Gen.int_range (-10000) 10000)
+       (QCheck2.Gen.int_range (-500) 500))
+
+let properties =
+  [ prop "add commutative" (QCheck2.Gen.pair frac_gen frac_gen) (fun (a, b) ->
+        Qnum.equal (Qnum.add a b) (Qnum.add b a));
+    prop "mul distributes" (QCheck2.Gen.triple frac_gen frac_gen frac_gen) (fun (a, b, c) ->
+        Qnum.equal (Qnum.mul a (Qnum.add b c)) (Qnum.add (Qnum.mul a b) (Qnum.mul a c)));
+    prop "sub then add" (QCheck2.Gen.pair frac_gen frac_gen) (fun (a, b) ->
+        Qnum.equal a (Qnum.add (Qnum.sub a b) b));
+    prop "div inverse" (QCheck2.Gen.pair frac_gen frac_gen) (fun (a, b) ->
+        QCheck2.assume (not (Qnum.is_zero b));
+        Qnum.equal a (Qnum.mul (Qnum.div a b) b));
+    prop "floor <= q < floor+1" frac_gen (fun q ->
+        let fl = Qnum.of_zint (Qnum.floor q) in
+        Qnum.compare fl q <= 0 && Qnum.compare q (Qnum.add fl Qnum.one) < 0);
+    prop "ceil = -floor(-q)" frac_gen (fun q ->
+        Zint.equal (Qnum.ceil q) (Zint.neg (Qnum.floor (Qnum.neg q)))) ]
+
+let suite =
+  [ Alcotest.test_case "canonical form" `Quick test_canonical_form;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "integrality" `Quick test_integrality ]
+  @ properties

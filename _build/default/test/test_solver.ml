@@ -1,0 +1,258 @@
+(* The constraint solver: fast path, Gaussian elimination, simplex +
+   branch-and-bound, disequality splitting, and a soundness property —
+   every Sat model must satisfy the constraints (checked independently
+   of the solver's own final verification). *)
+
+open Zarith_lite
+open Symbolic
+
+let z = Zint.of_int
+let v = Linexpr.var
+
+let mk c0 terms =
+  List.fold_left
+    (fun acc (x, c) -> Linexpr.add acc (Linexpr.scale (z c) (v x)))
+    (Linexpr.of_int c0) terms
+
+let le e = Constr.make e Constr.Le0
+let lt e = Constr.make e Constr.Lt0
+let eq e = Constr.make e Constr.Eq0
+let ne e = Constr.make e Constr.Ne0
+
+let expect_sat cs =
+  match Solver.solve cs with
+  | Solver.Sat model ->
+    if not (Solver.check_model cs model) then Alcotest.fail "model does not satisfy";
+    model
+  | Solver.Unsat -> Alcotest.fail "expected SAT, got UNSAT"
+  | Solver.Unknown -> Alcotest.fail "expected SAT, got UNKNOWN"
+
+let expect_unsat cs =
+  match Solver.solve cs with
+  | Solver.Sat _ -> Alcotest.fail "expected UNSAT, got SAT"
+  | Solver.Unsat -> ()
+  | Solver.Unknown -> Alcotest.fail "expected UNSAT, got UNKNOWN"
+
+let value model x =
+  match List.assoc_opt x model with
+  | Some z -> Zint.to_int z
+  | None -> Alcotest.failf "no value for x%d" x
+
+let test_univariate () =
+  (* x = 10 *)
+  let model = expect_sat [ eq (mk (-10) [ (0, 1) ]) ] in
+  Alcotest.(check int) "x = 10" 10 (value model 0);
+  (* x <= 5 /\ x >= 3 *)
+  let model = expect_sat [ le (mk (-5) [ (0, 1) ]); le (mk 3 [ (0, -1) ]) ] in
+  let x = value model 0 in
+  Alcotest.(check bool) "3 <= x <= 5" true (x >= 3 && x <= 5);
+  (* x < 4 /\ x > 2 has the unique integer solution 3. *)
+  let model = expect_sat [ lt (mk (-4) [ (0, 1) ]); lt (mk 2 [ (0, -1) ]) ] in
+  Alcotest.(check int) "strictness over integers" 3 (value model 0);
+  expect_unsat [ lt (mk (-3) [ (0, 1) ]); lt (mk 2 [ (0, -1) ]) ]
+
+let test_equalities () =
+  (* x - y = 0 /\ y = 7 *)
+  let model = expect_sat [ eq (mk 0 [ (0, 1); (1, -1) ]); eq (mk (-7) [ (1, 1) ]) ] in
+  Alcotest.(check int) "x" 7 (value model 0);
+  Alcotest.(check int) "y" 7 (value model 1);
+  (* x = y /\ x = y + 1 *)
+  expect_unsat [ eq (mk 0 [ (0, 1); (1, -1) ]); eq (mk (-1) [ (0, 1); (1, -1) ]) ];
+  (* chained: a = b, b = c, c = 3 *)
+  let model =
+    expect_sat
+      [ eq (mk 0 [ (0, 1); (1, -1) ]);
+        eq (mk 0 [ (1, 1); (2, -1) ]);
+        eq (mk (-3) [ (2, 1) ]) ]
+  in
+  Alcotest.(check int) "a" 3 (value model 0)
+
+let test_integrality () =
+  (* 2x = 3 has no integer solution (no unit pivot: exercises B&B). *)
+  expect_unsat [ eq (mk (-3) [ (0, 2) ]) ];
+  (* 2x = 4 does. *)
+  let model = expect_sat [ eq (mk (-4) [ (0, 2) ]) ] in
+  Alcotest.(check int) "2x=4" 2 (value model 0);
+  (* 3x + 3y = 7 unsat over Z though feasible over Q. *)
+  expect_unsat [ eq (mk (-7) [ (0, 3); (1, 3) ]) ]
+
+let test_multivariate () =
+  (* x + y <= 4 /\ x >= 3 /\ y >= 3 : unsat. *)
+  expect_unsat
+    [ le (mk (-4) [ (0, 1); (1, 1) ]); le (mk 3 [ (0, -1) ]); le (mk 3 [ (1, -1) ]) ];
+  (* x + y >= 10 /\ x - y >= 0 /\ x <= 6: x in [5,6]. *)
+  let model =
+    expect_sat
+      [ le (mk 10 [ (0, -1); (1, -1) ]); le (mk 0 [ (0, -1); (1, 1) ]);
+        le (mk (-6) [ (0, 1) ]) ]
+  in
+  let x = value model 0 and y = value model 1 in
+  Alcotest.(check bool) "constraints hold" true (x + y >= 10 && x >= y && x <= 6);
+  (* 2x + 3y = 12 /\ x >= 1 /\ y >= 1: (3,2) is the only small one. *)
+  let model =
+    expect_sat
+      [ eq (mk (-12) [ (0, 2); (1, 3) ]); le (mk 1 [ (0, -1) ]); le (mk 1 [ (1, -1) ]) ]
+  in
+  let x = value model 0 and y = value model 1 in
+  Alcotest.(check bool) "diophantine" true ((2 * x) + (3 * y) = 12 && x >= 1 && y >= 1)
+
+let test_disequalities () =
+  (* x != 0 with x in [0, 1]: forces 1. *)
+  let model =
+    expect_sat [ ne (mk 0 [ (0, 1) ]); le (mk 0 [ (0, -1) ]); le (mk (-1) [ (0, 1) ]) ]
+  in
+  Alcotest.(check int) "x=1" 1 (value model 0);
+  (* x in [0,2], x != 0, x != 1, x != 2: unsat. *)
+  expect_unsat
+    [ le (mk 0 [ (0, -1) ]); le (mk (-2) [ (0, 1) ]); ne (mk 0 [ (0, 1) ]);
+      ne (mk (-1) [ (0, 1) ]); ne (mk (-2) [ (0, 1) ]) ];
+  (* multivariate: x = y /\ x + y != 0 /\ x <= 0 => x = y < 0. *)
+  let model =
+    expect_sat
+      [ eq (mk 0 [ (0, 1); (1, -1) ]); ne (mk 0 [ (0, 1); (1, 1) ]); le (mk 0 [ (0, 1) ]) ]
+  in
+  let x = value model 0 and y = value model 1 in
+  Alcotest.(check bool) "x=y<0" true (x = y && x + y <> 0 && x <= 0);
+  (* 2x != 5 is vacuous over the integers. *)
+  let model = expect_sat [ ne (mk (-5) [ (0, 2) ]) ] in
+  ignore (value model 0)
+
+let test_word_bounds () =
+  (* x > max_int32 is unsat within the 32-bit box. *)
+  expect_unsat [ le (mk Dart_util.Word32.max_value [ (0, -1) ]); ne (mk (-Dart_util.Word32.max_value) [ (0, 1) ]) ];
+  (* x >= max_int32 forces exactly max_int32. *)
+  let model = expect_sat [ le (mk Dart_util.Word32.max_value [ (0, -1) ]) ] in
+  Alcotest.(check int) "clamped" Dart_util.Word32.max_value (value model 0)
+
+let test_prefer () =
+  (* Under-constrained variables take the preferred (previous) value. *)
+  let prefer x = if x = 1 then Some (z 777) else None in
+  match Solver.solve ~prefer [ le (mk (-100) [ (0, 1) ]); le (mk (-1000) [ (1, 1) ]) ] with
+  | Solver.Sat model ->
+    Alcotest.(check int) "prefers old value" 777 (value model 1)
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_no_simplex_ablation () =
+  (* With simplex disabled, multivariate systems come back Unknown;
+     univariate ones still solve. *)
+  (match Solver.solve ~use_simplex:false [ le (mk 10 [ (0, -1); (1, -1) ]) ] with
+   | Solver.Unknown -> ()
+   | _ -> Alcotest.fail "expected Unknown without simplex");
+  (match Solver.solve ~use_simplex:false [ eq (mk (-10) [ (0, 1) ]) ] with
+   | Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "fast path should not need simplex")
+
+let test_gcd_tightening () =
+  (* 3x + 3y = 7: rationally feasible, integrally unsat via the GCD
+     divisibility test (no branch-and-bound wandering). *)
+  expect_unsat [ eq (mk (-7) [ (0, 3); (1, 3) ]) ];
+  (* 6x + 10y = 8 has gcd 2 | 8: solvable. *)
+  let model = expect_sat [ eq (mk (-8) [ (0, 6); (1, 10) ]) ] in
+  let x = value model 0 and y = value model 1 in
+  Alcotest.(check int) "6x+10y" 8 ((6 * x) + (10 * y));
+  (* Inequality tightening: 4x <= 10 means x <= 2 over Z. *)
+  let model = expect_sat [ le (mk (-10) [ (0, 4) ]); le (mk 2 [ (0, -1) ]) ] in
+  Alcotest.(check int) "4x<=10 and x>=2" 2 (value model 0)
+
+let test_simplex_required_cases () =
+  (* Non-unit-coefficient conjunctions that defeat Gaussian elimination
+     and intervals; integer solutions must still be found/refuted. *)
+  let model =
+    expect_sat
+      [ eq (mk (-10000) [ (0, 2); (1, 3) ]);
+        eq (mk (-20000) [ (1, 5); (2, 7) ]);
+        le (mk 1 [ (0, -1) ]); le (mk 1 [ (1, -1) ]); le (mk 1 [ (2, -1) ]) ]
+  in
+  let a = value model 0 and b = value model 1 and c = value model 2 in
+  Alcotest.(check bool) "system holds" true
+    ((2 * a) + (3 * b) = 10000 && (5 * b) + (7 * c) = 20000 && a >= 1 && b >= 1 && c >= 1);
+  (* 2x + 4y = 5: even lhs, odd rhs. *)
+  expect_unsat [ eq (mk (-5) [ (0, 2); (1, 4) ]) ];
+  (* 7x - 3y = 1 with x,y in [0, 10]: (1, 2) works. *)
+  let model =
+    expect_sat
+      [ eq (mk (-1) [ (0, 7); (1, -3) ]);
+        le (mk 0 [ (0, -1) ]); le (mk (-10) [ (0, 1) ]);
+        le (mk 0 [ (1, -1) ]); le (mk (-10) [ (1, 1) ]) ]
+  in
+  let x = value model 0 and y = value model 1 in
+  Alcotest.(check int) "7x-3y=1" 1 ((7 * x) - (3 * y))
+
+let test_stats () =
+  let stats = Solver.create_stats () in
+  ignore (Solver.solve ~stats [ eq (mk (-10) [ (0, 1) ]) ]);
+  ignore (Solver.solve ~stats [ le (mk 10 [ (0, -1); (1, -1) ]) ]);
+  Alcotest.(check int) "queries" 2 stats.Solver.queries;
+  Alcotest.(check bool) "fast path used" true (stats.Solver.fast_path >= 1);
+  Alcotest.(check bool) "simplex used" true (stats.Solver.simplex_queries >= 1)
+
+(* ---- property: planted solutions are found -------------------------------- *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:150 ~name gen f)
+
+(* Build a random constraint system that is satisfied by a planted
+   assignment, then require the solver to find some model. *)
+let planted_gen =
+  let open QCheck2.Gen in
+  let nvars = 4 in
+  let* plant = array_size (return nvars) (int_range (-50) 50) in
+  let* n_constraints = int_range 1 6 in
+  let* rows =
+    list_size (return n_constraints)
+      (let* coefs = array_size (return nvars) (int_range (-4) 4) in
+       let* rel = oneofl [ `Le; `Eq; `Ne_avoid ] in
+       return (coefs, rel))
+  in
+  return (plant, rows)
+
+let constraints_of_plant (plant, rows) =
+  List.filter_map
+    (fun (coefs, rel) ->
+      let lhs_val = Array.to_list coefs |> List.mapi (fun i c -> c * plant.(i)) |> List.fold_left ( + ) 0 in
+      let terms = Array.to_list coefs |> List.mapi (fun i c -> (i, c)) |> List.filter (fun (_, c) -> c <> 0) in
+      if terms = [] then None
+      else begin
+        match rel with
+        | `Eq -> Some (eq (mk (-lhs_val) terms))
+        | `Le ->
+          (* lhs <= lhs_val + slack *)
+          Some (le (mk (-lhs_val - 3) terms))
+        | `Ne_avoid ->
+          (* lhs != lhs_val + 1 (true under the plant) *)
+          Some (ne (mk (-lhs_val - 1) terms))
+      end)
+    rows
+
+let properties =
+  [ prop "planted systems are satisfiable" planted_gen (fun instance ->
+        let cs = constraints_of_plant instance in
+        match Solver.solve cs with
+        | Solver.Sat model -> Solver.check_model cs model
+        | Solver.Unsat -> false (* the plant satisfies them: UNSAT is wrong *)
+        | Solver.Unknown -> true (* allowed, conservative *));
+    prop "models always verify" planted_gen (fun instance ->
+        (* Even for mutated (possibly unsat) systems, a Sat answer must
+           carry a correct model. *)
+        let cs = constraints_of_plant instance in
+        let mutated =
+          match cs with
+          | c :: rest -> Constr.negate c :: rest
+          | [] -> []
+        in
+        match Solver.solve mutated with
+        | Solver.Sat model -> Solver.check_model mutated model
+        | Solver.Unsat | Solver.Unknown -> true) ]
+
+let suite =
+  [ Alcotest.test_case "univariate" `Quick test_univariate;
+    Alcotest.test_case "equalities" `Quick test_equalities;
+    Alcotest.test_case "integrality" `Quick test_integrality;
+    Alcotest.test_case "multivariate" `Quick test_multivariate;
+    Alcotest.test_case "disequalities" `Quick test_disequalities;
+    Alcotest.test_case "32-bit bounds" `Quick test_word_bounds;
+    Alcotest.test_case "prefer previous values" `Quick test_prefer;
+    Alcotest.test_case "ablation: no simplex" `Quick test_no_simplex_ablation;
+    Alcotest.test_case "gcd tightening" `Quick test_gcd_tightening;
+    Alcotest.test_case "simplex-required cases" `Quick test_simplex_required_cases;
+    Alcotest.test_case "stats" `Quick test_stats ]
+  @ properties

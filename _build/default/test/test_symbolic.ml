@@ -1,0 +1,131 @@
+(* Linear expressions, constraints, symbolic memory. *)
+
+open Zarith_lite
+open Symbolic
+
+let z = Zint.of_int
+
+let lin = Alcotest.testable Linexpr.pp Linexpr.equal
+
+(* c0 + c1*x1 + c2*x2 builder for tests *)
+let mk c0 terms =
+  List.fold_left
+    (fun acc (v, c) -> Linexpr.add acc (Linexpr.scale (z c) (Linexpr.var v)))
+    (Linexpr.of_int c0) terms
+
+let test_linexpr_basics () =
+  Alcotest.check lin "x + x = 2x" (mk 0 [ (1, 2) ]) (Linexpr.add (Linexpr.var 1) (Linexpr.var 1));
+  Alcotest.check lin "x - x = 0" Linexpr.zero (Linexpr.sub (Linexpr.var 1) (Linexpr.var 1));
+  Alcotest.(check (option int)) "const detection" (Some 5)
+    (Option.map Zint.to_int (Linexpr.is_const (Linexpr.of_int 5)));
+  Alcotest.(check (option int)) "nonconst" None
+    (Option.map Zint.to_int (Linexpr.is_const (Linexpr.var 3)));
+  Alcotest.(check (option int)) "as_var" (Some 3) (Linexpr.as_var (Linexpr.var 3));
+  Alcotest.(check (option int)) "as_var scaled" None
+    (Linexpr.as_var (Linexpr.scale Zint.two (Linexpr.var 3)));
+  Alcotest.check lin "scale by zero" Linexpr.zero (Linexpr.scale Zint.zero (mk 7 [ (1, 3) ]))
+
+let test_linexpr_eval () =
+  let e = mk 10 [ (0, 2); (1, -3) ] in
+  let env v = if v = 0 then z 4 else z 5 in
+  Alcotest.(check int) "10 + 2*4 - 3*5" 3 (Zint.to_int (Linexpr.eval env e))
+
+let test_linexpr_vars_sorted () =
+  let e = Linexpr.add (Linexpr.var 5) (Linexpr.add (Linexpr.var 1) (Linexpr.var 3)) in
+  Alcotest.(check (list int)) "sorted vars" [ 1; 3; 5 ] (Linexpr.vars e)
+
+let test_constr_negate_involution () =
+  let e = mk 3 [ (0, 1) ] in
+  List.iter
+    (fun rel ->
+      let c = Constr.make e rel in
+      Alcotest.(check bool) "negate twice" true (Constr.equal c (Constr.negate (Constr.negate c))))
+    [ Constr.Eq0; Constr.Ne0; Constr.Le0; Constr.Lt0 ]
+
+let test_constr_negate_exact () =
+  (* For every integer assignment, exactly one of c / negate c holds. *)
+  let e = mk (-2) [ (0, 3) ] in
+  List.iter
+    (fun rel ->
+      let c = Constr.make e rel in
+      let nc = Constr.negate c in
+      for v = -5 to 5 do
+        let env _ = z v in
+        if Constr.holds env c = Constr.holds env nc then
+          Alcotest.failf "negation not exclusive at %d" v
+      done)
+    [ Constr.Eq0; Constr.Ne0; Constr.Le0; Constr.Lt0 ]
+
+let test_constr_of_comparison () =
+  let a = Linexpr.var 0 and b = Linexpr.of_int 10 in
+  let check op v expected =
+    match Constr.of_comparison op a b with
+    | None -> Alcotest.fail "comparison gave no constraint"
+    | Some c -> Alcotest.(check bool) (Minic.Pretty.binop_to_string op) expected
+                  (Constr.holds (fun _ -> z v) c)
+  in
+  check Minic.Ast.Eq 10 true;
+  check Minic.Ast.Eq 9 false;
+  check Minic.Ast.Ne 9 true;
+  check Minic.Ast.Lt 9 true;
+  check Minic.Ast.Lt 10 false;
+  check Minic.Ast.Le 10 true;
+  check Minic.Ast.Gt 11 true;
+  check Minic.Ast.Gt 10 false;
+  check Minic.Ast.Ge 10 true;
+  Alcotest.(check bool) "non-comparison" true (Constr.of_comparison Minic.Ast.Add a b = None)
+
+let test_symmem () =
+  let s = Symmem.create () in
+  Symmem.bind s ~addr:100 (Linexpr.var 0);
+  Alcotest.(check bool) "bound" true (Symmem.lookup s ~addr:100 <> None);
+  (* Binding a constant erases. *)
+  Symmem.bind s ~addr:100 (Linexpr.of_int 7);
+  Alcotest.(check bool) "constant erases" true (Symmem.lookup s ~addr:100 = None);
+  Symmem.bind s ~addr:1 (mk 1 [ (2, 2) ]);
+  Alcotest.(check int) "count" 1 (Symmem.symbolic_count s);
+  Symmem.erase s ~addr:1;
+  Alcotest.(check int) "erased" 0 (Symmem.symbolic_count s)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let lin_gen =
+  let open QCheck2.Gen in
+  let term = pair (int_range 0 5) (int_range (-20) 20) in
+  map
+    (fun (c, terms) -> mk c terms)
+    (pair (int_range (-50) 50) (list_size (int_range 0 4) term))
+
+let env_gen = QCheck2.Gen.array_size (QCheck2.Gen.return 6) (QCheck2.Gen.int_range (-100) 100)
+
+let eval_with arr e = Linexpr.eval (fun v -> z arr.(v)) e
+
+let properties =
+  [ prop "add is pointwise" (QCheck2.Gen.triple lin_gen lin_gen env_gen) (fun (a, b, env) ->
+        Zint.equal (eval_with env (Linexpr.add a b))
+          (Zint.add (eval_with env a) (eval_with env b)));
+    prop "sub is pointwise" (QCheck2.Gen.triple lin_gen lin_gen env_gen) (fun (a, b, env) ->
+        Zint.equal (eval_with env (Linexpr.sub a b))
+          (Zint.sub (eval_with env a) (eval_with env b)));
+    prop "neg is pointwise" (QCheck2.Gen.pair lin_gen env_gen) (fun (a, env) ->
+        Zint.equal (eval_with env (Linexpr.neg a)) (Zint.neg (eval_with env a)));
+    prop "scale is pointwise" (QCheck2.Gen.triple (QCheck2.Gen.int_range (-30) 30) lin_gen env_gen)
+      (fun (k, a, env) ->
+        Zint.equal (eval_with env (Linexpr.scale (z k) a)) (Zint.mul (z k) (eval_with env a)));
+    prop "negate flips truth" (QCheck2.Gen.pair lin_gen env_gen) (fun (a, env) ->
+        List.for_all
+          (fun rel ->
+            let c = Constr.make a rel in
+            Constr.holds (fun v -> z env.(v)) c
+            <> Constr.holds (fun v -> z env.(v)) (Constr.negate c))
+          [ Constr.Eq0; Constr.Ne0; Constr.Le0; Constr.Lt0 ]) ]
+
+let suite =
+  [ Alcotest.test_case "linexpr basics" `Quick test_linexpr_basics;
+    Alcotest.test_case "linexpr eval" `Quick test_linexpr_eval;
+    Alcotest.test_case "linexpr vars sorted" `Quick test_linexpr_vars_sorted;
+    Alcotest.test_case "negate involution" `Quick test_constr_negate_involution;
+    Alcotest.test_case "negate exact" `Quick test_constr_negate_exact;
+    Alcotest.test_case "of_comparison" `Quick test_constr_of_comparison;
+    Alcotest.test_case "symbolic memory" `Quick test_symmem ]
+  @ properties
