@@ -392,6 +392,86 @@ void f(int a, int b, int c) {
       (Printf.sprintf "bug=%b, %d queries (%d unknown)" found stats.Solver.queries
          stats.Solver.unknown)
 
+(* ---- E12: parallel jobs scaling ------------------------------------------------ *)
+
+(* A multi-path no-bug workload with genuine per-run cost: a deep
+   conditional chain whose every run carries an N-deep stack, capped so
+   the run budget (not completeness) ends the search. Budget sharding
+   makes each of J workers do 1/J of the runs, so wall clock should
+   shrink toward 1/min(J, cores). *)
+let deep_chain_src n =
+  Printf.sprintf
+    {|
+int deep(int x) {
+  int acc = 0;
+  int i = 0;
+  while (i < %d) {
+    if (x > i) acc = acc + 1;
+    i = i + 1;
+  }
+  return acc;
+}
+|}
+    n
+
+let experiment_jobs_scaling () =
+  header "E12: parallel jobs scaling (domain-sharded run budget)";
+  Printf.printf "  cores available (Domain.recommended_domain_count): %d\n"
+    (Domain.recommended_domain_count ());
+  let chain = if !quick then 80 else 150 in
+  let budget = if !quick then 60 else 120 in
+  let prog =
+    Dart.Driver.prepare ~toplevel:"deep" ~depth:1
+      (Minic.Parser.parse_program (deep_chain_src chain))
+  in
+  let base = { Dart.Driver.default_options with max_runs = budget } in
+  let t1 = ref 1.0 in
+  let bugs_at_1 = ref [] in
+  List.iter
+    (fun jobs ->
+      let r, s =
+        time_it (fun () -> Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs base) prog)
+      in
+      let m = r.Dart.Parallel.merged in
+      if jobs = 1 then begin
+        t1 := s;
+        bugs_at_1 := List.map Dart.Driver.bug_key m.Dart.Driver.bugs
+      end;
+      let same_bugs = List.map Dart.Driver.bug_key m.Dart.Driver.bugs = !bugs_at_1 in
+      row
+        ~id:(Printf.sprintf "jobs-%d" jobs)
+        ~desc:
+          (Printf.sprintf "%d-deep chain, %d total runs, %d workers" chain
+             m.Dart.Driver.runs jobs)
+        ~paper:"n/a (our extension)"
+        ~measured:
+          (Printf.sprintf "%.2fs (%.2fx vs jobs=1), bug set identical: %b" s (!t1 /. s)
+             same_bugs))
+    [ 1; 2; 4 ]
+
+(* ---- A4: deep-path regression guard -------------------------------------------- *)
+
+let experiment_deep_path () =
+  header "A4: deep-path sanity (candidate selection must stay O(1) per probe)";
+  let chain = if !quick then 100 else 150 in
+  let prog =
+    Dart.Driver.prepare ~toplevel:"deep" ~depth:1
+      (Minic.Parser.parse_program (deep_chain_src chain))
+  in
+  let options = { Dart.Driver.default_options with max_runs = 2 * chain } in
+  let r, s = time_it (fun () -> Dart.Driver.run ~options prog) in
+  let per_run = s /. float_of_int r.Dart.Driver.runs *. 1000.0 in
+  (* Generous ceiling: a quadratic candidate representation pushes the
+     full exploration of a 150-deep chain well past this. *)
+  let ceiling = 30.0 in
+  row ~id:"deep-path"
+    ~desc:(Printf.sprintf "%d-deep chain, full exploration (%d runs)" chain r.Dart.Driver.runs)
+    ~paper:"n/a (regression guard)"
+    ~measured:
+      (Printf.sprintf "%.2fs (%.1fms/run), %d solver queries [%s]" s per_run
+         r.Dart.Driver.solver_stats.Solver.queries
+         (if s <= ceiling then "PASS" else Printf.sprintf "FAIL > %.0fs" ceiling))
+
 (* ---- Bechamel timing benches -------------------------------------------------- *)
 
 let timing_benches () =
@@ -501,9 +581,11 @@ let experiments =
     ("e8", experiment_lowe_fix);
     ("e9", experiment_osip_sweep);
     ("e10", experiment_parser_attack);
+    ("e12", experiment_jobs_scaling);
     ("a1", experiment_strategy_ablation);
     ("a2", experiment_solver_ablation);
     ("a3", experiment_packet_construction);
+    ("a4", experiment_deep_path);
     ("timing", timing_benches) ]
 
 let () =

@@ -38,7 +38,7 @@ let depth_arg =
   Arg.(
     value & opt int 1
     & info [ "d"; "depth" ]
-        ~doc:"Number of iterative calls to the toplevel function per run (paper \\u{00a7}3.2).")
+        ~doc:"Number of iterative calls to the toplevel function per run (paper \u{00a7}3.2).")
 
 let max_runs_arg =
   Arg.(value & opt int 10_000 & info [ "max-runs" ] ~doc:"Budget of instrumented runs.")
@@ -48,8 +48,23 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (reprod
 let strategy_arg =
   Arg.(
     value
-    & opt strategy_conv Dart.Strategy.Dfs
-    & info [ "strategy" ] ~docv:"STRAT" ~doc:"Branch-selection strategy: dfs, bfs or random.")
+    & opt (some strategy_conv) None
+    & info [ "strategy" ] ~docv:"STRAT"
+        ~doc:"Branch-selection strategy: dfs (default), bfs or random.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Parallel search workers: shard the run budget across N domains (0 = one per \
+           core). The deduped bug set and verdict match --jobs 1.")
+
+let portfolio_arg =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:"With --jobs > 1, cycle workers through the dfs/random/bfs strategy portfolio.")
 
 let random_mode_arg =
   Arg.(
@@ -84,8 +99,15 @@ let coverage_arg =
     value & flag
     & info [ "coverage" ] ~doc:"Print a per-function branch-coverage report after the search.")
 
+let usage_error msg =
+  Printf.eprintf "dartc: %s\n" msg;
+  2
+
+let print_coverage prog covered =
+  print_string (Dart.Coverage.to_string (Dart.Coverage.compute prog ~covered))
+
 let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
-    show_interface show_driver dump_ram coverage =
+    jobs portfolio show_interface show_driver dump_ram coverage =
   try
     let src = read_file file in
     let ast = Minic.Parser.parse_program ~file src in
@@ -106,27 +128,56 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
           prog.Ram.Instr.funcs;
         0
       end
+      else if jobs < 0 then usage_error "--jobs must be >= 0"
+      else if portfolio && (random_mode || jobs = 1) then
+        usage_error "--portfolio requires a directed search with --jobs > 1 (or 0)"
       else if random_mode then begin
-        let report = Dart.Random_search.run ~seed ~max_runs prog in
-        print_endline (Dart.Random_search.report_to_string report);
-        match report.Dart.Random_search.verdict with `Bug_found _ -> 1 | `No_bug -> 0
+        (* Random testing is a single undirected worker with no
+           branch-selection: reject flags that would silently be
+           ignored. *)
+        if strategy <> None then
+          usage_error "--strategy has no effect with --random-testing"
+        else if all_bugs then
+          usage_error "--all-bugs is not supported with --random-testing"
+        else if jobs <> 1 then
+          usage_error "--jobs is not supported with --random-testing"
+        else begin
+          let exec =
+            { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs }
+          in
+          let report = Dart.Random_search.run ~seed ~max_runs ~exec prog in
+          print_endline (Dart.Random_search.report_to_string report);
+          if coverage then print_coverage prog report.Dart.Random_search.coverage_sites;
+          match report.Dart.Random_search.verdict with `Bug_found _ -> 1 | `No_bug -> 0
+        end
       end
       else begin
         let options =
           { Dart.Driver.seed;
             depth;
             max_runs;
-            strategy;
+            strategy = Option.value ~default:Dart.Strategy.Dfs strategy;
             stop_on_first_bug = not all_bugs;
             exec =
               { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs } }
         in
-        let report = Dart.Driver.run ~options prog in
-        print_endline (Dart.Driver.report_to_string report);
-        if coverage then
-          print_string
-            (Dart.Coverage.to_string
-               (Dart.Coverage.compute prog ~covered:report.Dart.Driver.coverage_sites));
+        let report, worker_lines =
+          if jobs = 1 then (Dart.Driver.run ~options prog, None)
+          else begin
+            let portfolio =
+              if portfolio then
+                [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ]
+              else []
+            in
+            let popts = Dart.Parallel.options ~jobs ~portfolio options in
+            let r = Dart.Parallel.run ~options:popts prog in
+            (r.Dart.Parallel.merged, Some r)
+          end
+        in
+        (match worker_lines with
+         | Some r -> print_endline (Dart.Parallel.report_to_string r)
+         | None -> print_endline (Dart.Driver.report_to_string report));
+        if coverage then print_coverage prog report.Dart.Driver.coverage_sites;
         List.iter
           (fun (b : Dart.Driver.bug) ->
             Printf.printf "  - %s in %s at %s (run %d)\n"
@@ -157,8 +208,8 @@ let cmd =
   let term =
     Term.(
       const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
-      $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg
-      $ show_interface_arg $ show_driver_arg $ dump_ram_arg $ coverage_arg)
+      $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg $ jobs_arg
+      $ portfolio_arg $ show_interface_arg $ show_driver_arg $ dump_ram_arg $ coverage_arg)
   in
   Cmd.v (Cmd.info "dartc" ~doc) term
 

@@ -22,6 +22,8 @@ type bug = {
   bug_inputs : (int * int) list;
 }
 
+let bug_key b = (b.bug_site.Machine.site_fn, b.bug_site.Machine.site_pc, b.bug_fault)
+
 type verdict =
   | Bug_found of bug
   | Complete
@@ -41,15 +43,30 @@ type report = {
   bugs : bug list;
 }
 
+type search_ctx = {
+  sc_rng : Dart_util.Prng.t;
+  sc_im : Inputs.t;
+  sc_stats : Solver.stats;
+  sc_max_runs : int;
+  sc_should_stop : unit -> bool;
+}
+
+let make_ctx ?(should_stop = fun () -> false) ~seed ~max_runs () =
+  { sc_rng = Dart_util.Prng.create seed;
+    sc_im = Inputs.create ();
+    sc_stats = Solver.create_stats ();
+    sc_max_runs = max_runs;
+    sc_should_stop = should_stop }
+
 let prepare ?(library_sigs = []) ~toplevel ~depth (ast : Minic.Ast.program) =
   let ast = Driver_gen.generate ast ~toplevel ~depth in
   let tp = Minic.Typecheck.check ~library:library_sigs ast in
   Ram.Lower.lower_program tp
 
-let run ?(options = default_options) (prog : Ram.Instr.program) : report =
-  let rng = Dart_util.Prng.create options.seed in
-  let stats = Solver.create_stats () in
-  let im = Inputs.create () in
+let search ~ctx ~options (prog : Ram.Instr.program) : report =
+  let rng = ctx.sc_rng in
+  let stats = ctx.sc_stats in
+  let im = ctx.sc_im in
   let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
   let bug_sites : (string * int * Machine.fault, unit) Hashtbl.t = Hashtbl.create 16 in
   let runs = ref 0 in
@@ -69,20 +86,22 @@ let run ?(options = default_options) (prog : Ram.Instr.program) : report =
     List.iter (fun site -> Hashtbl.replace coverage site ()) data.Concolic.branch_sites
   in
   let record_bug fault site =
-    let key = (site.Machine.site_fn, site.Machine.site_pc, fault) in
     let bug =
       { bug_fault = fault;
         bug_site = site;
         bug_run = !runs;
         bug_inputs = Inputs.to_alist im }
     in
+    let key = bug_key bug in
     if not (Hashtbl.mem bug_sites key) then begin
       Hashtbl.replace bug_sites key ();
       bugs := bug :: !bugs
     end;
     if !first_bug = None then first_bug := Some bug
   in
-  let budget_left () = !runs < options.max_runs in
+  (* Run boundary: out of sharded budget, or an external cancellation
+     (another worker found a bug) — in both cases the search drains. *)
+  let budget_left () = !runs < ctx.sc_max_runs && not (ctx.sc_should_stop ()) in
   (* Inner loop: directed search from a fresh random seed point. Returns
      [`Bug], [`Exhausted] (directed search over) or [`Restart]. *)
   let directed_search () =
@@ -168,6 +187,10 @@ let run ?(options = default_options) (prog : Ram.Instr.program) : report =
     all_locs_definite = !all_locs_definite;
     solver_stats = stats;
     bugs = List.rev !bugs }
+
+let run ?(options = default_options) (prog : Ram.Instr.program) : report =
+  let ctx = make_ctx ~seed:options.seed ~max_runs:options.max_runs () in
+  search ~ctx ~options prog
 
 let test_source ?(options = default_options) ?(library_sigs = []) ~toplevel src =
   let ast = Minic.Parser.parse_program src in

@@ -20,6 +20,10 @@ type bug = {
   bug_inputs : (int * int) list; (* input id -> value (the witness IM) *)
 }
 
+val bug_key : bug -> string * int * Machine.fault
+(** Dedup identity of a bug: [(site_fn, site_pc, fault)]. Two bugs with
+    equal keys are the same defect found along different paths. *)
+
 type verdict =
   | Bug_found of bug
   | Complete
@@ -42,6 +46,24 @@ type report = {
   bugs : bug list; (* every distinct bug site seen (>= 1 when Bug_found) *)
 }
 
+type search_ctx = {
+  sc_rng : Dart_util.Prng.t; (* private randomness stream *)
+  sc_im : Inputs.t; (* private input vector *)
+  sc_stats : Solver.stats; (* private solver counters *)
+  sc_max_runs : int; (* this search's share of the run budget *)
+  sc_should_stop : unit -> bool;
+      (* polled at every run boundary; [true] drains the search (used
+         for cross-worker cancellation — see {!Parallel}) *)
+}
+(** Everything mutable a single directed search touches, made explicit
+    so independent searches can run concurrently on separate domains
+    without sharing state. *)
+
+val make_ctx :
+  ?should_stop:(unit -> bool) -> seed:int -> max_runs:int -> unit -> search_ctx
+(** Fresh context: new PRNG from [seed], empty input vector, zeroed
+    solver stats. [should_stop] defaults to never. *)
+
 val prepare :
   ?library_sigs:Minic.Tast.fsig list ->
   toplevel:string ->
@@ -50,6 +72,12 @@ val prepare :
   Ram.Instr.program
 (** Synthesize the test driver, typecheck and lower. The resulting
     entry point is {!Driver_gen.wrapper_name}. *)
+
+val search : ctx:search_ctx -> options:options -> Ram.Instr.program -> report
+(** One directed search driven entirely by [ctx]'s mutable state:
+    [options.seed] and [options.max_runs] are ignored in favour of the
+    context's PRNG and budget cell. {!run} is [search] over a fresh
+    context; {!Parallel.run} calls it once per worker domain. *)
 
 val run : ?options:options -> Ram.Instr.program -> report
 (** Run DART on a prepared program. *)

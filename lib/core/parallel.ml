@@ -1,0 +1,175 @@
+(* Multi-domain directed search (paper §2.6: restarts of the outer
+   loop are independent, hence embarrassingly parallel).  Each worker
+   domain runs a full [Driver.search] over a private [search_ctx] —
+   its own PRNG stream, input vector, solver stats and budget share —
+   so the domains share nothing but one cancellation atomic and the
+   immutable program. *)
+
+type options = {
+  base : Driver.options;
+  jobs : int;
+  portfolio : Strategy.t list;
+}
+
+let options ?(jobs = 1) ?(portfolio = []) base = { base; jobs; portfolio }
+
+type worker_report = {
+  w_id : int;
+  w_seed : int;
+  w_strategy : Strategy.t;
+  w_report : Driver.report;
+}
+
+type report = {
+  jobs : int;
+  merged : Driver.report;
+  workers : worker_report list;
+}
+
+let effective_jobs jobs =
+  if jobs < 0 then invalid_arg "Parallel.run: jobs < 0"
+  else if jobs = 0 then Domain.recommended_domain_count ()
+  else jobs
+
+(* Worker 0 inherits the base seed (so a one-worker run replays the
+   sequential search exactly); the rest get a splitmix-derived stream
+   that is a pure function of (base seed, worker index). *)
+let worker_seeds ~base_seed n =
+  let rng = Dart_util.Prng.create base_seed in
+  Array.init n (fun i ->
+      if i = 0 then base_seed else Int64.to_int (Dart_util.Prng.next_int64 rng))
+
+(* Shard [total] runs over [n] workers, first shards taking the
+   remainder: the shares sum to exactly [total]. *)
+let budget_shares ~total n =
+  Array.init n (fun i -> (total / n) + if i < total mod n then 1 else 0)
+
+let worker_strategy t i =
+  match t.portfolio with
+  | [] -> t.base.Driver.strategy
+  | p -> List.nth p (i mod List.length p)
+
+let sum_stats (per_worker : Solver.stats list) =
+  let s = Solver.create_stats () in
+  List.iter
+    (fun (w : Solver.stats) ->
+      s.Solver.queries <- s.Solver.queries + w.Solver.queries;
+      s.Solver.sat <- s.Solver.sat + w.Solver.sat;
+      s.Solver.unsat <- s.Solver.unsat + w.Solver.unsat;
+      s.Solver.unknown <- s.Solver.unknown + w.Solver.unknown;
+      s.Solver.fast_path <- s.Solver.fast_path + w.Solver.fast_path;
+      s.Solver.simplex_queries <- s.Solver.simplex_queries + w.Solver.simplex_queries;
+      s.Solver.ne_splits <- s.Solver.ne_splits + w.Solver.ne_splits)
+    per_worker;
+  s
+
+let merge (reports : Driver.report list) : Driver.report =
+  if reports = [] then invalid_arg "Parallel.merge: empty report list";
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let forall f = List.for_all f reports in
+  (* Branch-direction coverage: union of the per-worker sets, sorted so
+     the merged report is deterministic regardless of worker order. *)
+  let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Driver.report) ->
+      List.iter (fun site -> Hashtbl.replace coverage site ()) r.Driver.coverage_sites)
+    reports;
+  let coverage_sites =
+    List.sort compare (Hashtbl.fold (fun site () acc -> site :: acc) coverage [])
+  in
+  (* Bugs: dedupe by (site_fn, site_pc, fault) and order by that key,
+     so the merged bug *set* does not depend on which worker raced to a
+     shared defect first. *)
+  let bug_sites : (string * int * Machine.fault, Driver.bug) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (r : Driver.report) ->
+      List.iter
+        (fun (b : Driver.bug) ->
+          let key = Driver.bug_key b in
+          match Hashtbl.find_opt bug_sites key with
+          | None -> Hashtbl.replace bug_sites key b
+          | Some prev ->
+            (* Keep the cheapest witness for a deterministic merge. *)
+            if b.Driver.bug_run < prev.Driver.bug_run then Hashtbl.replace bug_sites key b)
+        r.Driver.bugs)
+    reports;
+  let bugs =
+    Hashtbl.fold (fun _ b acc -> b :: acc) bug_sites []
+    |> List.sort (fun a b -> compare (Driver.bug_key a) (Driver.bug_key b))
+  in
+  let verdict =
+    match bugs with
+    | b :: _ -> Driver.Bug_found b
+    | [] ->
+      (* One worker finishing a DFS search with completeness flags
+         intact proves no bug exists at this depth, whatever the other
+         budget shares managed. *)
+      if List.exists (fun (r : Driver.report) -> r.Driver.verdict = Driver.Complete) reports
+      then Driver.Complete
+      else Driver.Budget_exhausted
+  in
+  { Driver.verdict;
+    runs = sum (fun r -> r.Driver.runs);
+    restarts = sum (fun r -> r.Driver.restarts);
+    total_steps = sum (fun r -> r.Driver.total_steps);
+    branches_covered = Hashtbl.length coverage;
+    coverage_sites;
+    paths_explored = sum (fun r -> r.Driver.paths_explored);
+    all_linear = forall (fun r -> r.Driver.all_linear);
+    all_locs_definite = forall (fun r -> r.Driver.all_locs_definite);
+    solver_stats = sum_stats (List.map (fun r -> r.Driver.solver_stats) reports);
+    bugs }
+
+let run ?(options = options Driver.default_options) (prog : Ram.Instr.program) : report =
+  let t = options in
+  let n = effective_jobs t.jobs in
+  let seeds = worker_seeds ~base_seed:t.base.Driver.seed n in
+  let shares = budget_shares ~total:t.base.Driver.max_runs n in
+  let cancel = Atomic.make false in
+  let should_stop =
+    if t.base.Driver.stop_on_first_bug && n > 1 then fun () -> Atomic.get cancel
+    else fun () -> false
+  in
+  let worker i () =
+    let strategy = worker_strategy t i in
+    let ctx =
+      Driver.make_ctx ~should_stop ~seed:seeds.(i) ~max_runs:shares.(i) ()
+    in
+    let options = { t.base with Driver.strategy } in
+    let r = Driver.search ~ctx ~options prog in
+    (* First finder flags the others; they drain at their next run
+       boundary (the [should_stop] poll in [Driver.search]). *)
+    if t.base.Driver.stop_on_first_bug && r.Driver.bugs <> [] then Atomic.set cancel true;
+    { w_id = i; w_seed = seeds.(i); w_strategy = strategy; w_report = r }
+  in
+  if n = 1 then begin
+    (* Single worker: no merge pass, so the report — field order of
+       coverage_sites included — is bit-identical to [Driver.run]. *)
+    let w = worker 0 () in
+    { jobs = 1; merged = w.w_report; workers = [ w ] }
+  end
+  else begin
+    let domains = Array.init n (fun i -> Domain.spawn (worker i)) in
+    let workers = Array.to_list (Array.map Domain.join domains) in
+    { jobs = n; merged = merge (List.map (fun w -> w.w_report) workers); workers }
+  end
+
+let report_to_string r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Driver.report_to_string r.merged);
+  Buffer.add_string buf (Printf.sprintf "\njobs: %d" r.jobs);
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  worker %d [%s, seed %d]: %s, %d runs, %d paths" w.w_id
+           (Strategy.to_string w.w_strategy)
+           w.w_seed
+           (match w.w_report.Driver.verdict with
+            | Driver.Bug_found _ -> "bug"
+            | Driver.Complete -> "complete"
+            | Driver.Budget_exhausted -> "budget")
+           w.w_report.Driver.runs w.w_report.Driver.paths_explored))
+    r.workers;
+  Buffer.contents buf

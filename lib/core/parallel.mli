@@ -1,0 +1,77 @@
+(** Multi-domain directed search.
+
+    The paper's outer loop (§2.6, Figure 2) restarts the directed
+    search from fresh random seed points whenever incompleteness forces
+    a restart; restarts are independent, hence embarrassingly parallel.
+    [run] shards the run budget across [jobs] worker domains, each
+    executing an independent {!Driver.search} with its own PRNG stream,
+    input vector and solver stats — optionally with a different
+    {!Strategy.t} drawn from a portfolio — and merges the worker
+    reports.
+
+    Determinism contract:
+    - [jobs = 1] reproduces {!Driver.run} bit for bit (same seed, same
+      budget, no merge pass).
+    - For any [jobs = N], each worker's search is a deterministic
+      function of [(base seed, worker index, budget share)]. The
+      merged *set* of deduped bugs, the coverage union and the verdict
+      constructor are reproducible across runs on no-bug workloads;
+      with [stop_on_first_bug] cancellation, late workers may drain at
+      different run counts across executions, but any bug reported is
+      always a real, replayable witness and single-defect workloads
+      yield the same verdict and deduped bug set as [jobs = 1]. *)
+
+type options = {
+  base : Driver.options;
+      (** [base.max_runs] is the {e total} budget, sharded across
+          workers; [base.seed] seeds worker 0 directly and derives the
+          other workers' streams. *)
+  jobs : int; (* 0 = [Domain.recommended_domain_count ()] *)
+  portfolio : Strategy.t list;
+      (** Cycled across workers ([worker i] gets [i mod length]);
+          empty = every worker uses [base.strategy]. *)
+}
+
+val options : ?jobs:int -> ?portfolio:Strategy.t list -> Driver.options -> options
+(** [options base] defaults to [jobs = 1] and an empty portfolio. *)
+
+type worker_report = {
+  w_id : int;
+  w_seed : int;
+  w_strategy : Strategy.t;
+  w_report : Driver.report;
+}
+
+type report = {
+  jobs : int; (* actual worker count after resolving [jobs = 0] *)
+  merged : Driver.report;
+  workers : worker_report list; (* in worker-id order *)
+}
+
+val worker_seeds : base_seed:int -> int -> int array
+(** Per-worker PRNG seeds: worker 0 gets [base_seed] itself, the rest
+    get splitmix-derived values — a pure function of the base seed. *)
+
+val budget_shares : total:int -> int -> int array
+(** Shard [total] runs over [n] workers; shares sum to exactly
+    [total], first workers taking the remainder. *)
+
+val merge : Driver.report list -> Driver.report
+(** Merge worker reports: bugs deduped by {!Driver.bug_key} (keeping
+    the cheapest witness, ordered by key), branch-direction coverage
+    unioned and sorted, run/step/restart/path counters and solver
+    stats summed, completeness flags conjoined. The verdict is
+    [Bug_found] if any worker found a bug, else [Complete] if any
+    worker's DFS search finished exhaustively, else
+    [Budget_exhausted].
+    @raise Invalid_argument on the empty list. *)
+
+val run : ?options:options -> Ram.Instr.program -> report
+(** Run the parallel search on a prepared program (entry point
+    {!Driver_gen.wrapper_name}). With [stop_on_first_bug], the first
+    worker to find a bug flags a shared atomic and the others drain at
+    their next run boundary.
+    @raise Invalid_argument if [jobs < 0]. *)
+
+val report_to_string : report -> string
+(** The merged report followed by a one-line per-worker summary. *)

@@ -23,13 +23,14 @@ let domain_constraints im vars =
 let solve ~strategy ~rng ~stats ~im ~stack ~path_constraint =
   let n = Array.length stack in
   assert (Array.length path_constraint = n);
-  let initial_candidates =
-    List.filter
-      (fun j -> (not stack.(j).Concolic.br_done) && path_constraint.(j) <> None)
-      (List.init n Fun.id)
+  let candidates =
+    Strategy.candidates_of_list
+      (List.filter
+         (fun j -> (not stack.(j).Concolic.br_done) && path_constraint.(j) <> None)
+         (List.init n Fun.id))
   in
   let solver_incomplete = ref false in
-  let rec go candidates =
+  let rec go () =
     match Strategy.choose strategy rng candidates with
     | None -> Exhausted { solver_incomplete = !solver_incomplete }
     | Some j ->
@@ -67,21 +68,11 @@ let solve ~strategy ~rng ~stats ~im ~stack ~path_constraint =
        | Solver.Unsat ->
          (* Figure 5 recurses with ktry = j: depth-first discards all
             deeper candidates; other strategies just drop this one. *)
-         let candidates' =
-           match strategy with
-           | Strategy.Dfs -> List.filter (fun h -> h < j) candidates
-           | Strategy.Bfs | Strategy.Random_branch ->
-             List.filter (fun h -> h <> j) candidates
-         in
-         go candidates'
+         Strategy.remove_failed strategy candidates;
+         go ()
        | Solver.Unknown ->
          solver_incomplete := true;
-         let candidates' =
-           match strategy with
-           | Strategy.Dfs -> List.filter (fun h -> h < j) candidates
-           | Strategy.Bfs | Strategy.Random_branch ->
-             List.filter (fun h -> h <> j) candidates
-         in
-         go candidates')
+         Strategy.remove_failed strategy candidates;
+         go ())
   in
-  go initial_candidates
+  go ()

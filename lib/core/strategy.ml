@@ -13,12 +13,55 @@ let to_string = function
   | Bfs -> "bfs"
   | Random_branch -> "random-branch"
 
-(** Pick the next candidate index from a non-empty ascending list. *)
-let choose t rng candidates =
-  match candidates with
-  | [] -> None
-  | _ ->
-    (match t with
-     | Dfs -> Some (List.nth candidates (List.length candidates - 1))
-     | Bfs -> Some (List.hd candidates)
-     | Random_branch -> Some (Dart_util.Prng.choose rng candidates))
+let of_string = function
+  | "dfs" -> Some Dfs
+  | "bfs" -> Some Bfs
+  | "random" | "random-branch" -> Some Random_branch
+  | _ -> None
+
+(* The candidate set is an ascending array of pending branch indices
+   with an active window [lo, hi).  Every strategy only ever shrinks
+   the window from one end (Dfs from the top, Bfs from the bottom) or
+   swap-removes an interior element (Random_branch, which does not
+   need the order), so [choose] and [remove] are O(1) — the previous
+   list representation cost O(n) per pick (List.nth) and O(n) per
+   Unsat re-filter, quadratic over a deep stack. *)
+type candidates = {
+  arr : int array;
+  mutable lo : int;
+  mutable hi : int; (* active window is arr.[lo, hi) *)
+  mutable last_pos : int; (* position of the last [choose] result *)
+}
+
+let candidates arr = { arr; lo = 0; hi = Array.length arr; last_pos = -1 }
+let candidates_of_list l = candidates (Array.of_list l)
+let cardinal c = c.hi - c.lo
+let to_list c = Array.to_list (Array.sub c.arr c.lo (c.hi - c.lo))
+
+let choose t rng c =
+  if c.lo >= c.hi then None
+  else begin
+    let pos =
+      match t with
+      | Dfs -> c.hi - 1
+      | Bfs -> c.lo
+      | Random_branch -> c.lo + Dart_util.Prng.int_below rng (c.hi - c.lo)
+    in
+    c.last_pos <- pos;
+    Some c.arr.(pos)
+  end
+
+(* Discard candidates after the solver failed (Unsat/Unknown) on the
+   branch last returned by [choose].  Figure 5 recurses with ktry = j:
+   depth-first discards the failed branch and everything deeper; the
+   other strategies just drop the one candidate. *)
+let remove_failed t c =
+  if c.last_pos < c.lo || c.last_pos >= c.hi then
+    invalid_arg "Strategy.remove_failed: no preceding choose";
+  (match t with
+   | Dfs -> c.hi <- c.last_pos
+   | Bfs -> c.lo <- c.last_pos + 1
+   | Random_branch ->
+     c.arr.(c.last_pos) <- c.arr.(c.hi - 1);
+     c.hi <- c.hi - 1);
+  c.last_pos <- -1

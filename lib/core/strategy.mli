@@ -14,6 +14,34 @@ type t =
 
 val to_string : t -> string
 
-val choose : t -> Dart_util.Prng.t -> int list -> int option
-(** Pick the next candidate from an ascending list of pending branch
-    indices; [None] on the empty list. *)
+val of_string : string -> t option
+(** Accepts ["dfs"], ["bfs"], ["random"] / ["random-branch"]. *)
+
+type candidates
+(** A mutable set of pending branch indices, supporting O(1) [choose]
+    and O(1) [remove_failed] for every strategy (the directed search
+    probes candidates until one solves, which was quadratic in stack
+    depth with a list representation). *)
+
+val candidates : int array -> candidates
+(** The array must be in ascending order and is owned by the set
+    afterwards. *)
+
+val candidates_of_list : int list -> candidates
+(** Same, from an ascending list. *)
+
+val cardinal : candidates -> int
+val to_list : candidates -> int list
+(** Remaining candidates; ascending for {!Dfs}/{!Bfs}, unordered after
+    {!Random_branch} removals. *)
+
+val choose : t -> Dart_util.Prng.t -> candidates -> int option
+(** Pick the next pending branch index; [None] when the set is
+    empty. Does not remove the pick. *)
+
+val remove_failed : t -> candidates -> unit
+(** Drop candidates after the solver failed on the branch last
+    returned by {!choose}: {!Dfs} discards it and every deeper
+    candidate (Figure 5's ktry = j recursion); the other strategies
+    drop just that one.
+    @raise Invalid_argument without a preceding successful {!choose}. *)

@@ -10,5 +10,6 @@ let () =
       ("solver", Test_solver.suite);
       ("concolic", Test_concolic.suite);
       ("driver", Test_driver.suite);
+      ("parallel", Test_parallel.suite);
       ("workloads", Test_workloads.suite);
       ("progen", Test_progen.suite) ]
