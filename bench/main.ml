@@ -14,13 +14,45 @@
    by what rough factor, and how counts grow with depth should match. *)
 
 let quick = ref false
+let json_file : string option ref = ref None
 
 (* ---- table printing -------------------------------------------------------- *)
 
 let header title = Printf.printf "\n=== %s ===\n" title
 
+(* Every printed row is also collected so --json can dump the whole
+   bench result as a machine-readable artifact (CI uploads it). *)
+let collected_rows : (string * string * string * string) list ref = ref []
+
 let row ~id ~desc ~paper ~measured =
+  collected_rows := (id, desc, paper, measured) :: !collected_rows;
   Printf.printf "%-22s %-48s | paper: %-32s | measured: %s\n" id desc paper measured
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json file =
+  let rows = List.rev !collected_rows in
+  let oc = open_out file in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (id, desc, paper, measured) ->
+      Printf.fprintf oc "  {\"id\": \"%s\", \"desc\": \"%s\", \"paper\": \"%s\", \"measured\": \"%s\"}%s\n"
+        (json_escape id) (json_escape desc) (json_escape paper) (json_escape measured)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc
 
 let time_it f =
   let t0 = Unix.gettimeofday () in
@@ -449,6 +481,60 @@ let experiment_jobs_scaling () =
              same_bugs))
     [ 1; 2; 4 ]
 
+(* ---- E13: constraint slicing + solve cache ------------------------------------- *)
+
+(* The two hot-path accelerations are exact, so every ablation combo
+   must agree on verdict, bug set and coverage; the payoff is fewer
+   solver/simplex queries on deep workloads, where sibling subtrees
+   re-issue the same sliced sub-queries. *)
+let experiment_accel_ablation () =
+  header "E13: independence slicing + solve cache (depth >= 3 workloads)";
+  let fingerprint (r : Dart.Driver.report) =
+    ( (match r.Dart.Driver.verdict with
+       | Dart.Driver.Bug_found _ -> "bug"
+       | Dart.Driver.Complete -> "complete"
+       | Dart.Driver.Budget_exhausted -> "budget"),
+      List.map Dart.Driver.bug_key r.Dart.Driver.bugs,
+      List.sort compare r.Dart.Driver.coverage_sites )
+  in
+  let case ~id ~desc ~depth ~max_runs ~toplevel src =
+    let run use_slicing use_cache =
+      let options =
+        { Dart.Driver.default_options with depth; max_runs; use_slicing; use_cache }
+      in
+      time_it (fun () -> Dart.Driver.test_source ~options ~toplevel src)
+    in
+    let accel, ta = run true true in
+    let plain, tp = run false false in
+    let sa = accel.Dart.Driver.solver_stats and sp = plain.Dart.Driver.solver_stats in
+    let reduction a b =
+      if b = 0 then 0.0 else 100.0 *. (1.0 -. (float_of_int a /. float_of_int b))
+    in
+    let identical = fingerprint accel = fingerprint plain in
+    row ~id ~desc ~paper:"n/a (our extension; exactness required)"
+      ~measured:
+        (Printf.sprintf
+           "queries %d -> %d (-%.0f%%), simplex %d -> %d (-%.0f%%), %d hits, %d sliced, \
+            %.2fs -> %.2fs, identical: %b"
+           sp.Solver.queries sa.Solver.queries
+           (reduction sa.Solver.queries sp.Solver.queries)
+           sp.Solver.simplex_queries sa.Solver.simplex_queries
+           (reduction sa.Solver.simplex_queries sp.Solver.simplex_queries)
+           sa.Solver.cache_hits sa.Solver.constraints_sliced_away tp ta identical)
+  in
+  let ac_src, ac_top = Workloads.Paper_examples.ac_controller in
+  case ~id:"accel-ac-depth3" ~desc:"AC controller, depth 3" ~depth:3 ~max_runs:20_000
+    ~toplevel:ac_top ac_src;
+  case ~id:"accel-step-depth4"
+    ~desc:"independent per-call branches, depth 4" ~depth:4 ~max_runs:20_000 ~toplevel:"step"
+    "void step(int m) { if (m == 1) { m = 0; } }";
+  if not !quick then begin
+    let ns_src = Workloads.Needham_schroeder.possibilistic ~fix:`None in
+    case ~id:"accel-ns-poss-depth3" ~desc:"NS possibilistic intruder, depth 3" ~depth:3
+      ~max_runs:50_000 ~toplevel:Workloads.Needham_schroeder.possibilistic_toplevel ns_src
+  end
+  else print_endline "(NS depth 3 skipped in --quick mode)"
+
 (* ---- A4: deep-path regression guard -------------------------------------------- *)
 
 let experiment_deep_path () =
@@ -582,6 +668,7 @@ let experiments =
     ("e9", experiment_osip_sweep);
     ("e10", experiment_parser_attack);
     ("e12", experiment_jobs_scaling);
+    ("e13", experiment_accel_ablation);
     ("a1", experiment_strategy_ablation);
     ("a2", experiment_solver_ablation);
     ("a3", experiment_packet_construction);
@@ -589,17 +676,20 @@ let experiments =
     ("timing", timing_benches) ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "dart-bench: --json requires a file argument";
+      exit 2
+    | a :: rest -> a :: parse rest
   in
+  let args = parse (List.tl (Array.to_list Sys.argv)) in
   let selected = if args = [] then List.map fst experiments else args in
   print_endline "DART reproduction benchmarks (see DESIGN.md for the experiment index)";
   if !quick then print_endline "[--quick mode: reduced budgets]";
@@ -608,4 +698,5 @@ let () =
       match List.assoc_opt id experiments with
       | Some f -> f ()
       | None -> Printf.eprintf "unknown experiment id %s\n" id)
-    selected
+    selected;
+  Option.iter write_json !json_file

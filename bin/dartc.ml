@@ -66,6 +66,20 @@ let portfolio_arg =
     & info [ "portfolio" ]
         ~doc:"With --jobs > 1, cycle workers through the dfs/random/bfs strategy portfolio.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ablation: disable the per-worker solve cache (every query hits the solver).")
+
+let no_slicing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-slicing" ]
+        ~doc:
+          "Ablation: disable independence slicing (send the whole constraint prefix to the \
+           solver instead of the flipped branch's dependency closure).")
+
 let random_mode_arg =
   Arg.(
     value & flag
@@ -107,7 +121,7 @@ let print_coverage prog covered =
   print_string (Dart.Coverage.to_string (Dart.Coverage.compute prog ~covered))
 
 let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
-    jobs portfolio show_interface show_driver dump_ram coverage =
+    jobs portfolio no_cache no_slicing show_interface show_driver dump_ram coverage =
   try
     let src = read_file file in
     let ast = Minic.Parser.parse_program ~file src in
@@ -129,6 +143,10 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
         0
       end
       else if jobs < 0 then usage_error "--jobs must be >= 0"
+      else if portfolio && strategy <> None then
+        (* A portfolio cycles workers through its own strategy list:
+           an explicit --strategy would be silently overridden. *)
+        usage_error "--portfolio conflicts with an explicit --strategy"
       else if portfolio && (random_mode || jobs = 1) then
         usage_error "--portfolio requires a directed search with --jobs > 1 (or 0)"
       else if random_mode then begin
@@ -141,6 +159,8 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
           usage_error "--all-bugs is not supported with --random-testing"
         else if jobs <> 1 then
           usage_error "--jobs is not supported with --random-testing"
+        else if no_cache || no_slicing then
+          usage_error "--no-cache/--no-slicing have no effect with --random-testing"
         else begin
           let exec =
             { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs }
@@ -158,6 +178,8 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
             max_runs;
             strategy = Option.value ~default:Dart.Strategy.Dfs strategy;
             stop_on_first_bug = not all_bugs;
+            use_cache = not no_cache;
+            use_slicing = not no_slicing;
             exec =
               { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs } }
         in
@@ -209,7 +231,8 @@ let cmd =
     Term.(
       const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
       $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg $ jobs_arg
-      $ portfolio_arg $ show_interface_arg $ show_driver_arg $ dump_ram_arg $ coverage_arg)
+      $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ show_interface_arg $ show_driver_arg
+      $ dump_ram_arg $ coverage_arg)
   in
   Cmd.v (Cmd.info "dartc" ~doc) term
 

@@ -17,6 +17,7 @@ type run_data = {
   path_constraint : Constr.t option array;
   conditionals : int;
   steps : int;
+  inputs_read : int;
   all_linear : bool;
   all_locs_definite : bool;
   branch_sites : (string * int * bool) list;
@@ -330,6 +331,7 @@ let run_once ~opts ~rng ~im ~prev_stack ~entry (prog : Ram.Instr.program) : run_
     path_constraint = Array.of_list (List.rev ctx.pc_rev);
     conditionals = ctx.k;
     steps = Machine.steps m;
+    inputs_read = ctx.next_input;
     all_linear = ctx.all_linear;
     all_locs_definite = ctx.all_locs_definite;
     branch_sites = Hashtbl.fold (fun key () acc -> key :: acc) ctx.coverage [] }

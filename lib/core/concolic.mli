@@ -26,6 +26,11 @@ type run_data = {
          linear theory or without symbolic variables *)
   conditionals : int; (* the paper's k *)
   steps : int;
+  inputs_read : int;
+      (* inputs consumed by this run: ids 0 .. inputs_read - 1 (input
+         numbering is creation order, so the read set is a prefix).
+         Entries of IM at or beyond this id were left behind by earlier
+         runs and never influenced this one. *)
   all_linear : bool; (* flags *cleared during this run* are false *)
   all_locs_definite : bool;
   branch_sites : (string * int * bool) list; (* coverage: fn, pc, direction *)

@@ -19,6 +19,12 @@ type t = {
   total_directions : int;
 }
 
+val is_driver_function : string -> bool
+(** Whether [name] is part of the synthesized test driver (the
+    [__dart_*] wrapper and argument functions). Driver-internal branch
+    sites are excluded from every coverage number — both here and in
+    {!Driver.report.branches_covered} — so the two stay consistent. *)
+
 val compute : Ram.Instr.program -> covered:(string * int * bool) list -> t
 (** [covered] is the list of (function, pc, direction) triples a search
     reports. *)

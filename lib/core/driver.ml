@@ -5,6 +5,8 @@ type options = {
   strategy : Strategy.t;
   exec : Concolic.exec_options;
   stop_on_first_bug : bool;
+  use_slicing : bool;
+  use_cache : bool;
 }
 
 let default_options =
@@ -13,7 +15,9 @@ let default_options =
     max_runs = 10_000;
     strategy = Strategy.Dfs;
     exec = Concolic.default_exec_options;
-    stop_on_first_bug = true }
+    stop_on_first_bug = true;
+    use_slicing = true;
+    use_cache = true }
 
 type bug = {
   bug_fault : Machine.fault;
@@ -47,6 +51,7 @@ type search_ctx = {
   sc_rng : Dart_util.Prng.t;
   sc_im : Inputs.t;
   sc_stats : Solver.stats;
+  sc_cache : Solver.Cache.t;
   sc_max_runs : int;
   sc_should_stop : unit -> bool;
 }
@@ -55,6 +60,7 @@ let make_ctx ?(should_stop = fun () -> false) ~seed ~max_runs () =
   { sc_rng = Dart_util.Prng.create seed;
     sc_im = Inputs.create ();
     sc_stats = Solver.create_stats ();
+    sc_cache = Solver.Cache.create ();
     sc_max_runs = max_runs;
     sc_should_stop = should_stop }
 
@@ -83,14 +89,27 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
     total_steps := !total_steps + data.Concolic.steps;
     if not data.Concolic.all_linear then all_linear := false;
     if not data.Concolic.all_locs_definite then all_locs_definite := false;
-    List.iter (fun site -> Hashtbl.replace coverage site ()) data.Concolic.branch_sites
+    (* Driver-internal branch sites are excluded, keeping
+       [branches_covered] consistent with [Coverage.compute] (which
+       filters the same functions) for the same run. *)
+    List.iter
+      (fun ((fn, _, _) as site) ->
+        if not (Coverage.is_driver_function fn) then Hashtbl.replace coverage site ())
+      data.Concolic.branch_sites
   in
-  let record_bug fault site =
+  let record_bug fault site (data : Concolic.run_data) =
     let bug =
       { bug_fault = fault;
         bug_site = site;
         bug_run = !runs;
-        bug_inputs = Inputs.to_alist im }
+        (* Only the inputs the faulting run actually read: IM may hold
+           values set by earlier solver iterations along paths this run
+           never took, and including them would make [bug_inputs] a
+           non-minimal (and misleading) witness. *)
+        bug_inputs =
+          List.filter
+            (fun (id, _) -> id < data.Concolic.inputs_read)
+            (Inputs.to_alist im) }
     in
     let key = bug_key bug in
     if not (Hashtbl.mem bug_sites key) then begin
@@ -114,7 +133,7 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
         record_run data;
         match data.Concolic.outcome with
         | Concolic.Run_fault (fault, site) ->
-          record_bug fault site;
+          record_bug fault site data;
           if options.stop_on_first_bug then `Bug
           else begin
             (* Keep searching: treat the faulting path as fully
@@ -133,8 +152,10 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
       end
     and continue_solving data =
       match
-        Solve_pc.solve ~strategy:options.strategy ~rng ~stats ~im
-          ~stack:data.Concolic.stack ~path_constraint:data.Concolic.path_constraint
+        Solve_pc.solve
+          ?cache:(if options.use_cache then Some ctx.sc_cache else None)
+          ~slicing:options.use_slicing ~strategy:options.strategy ~rng ~stats ~im
+          ~stack:data.Concolic.stack ~path_constraint:data.Concolic.path_constraint ()
       with
       | Solve_pc.Next_run stack' -> loop stack'
       | Solve_pc.Exhausted { solver_incomplete } ->
@@ -212,9 +233,12 @@ let report_to_string r =
      all_linear: %b  all_locs_definite: %b\n\
      solver: %d queries (%d sat, %d unsat, %d unknown), %d fast-path, %d simplex, %d \
      ne-splits\n\
+     accel: %d cache hits, %d cache misses, %d constraints sliced away\n\
      distinct bugs: %d"
     (verdict_to_string r.verdict) r.runs r.restarts r.paths_explored r.total_steps
     r.branches_covered r.all_linear r.all_locs_definite r.solver_stats.Solver.queries
     r.solver_stats.Solver.sat r.solver_stats.Solver.unsat r.solver_stats.Solver.unknown
     r.solver_stats.Solver.fast_path r.solver_stats.Solver.simplex_queries
-    r.solver_stats.Solver.ne_splits (List.length r.bugs)
+    r.solver_stats.Solver.ne_splits r.solver_stats.Solver.cache_hits
+    r.solver_stats.Solver.cache_misses r.solver_stats.Solver.constraints_sliced_away
+    (List.length r.bugs)

@@ -9,6 +9,8 @@ type options = {
   strategy : Strategy.t;
   exec : Concolic.exec_options;
   stop_on_first_bug : bool;
+  use_slicing : bool; (* independence slicing of path constraints (default on) *)
+  use_cache : bool; (* per-worker solve cache (default on) *)
 }
 
 val default_options : options
@@ -17,7 +19,10 @@ type bug = {
   bug_fault : Machine.fault;
   bug_site : Machine.site;
   bug_run : int; (* 1-based index of the run that found it *)
-  bug_inputs : (int * int) list; (* input id -> value (the witness IM) *)
+  bug_inputs : (int * int) list;
+      (* input id -> value: exactly the inputs the faulting run read, a
+         minimal replayable witness (stale IM entries from earlier
+         solver iterations are excluded) *)
 }
 
 val bug_key : bug -> string * int * Machine.fault
@@ -37,7 +42,9 @@ type report = {
   runs : int; (* instrumented runs ("iterations" in the paper's tables) *)
   restarts : int; (* fresh random restarts of the outer loop *)
   total_steps : int;
-  branches_covered : int; (* distinct (function, pc, direction) *)
+  branches_covered : int;
+      (* distinct (function, pc, direction), driver-internal functions
+         excluded — consistent with [Coverage.compute] *)
   coverage_sites : (string * int * bool) list; (* the triples themselves *)
   paths_explored : int; (* completed runs, i.e. distinct execution paths *)
   all_linear : bool;
@@ -50,6 +57,9 @@ type search_ctx = {
   sc_rng : Dart_util.Prng.t; (* private randomness stream *)
   sc_im : Inputs.t; (* private input vector *)
   sc_stats : Solver.stats; (* private solver counters *)
+  sc_cache : Solver.Cache.t;
+      (* private solve cache (shared-nothing across domains, so hits
+         and misses are deterministic per worker) *)
   sc_max_runs : int; (* this search's share of the run budget *)
   sc_should_stop : unit -> bool;
       (* polled at every run boundary; [true] drains the search (used

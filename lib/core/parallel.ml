@@ -59,7 +59,11 @@ let sum_stats (per_worker : Solver.stats list) =
       s.Solver.unknown <- s.Solver.unknown + w.Solver.unknown;
       s.Solver.fast_path <- s.Solver.fast_path + w.Solver.fast_path;
       s.Solver.simplex_queries <- s.Solver.simplex_queries + w.Solver.simplex_queries;
-      s.Solver.ne_splits <- s.Solver.ne_splits + w.Solver.ne_splits)
+      s.Solver.ne_splits <- s.Solver.ne_splits + w.Solver.ne_splits;
+      s.Solver.cache_hits <- s.Solver.cache_hits + w.Solver.cache_hits;
+      s.Solver.cache_misses <- s.Solver.cache_misses + w.Solver.cache_misses;
+      s.Solver.constraints_sliced_away <-
+        s.Solver.constraints_sliced_away + w.Solver.constraints_sliced_away)
     per_worker;
   s
 

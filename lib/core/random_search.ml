@@ -24,7 +24,12 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
       Inputs.clear im; (* fresh random inputs every run *)
       let data = Concolic.run_once ~opts:exec ~rng ~im ~prev_stack:[||] ~entry prog in
       total_steps := !total_steps + data.Concolic.steps;
-      List.iter (fun site -> Hashtbl.replace coverage site ()) data.Concolic.branch_sites;
+      (* Same filtering as Driver.search: driver-internal sites are not
+         program coverage. *)
+      List.iter
+        (fun ((fn, _, _) as site) ->
+          if not (Coverage.is_driver_function fn) then Hashtbl.replace coverage site ())
+        data.Concolic.branch_sites;
       match data.Concolic.outcome with
       | Concolic.Run_fault (fault, site) ->
         let bug =

@@ -20,7 +20,61 @@ let domain_constraints im vars =
       | Some Inputs.Kint | None -> [])
     vars
 
-let solve ~strategy ~rng ~stats ~im ~stack ~path_constraint =
+(* Unrelated-constraint elimination (paper §2.6; the "independent
+   constraint" optimisation of the concolic line): partition
+   [pivot :: prefix] into variable-connected components with a
+   union-find over [Constr.vars], and keep only the pivot's component.
+
+   Dropping the other components is exact, not an approximation: the
+   previous run's inputs satisfy every prefix constraint (they *were*
+   the executed path), so each component disjoint from the pivot is
+   independently satisfiable by the current IM, and the solver's
+   [prefer] completion would reproduce those values anyway. Solving
+   only the pivot's component and leaving the untouched inputs at their
+   IM values is therefore the same IM + IM' update as solving the whole
+   conjunction (paper Fig. 5). *)
+let slice ~pivot ~prefix =
+  let parent : (Linexpr.var, Linexpr.var) Hashtbl.t = Hashtbl.create 32 in
+  let rec find v =
+    match Hashtbl.find_opt parent v with
+    | None ->
+      Hashtbl.replace parent v v;
+      v
+    | Some p when p = v -> v
+    | Some p ->
+      let r = find p in
+      Hashtbl.replace parent v r;
+      r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  let connect c =
+    match Constr.vars c with
+    | [] -> ()
+    | v :: rest -> List.iter (union v) rest
+  in
+  connect pivot;
+  List.iter connect prefix;
+  match Constr.vars pivot with
+  | [] ->
+    (* A variable-free pivot cannot be forced by any input; keep the
+       full conjunction and let the solver report Unsat. *)
+    (pivot :: prefix, 0)
+  | pv :: _ ->
+    let proot = find pv in
+    let kept, dropped =
+      List.partition
+        (fun c ->
+          match Constr.vars c with
+          | [] -> true
+          | v :: _ -> find v = proot)
+        prefix
+    in
+    (pivot :: kept, List.length dropped)
+
+let solve ?cache ?(slicing = true) ~strategy ~rng ~stats ~im ~stack ~path_constraint () =
   let n = Array.length stack in
   assert (Array.length path_constraint = n);
   let candidates =
@@ -30,6 +84,28 @@ let solve ~strategy ~rng ~stats ~im ~stack ~path_constraint =
          (List.init n Fun.id))
   in
   let solver_incomplete = ref false in
+  let solve_query cs =
+    let prefer v = Option.map Zint.of_int (Inputs.value_of im v) in
+    match cache with
+    | None -> Solver.solve ~stats ~prefer cs
+    | Some cache ->
+      let key = Solver.Cache.canonical cs in
+      (match Solver.Cache.find cache key with
+       | Some (Solver.Cache.Sat model) ->
+         stats.Solver.cache_hits <- stats.Solver.cache_hits + 1;
+         Solver.Sat model
+       | Some Solver.Cache.Unsat ->
+         stats.Solver.cache_hits <- stats.Solver.cache_hits + 1;
+         Solver.Unsat
+       | None ->
+         stats.Solver.cache_misses <- stats.Solver.cache_misses + 1;
+         let r = Solver.solve ~stats ~prefer cs in
+         (match r with
+          | Solver.Sat model -> Solver.Cache.add cache key (Solver.Cache.Sat model)
+          | Solver.Unsat -> Solver.Cache.add cache key Solver.Cache.Unsat
+          | Solver.Unknown -> ());
+         r)
+  in
   let rec go () =
     match Strategy.choose strategy rng candidates with
     | None -> Exhausted { solver_incomplete = !solver_incomplete }
@@ -42,7 +118,15 @@ let solve ~strategy ~rng ~stats ~im ~stack ~path_constraint =
       let prefix =
         List.filter_map (fun h -> path_constraint.(h)) (List.init j Fun.id)
       in
-      let base_cs = pivot :: prefix in
+      let base_cs =
+        if slicing then begin
+          let kept, dropped = slice ~pivot ~prefix in
+          stats.Solver.constraints_sliced_away <-
+            stats.Solver.constraints_sliced_away + dropped;
+          kept
+        end
+        else pivot :: prefix
+      in
       let vars =
         let tbl = Hashtbl.create 16 in
         List.iter
@@ -51,10 +135,11 @@ let solve ~strategy ~rng ~stats ~im ~stack ~path_constraint =
         Hashtbl.fold (fun v () acc -> v :: acc) tbl []
       in
       let cs = base_cs @ domain_constraints im vars in
-      let prefer v = Option.map Zint.of_int (Inputs.value_of im v) in
-      (match Solver.solve ~stats ~prefer cs with
+      (match solve_query cs with
        | Solver.Sat model ->
-         (* IM + IM': overwrite solved inputs, keep the rest. *)
+         (* IM + IM': overwrite solved inputs, keep the rest (with
+            slicing, inputs outside the pivot's component are never in
+            the model and keep their current values). *)
          List.iter
            (fun (v, z) -> Inputs.set im ~id:v (Dart_util.Word32.of_zint_trunc z))
            model;

@@ -5,7 +5,17 @@
     predicate, and solve the resulting constraint prefix. On success
     the input vector is updated in place ([IM + IM']) and the truncated
     stack for the next run is returned; on UNSAT the search backtracks
-    to an earlier pending branch. *)
+    to an earlier pending branch.
+
+    Two accelerations on the paper's Figure 5 (both exact):
+    - {b independence slicing} ([slicing], default on): only the
+      pivot's variable-connected component of the constraint prefix is
+      sent to the solver; unrelated components stay satisfied by the
+      current IM, preserving the IM + IM' update semantics.
+    - {b solve caching} ([cache]): Sat models and Unsat verdicts are
+      memoised per canonical constraint set. Pass each worker its own
+      cache ({!Driver.search_ctx} does) — sharing one across domains
+      would make hit sequences racy. *)
 
 type next =
   | Next_run of Concolic.branch_record array
@@ -16,11 +26,28 @@ type next =
           whether any solver query came back unknown, which voids the
           completeness claim (Theorem 1(b)). *)
 
+val domain_constraints :
+  Inputs.t -> Symbolic.Linexpr.var list -> Symbolic.Constr.t list
+(** Input-kind boxing sent alongside every query: chars are constrained
+    to 0..255 and pointer coins to 0..1; ints carry no extra atoms (the
+    solver boxes them to 32 bits itself). *)
+
+val slice :
+  pivot:Symbolic.Constr.t ->
+  prefix:Symbolic.Constr.t list ->
+  Symbolic.Constr.t list * int
+(** [slice ~pivot ~prefix] is [(kept, dropped)]: the pivot's
+    variable-connected component of [pivot :: prefix] (pivot first),
+    and how many prefix constraints were eliminated as unrelated. *)
+
 val solve :
+  ?cache:Solver.Cache.t ->
+  ?slicing:bool ->
   strategy:Strategy.t ->
   rng:Dart_util.Prng.t ->
   stats:Solver.stats ->
   im:Inputs.t ->
   stack:Concolic.branch_record array ->
   path_constraint:Symbolic.Constr.t option array ->
+  unit ->
   next

@@ -1,0 +1,43 @@
+(* Per-worker solve cache (constraint caching, DART §2.6's "most of
+   the time is spent solving path constraints"; cf. the caching layers
+   of industrial concolic engines).
+
+   Keyed on the *canonical form* of a constraint set — sorted with
+   duplicates removed — so syntactically different arrival orders of
+   the same conjunction share one entry. Both Sat models and Unsat
+   verdicts are memoised; Unknown is never cached (it reflects resource
+   limits, not a semantic verdict, and retrying may succeed).
+
+   The cache is deliberately shared-nothing: every worker domain owns
+   one (it lives in the per-worker [Driver.search_ctx]), so parallel
+   searches stay deterministic — a worker's sequence of hits and misses
+   is a pure function of its own query sequence, never of another
+   domain's progress. *)
+
+open Zarith_lite
+open Symbolic
+
+type verdict =
+  | Sat of (Linexpr.var * Zint.t) list
+  | Unsat
+
+module Key = struct
+  type t = Constr.t list (* canonical: sorted by Constr.compare, deduped *)
+
+  let equal = List.equal Constr.equal
+  let hash k = List.fold_left (fun acc c -> (acc * 31) + Constr.hash c) 17 k
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type t = verdict Tbl.t
+
+let create () : t = Tbl.create 256
+
+(** Canonical cache key of a conjunction: order-insensitive and
+    duplicate-free, so [a && b] and [b && a && b] share an entry. *)
+let canonical (cs : Constr.t list) : Key.t = List.sort_uniq Constr.compare cs
+
+let find (t : t) key = Tbl.find_opt t key
+let add (t : t) key verdict = Tbl.replace t key verdict
+let length (t : t) = Tbl.length t

@@ -1,6 +1,10 @@
 open Zarith_lite
 open Symbolic
 
+module Cache = Cache
+(** Re-export: the per-worker solve cache ([lib/solver/cache.ml]),
+    reachable as [Solver.Cache] from outside the library. *)
+
 type result =
   | Sat of (Linexpr.var * Zint.t) list
   | Unsat
@@ -14,11 +18,14 @@ type stats = {
   mutable fast_path : int;
   mutable simplex_queries : int;
   mutable ne_splits : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable constraints_sliced_away : int;
 }
 
 let create_stats () =
   { queries = 0; sat = 0; unsat = 0; unknown = 0; fast_path = 0; simplex_queries = 0;
-    ne_splits = 0 }
+    ne_splits = 0; cache_hits = 0; cache_misses = 0; constraints_sliced_away = 0 }
 
 let dummy_stats = create_stats ()
 

@@ -9,6 +9,35 @@
     case-splitting for disequalities. Every model returned is verified
     against the input constraints before being handed back. *)
 
+module Cache : sig
+  (** Per-worker memoisation of solver verdicts, keyed on the canonical
+      form of a constraint set. Never shared across domains: each
+      worker's hit/miss sequence depends only on its own queries, which
+      keeps parallel search deterministic. *)
+
+  type verdict =
+    | Sat of (Symbolic.Linexpr.var * Zarith_lite.Zint.t) list
+    | Unsat
+
+  module Key : sig
+    type t = Symbolic.Constr.t list
+
+    val equal : t -> t -> bool
+    val hash : t -> int
+  end
+
+  type t
+
+  val create : unit -> t
+
+  val canonical : Symbolic.Constr.t list -> Key.t
+  (** Order-insensitive, duplicate-free key of a conjunction. *)
+
+  val find : t -> Key.t -> verdict option
+  val add : t -> Key.t -> verdict -> unit
+  val length : t -> int
+end
+
 type result =
   | Sat of (Symbolic.Linexpr.var * Zarith_lite.Zint.t) list
       (** Model covering every variable occurring in the input. *)
@@ -23,6 +52,11 @@ type stats = {
   mutable fast_path : int; (* queries discharged without simplex *)
   mutable simplex_queries : int;
   mutable ne_splits : int;
+  mutable cache_hits : int; (* queries answered from the solve cache *)
+  mutable cache_misses : int; (* cache-enabled queries that hit the solver *)
+  mutable constraints_sliced_away : int;
+      (* prefix constraints dropped by independence slicing before the
+         query reached the solver *)
 }
 
 val create_stats : unit -> stats

@@ -43,6 +43,20 @@ let vars c = Linexpr.vars c.lhs
 
 let equal a b = a.rel = b.rel && Linexpr.equal a.lhs b.lhs
 
+let rel_rank = function
+  | Eq0 -> 0
+  | Ne0 -> 1
+  | Le0 -> 2
+  | Lt0 -> 3
+
+(* Total order used to canonicalise constraint sets for solve-cache
+   keys: relation first, then the (already canonical) expression. *)
+let compare a b =
+  let c = Stdlib.compare (rel_rank a.rel) (rel_rank b.rel) in
+  if c <> 0 then c else Linexpr.compare a.lhs b.lhs
+
+let hash c = (rel_rank c.rel * 1000003) + Linexpr.hash c.lhs
+
 let rel_to_string = function
   | Eq0 -> "= 0"
   | Ne0 -> "!= 0"

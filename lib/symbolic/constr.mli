@@ -31,5 +31,13 @@ val holds : (Linexpr.var -> Zarith_lite.Zint.t) -> t -> bool
 
 val vars : t -> Linexpr.var list
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order (relation, then expression) used to canonicalise
+    constraint sets, e.g. for solver-cache keys. *)
+
+val hash : t -> int
+(** Structural hash consistent with {!equal}. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

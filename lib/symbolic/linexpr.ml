@@ -70,6 +70,13 @@ let compare a b =
         if c <> 0 then c else Zint.compare ca cb)
       a.terms b.terms
 
+(* Terms are kept sorted with no zero coefficients, so the structural
+   fold is a sound hash for the canonical form. *)
+let hash e =
+  List.fold_left
+    (fun acc (x, c) -> (acc * 31) + (x * 7) + Zint.hash c)
+    (Zint.hash e.const) e.terms
+
 let to_string e =
   let term_str (x, c) =
     if Zint.is_one c then Printf.sprintf "x%d" x

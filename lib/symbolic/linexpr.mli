@@ -36,5 +36,10 @@ val vars : t -> var list
 val eval : (var -> Zarith_lite.Zint.t) -> t -> Zarith_lite.Zint.t
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Structural hash consistent with {!equal} (expressions are kept in
+    canonical form, so equal expressions hash identically). *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

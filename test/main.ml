@@ -10,6 +10,8 @@ let () =
       ("solver", Test_solver.suite);
       ("concolic", Test_concolic.suite);
       ("driver", Test_driver.suite);
+      ("strategy", Test_strategy.suite);
+      ("accel", Test_accel.suite);
       ("parallel", Test_parallel.suite);
       ("workloads", Test_workloads.suite);
       ("progen", Test_progen.suite) ]

@@ -1,0 +1,235 @@
+(* Solver acceleration layer: independence slicing of path constraints
+   and the per-worker solve cache. The key invariant throughout: both
+   optimisations are *exact* — verdicts, bug sets and coverage must be
+   identical with and without them. *)
+
+open Zarith_lite
+
+let zi = Zint.of_int
+
+(* ---- cache canonicalisation -------------------------------------------------- *)
+
+let c_eq v k =
+  Symbolic.Constr.make
+    (Symbolic.Linexpr.add_const (zi (-k)) (Symbolic.Linexpr.var v))
+    Symbolic.Constr.Eq0
+
+let c_le v k =
+  Symbolic.Constr.make
+    (Symbolic.Linexpr.add_const (zi (-k)) (Symbolic.Linexpr.var v))
+    Symbolic.Constr.Le0
+
+let test_canonical_key () =
+  let a = c_eq 0 10 and b = c_le 1 3 in
+  let k1 = Solver.Cache.canonical [ a; b ] in
+  let k2 = Solver.Cache.canonical [ b; a; b; a ] in
+  Alcotest.(check bool) "order and duplicates ignored" true (Solver.Cache.Key.equal k1 k2);
+  Alcotest.(check int) "hash agrees" (Solver.Cache.Key.hash k1) (Solver.Cache.Key.hash k2);
+  let k3 = Solver.Cache.canonical [ a; c_le 1 4 ] in
+  Alcotest.(check bool) "different set, different key" false (Solver.Cache.Key.equal k1 k3)
+
+let test_cache_roundtrip () =
+  let cache = Solver.Cache.create () in
+  let key = Solver.Cache.canonical [ c_eq 0 10 ] in
+  Alcotest.(check bool) "miss on empty" true (Solver.Cache.find cache key = None);
+  Solver.Cache.add cache key (Solver.Cache.Sat [ (0, zi 10) ]);
+  (match Solver.Cache.find cache (Solver.Cache.canonical [ c_eq 0 10 ]) with
+   | Some (Solver.Cache.Sat [ (0, z) ]) -> Alcotest.(check int) "model value" 10 (Zint.to_int z)
+   | _ -> Alcotest.fail "expected cached Sat model");
+  let ukey = Solver.Cache.canonical [ c_eq 0 1; c_eq 0 2 ] in
+  Solver.Cache.add cache ukey Solver.Cache.Unsat;
+  Alcotest.(check bool) "unsat cached" true
+    (Solver.Cache.find cache ukey = Some Solver.Cache.Unsat);
+  Alcotest.(check int) "two entries" 2 (Solver.Cache.length cache)
+
+(* ---- slicing: dependency closure --------------------------------------------- *)
+
+let lin terms k =
+  List.fold_left
+    (fun acc (v, c) ->
+      Symbolic.Linexpr.add acc (Symbolic.Linexpr.scale (zi c) (Symbolic.Linexpr.var v)))
+    (Symbolic.Linexpr.const (zi k)) terms
+
+let test_slice_components () =
+  (* pivot over x0; prefix has one constraint chained to x0 through x1
+     and one constraint over an unrelated x9. *)
+  let pivot = c_eq 0 1 in
+  let chain01 = Symbolic.Constr.make (lin [ (0, 1); (1, -1) ] 0) Symbolic.Constr.Le0 in
+  let alone9 = c_le 9 5 in
+  let kept, dropped = Dart.Solve_pc.slice ~pivot ~prefix:[ chain01; alone9 ] in
+  Alcotest.(check int) "one constraint sliced away" 1 dropped;
+  Alcotest.(check int) "pivot + chained kept" 2 (List.length kept);
+  Alcotest.(check bool) "pivot kept first" true (Symbolic.Constr.equal (List.hd kept) pivot);
+  Alcotest.(check bool) "unrelated dropped" true
+    (not (List.exists (Symbolic.Constr.equal alone9) kept));
+  (* Transitive closure: x0-x1, x1-x2 pulls the x2 constraint in. *)
+  let chain12 = Symbolic.Constr.make (lin [ (1, 1); (2, -1) ] 0) Symbolic.Constr.Le0 in
+  let kept, dropped =
+    Dart.Solve_pc.slice ~pivot ~prefix:[ chain01; chain12; alone9; c_eq 2 7 ]
+  in
+  Alcotest.(check int) "only x9 dropped" 1 dropped;
+  Alcotest.(check int) "closure kept" 4 (List.length kept)
+
+let test_slice_preserves_im () =
+  (* Flipping the deepest branch (over x1) must not disturb the
+     unrelated x0, which stays at its IM value. *)
+  let im = Dart.Inputs.create () in
+  Dart.Inputs.set im ~id:0 5;
+  Dart.Inputs.set im ~id:1 6;
+  let stack =
+    [| { Dart.Concolic.br_branch = true; br_done = false };
+       { Dart.Concolic.br_branch = true; br_done = false } |]
+  in
+  let path_constraint = [| Some (c_eq 0 5); Some (c_eq 1 6) |] in
+  let stats = Solver.create_stats () in
+  let next =
+    Dart.Solve_pc.solve ~slicing:true ~strategy:Dart.Strategy.Dfs
+      ~rng:(Dart_util.Prng.create 1) ~stats ~im ~stack ~path_constraint ()
+  in
+  (match next with
+   | Dart.Solve_pc.Next_run stack' ->
+     Alcotest.(check int) "stack truncated to flip" 2 (Array.length stack');
+     Alcotest.(check bool) "deepest flipped" false stack'.(1).Dart.Concolic.br_branch
+   | Dart.Solve_pc.Exhausted _ -> Alcotest.fail "x1 <> 6 is satisfiable");
+  Alcotest.(check (option int)) "x0 untouched" (Some 5) (Dart.Inputs.value_of im 0);
+  (match Dart.Inputs.value_of im 1 with
+   | Some v -> Alcotest.(check bool) "x1 re-solved away from 6" true (v <> 6)
+   | None -> Alcotest.fail "x1 must be set");
+  Alcotest.(check int) "prefix constraint sliced away" 1
+    stats.Solver.constraints_sliced_away
+
+(* ---- end-to-end: ablation combos agree --------------------------------------- *)
+
+let opts ?(depth = 1) ?(max_runs = 20_000) ~use_slicing ~use_cache () =
+  { Dart.Driver.default_options with depth; max_runs; use_slicing; use_cache }
+
+let combos = [ (true, true); (true, false); (false, true); (false, false) ]
+
+let run_combo ?depth ?max_runs (src, toplevel) (use_slicing, use_cache) =
+  Dart.Driver.test_source
+    ~options:(opts ?depth ?max_runs ~use_slicing ~use_cache ())
+    ~toplevel src
+
+let fingerprint (r : Dart.Driver.report) =
+  let verdict =
+    match r.Dart.Driver.verdict with
+    | Dart.Driver.Bug_found _ -> "bug"
+    | Dart.Driver.Complete -> "complete"
+    | Dart.Driver.Budget_exhausted -> "budget"
+  in
+  ( verdict,
+    List.map Dart.Driver.bug_key r.Dart.Driver.bugs,
+    List.sort compare r.Dart.Driver.coverage_sites )
+
+let test_ablation_equivalence () =
+  let nested =
+    ({| void f(int a, int b) { if (a == 1) { if (b == 2) { if (a == 3) abort(); } } } |}, "f")
+  in
+  let step3 = ({| void step(int m) { if (m == 1) { m = 0; } } |}, "step") in
+  let cases =
+    [ ("2.1", Workloads.Paper_examples.section_2_1, 1);
+      ("2.4", Workloads.Paper_examples.section_2_4, 1);
+      ("ac", Workloads.Paper_examples.ac_controller, 2);
+      ("eq", Workloads.Paper_examples.eq_filter, 1);
+      ("nested", nested, 1);
+      ("step3", step3, 3) ]
+  in
+  List.iter
+    (fun (name, case, depth) ->
+      let reference = fingerprint (run_combo ~depth case (false, false)) in
+      List.iter
+        (fun combo ->
+          let got = fingerprint (run_combo ~depth case combo) in
+          let sl, ca = combo in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: slicing=%b cache=%b matches baseline" name sl ca)
+            true (got = reference))
+        combos)
+    cases
+
+let test_unsat_slicing_complete () =
+  (* a == 3 under prefix a == 1 is Unsat; slicing must still prove it
+     (the pivot's own component keeps the a-constraints) and DFS must
+     terminate Complete, with the unrelated b-constraint sliced away. *)
+  let src = {| void f(int a, int b) { if (a == 1) { if (b == 2) { if (a == 3) abort(); } } } |} in
+  List.iter
+    (fun use_slicing ->
+      let options = opts ~use_slicing ~use_cache:false () in
+      let r = Dart.Driver.test_source ~options ~toplevel:"f" src in
+      (match r.Dart.Driver.verdict with
+       | Dart.Driver.Complete -> ()
+       | _ -> Alcotest.failf "slicing=%b: expected Complete" use_slicing);
+      if use_slicing then
+        Alcotest.(check bool) "some constraint sliced away" true
+          (r.Dart.Driver.solver_stats.Solver.constraints_sliced_away > 0))
+    [ true; false ]
+
+(* ---- cache effectiveness ------------------------------------------------------ *)
+
+let test_cache_hits_and_query_reduction () =
+  (* Depth-3 driver over independent per-call inputs: sibling subtrees
+     re-issue the same sliced queries, so slicing + caching must
+     answer some from the cache and reduce solver queries. *)
+  let case = ({| void step(int m) { if (m == 1) { m = 0; } } |}, "step") in
+  let accel = run_combo ~depth:3 case (true, true) in
+  let plain = run_combo ~depth:3 case (false, false) in
+  let qa = accel.Dart.Driver.solver_stats.Solver.queries in
+  let qp = plain.Dart.Driver.solver_stats.Solver.queries in
+  Alcotest.(check bool) "cache hits occurred" true
+    (accel.Dart.Driver.solver_stats.Solver.cache_hits > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer queries with accel (%d < %d)" qa qp)
+    true (qa < qp);
+  (* With the cache on, every real solve was a recorded miss. *)
+  Alcotest.(check int) "queries = cache misses" qa
+    accel.Dart.Driver.solver_stats.Solver.cache_misses;
+  (* Both runs explored the same 8 paths. *)
+  Alcotest.(check int) "same paths" plain.Dart.Driver.paths_explored
+    accel.Dart.Driver.paths_explored
+
+let test_cache_determinism () =
+  (* Bit-for-bit determinism with the cache on: identical reports from
+     identical runs. *)
+  let run () = run_combo ~depth:2 Workloads.Paper_examples.ac_controller (true, true) in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check int) "same runs" r1.Dart.Driver.runs r2.Dart.Driver.runs;
+  Alcotest.(check int) "same steps" r1.Dart.Driver.total_steps r2.Dart.Driver.total_steps;
+  Alcotest.(check int) "same hits" r1.Dart.Driver.solver_stats.Solver.cache_hits
+    r2.Dart.Driver.solver_stats.Solver.cache_hits;
+  Alcotest.(check bool) "same witness" true
+    (match (r1.Dart.Driver.verdict, r2.Dart.Driver.verdict) with
+     | Dart.Driver.Bug_found a, Dart.Driver.Bug_found b ->
+       a.Dart.Driver.bug_inputs = b.Dart.Driver.bug_inputs
+     | _ -> false)
+
+let test_per_worker_caches () =
+  (* Parallel workers carry private caches: the merged stats sum the
+     per-worker counters, and jobs=1 with caching stays identical to
+     the sequential driver. *)
+  let src, toplevel = Workloads.Paper_examples.section_2_4 in
+  let ast = Minic.Parser.parse_program src in
+  let prog = Dart.Driver.prepare ~toplevel ~depth:1 ast in
+  let base = { Dart.Driver.default_options with max_runs = 100 } in
+  let seq = Dart.Driver.run ~options:base prog in
+  let par1 = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:1 base) prog in
+  Alcotest.(check bool) "jobs=1 report identical" true (par1.Dart.Parallel.merged = seq);
+  let par4 = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:4 base) prog in
+  let merged_hits =
+    List.fold_left
+      (fun acc (w : Dart.Parallel.worker_report) ->
+        acc + w.Dart.Parallel.w_report.Dart.Driver.solver_stats.Solver.cache_hits)
+      0 par4.Dart.Parallel.workers
+  in
+  Alcotest.(check int) "merged hits = sum of worker hits" merged_hits
+    par4.Dart.Parallel.merged.Dart.Driver.solver_stats.Solver.cache_hits
+
+let suite =
+  [ Alcotest.test_case "canonical key" `Quick test_canonical_key;
+    Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "slice components" `Quick test_slice_components;
+    Alcotest.test_case "slice preserves IM" `Quick test_slice_preserves_im;
+    Alcotest.test_case "ablation equivalence" `Quick test_ablation_equivalence;
+    Alcotest.test_case "unsat under slicing" `Quick test_unsat_slicing_complete;
+    Alcotest.test_case "cache hits reduce queries" `Quick test_cache_hits_and_query_reduction;
+    Alcotest.test_case "cache determinism" `Quick test_cache_determinism;
+    Alcotest.test_case "per-worker caches" `Quick test_per_worker_caches ]

@@ -264,6 +264,72 @@ int classify(int msg) {
   (* paths: 10, 20, 30(+40), 40, default = 5 *)
   Alcotest.(check int) "five paths" 5 r.Dart.Driver.paths_explored
 
+let test_coverage_count_consistency () =
+  (* Regression: [branches_covered] used to count driver-wrapper sites
+     that [Coverage.compute] filters out, so the headline number and
+     the per-function report disagreed. They must count the same set. *)
+  let src, toplevel = Workloads.Paper_examples.section_2_1 in
+  let opts = { (options ()) with Dart.Driver.stop_on_first_bug = false } in
+  let r = Dart.Driver.test_source ~options:opts ~toplevel src in
+  let prog = Dart.Driver.prepare ~toplevel ~depth:1 (Minic.Parser.parse_program src) in
+  let cov = Dart.Coverage.compute prog ~covered:r.Dart.Driver.coverage_sites in
+  Alcotest.(check int) "headline = per-function total" cov.Dart.Coverage.total_directions
+    r.Dart.Driver.branches_covered;
+  Alcotest.(check int) "sites list has the same cardinality"
+    r.Dart.Driver.branches_covered
+    (List.length (List.sort_uniq compare r.Dart.Driver.coverage_sites));
+  List.iter
+    (fun (fn, _, _) ->
+      if Dart.Coverage.is_driver_function fn then
+        Alcotest.failf "driver site %s leaked into coverage_sites" fn)
+    r.Dart.Driver.coverage_sites
+
+let test_bug_witness_minimal_and_replays () =
+  (* Regression: [bug_inputs] used to snapshot all of IM, including
+     stale entries left behind by earlier solver iterations. Here DFS
+     explores the ext() subtree (persisting an input for ext's result)
+     before flipping x == 3; the faulting run reads only x, so the
+     witness must be exactly [(0, 3)] — and must replay on its own. *)
+  let src = {|
+int ext();
+void f(int x) {
+  if (x == 3) abort();
+  if (x == 0) {
+    int t = ext();
+    if (t == 5) { t = 6; }
+  }
+}
+|} in
+  let r = dart (src, "f") in
+  expect_bug "ext witness" r;
+  match r.Dart.Driver.verdict with
+  | Dart.Driver.Bug_found b ->
+    Alcotest.(check bool) "bug found after exploring the ext subtree" true
+      (b.Dart.Driver.bug_run > 2);
+    Alcotest.(check (list (pair int int))) "minimal witness" [ (0, 3) ]
+      b.Dart.Driver.bug_inputs;
+    (* Replay from the witness alone: a fresh IM holding only the
+       recorded inputs reproduces the same fault at the same site. *)
+    let prog = Dart.Driver.prepare ~toplevel:"f" ~depth:1 (Minic.Parser.parse_program src) in
+    let im = Dart.Inputs.create () in
+    List.iter (fun (id, v) -> Dart.Inputs.set im ~id v) b.Dart.Driver.bug_inputs;
+    let data =
+      Dart.Concolic.run_once ~opts:Dart.Concolic.default_exec_options
+        ~rng:(Dart_util.Prng.create 0) ~im ~prev_stack:[||]
+        ~entry:Dart.Driver_gen.wrapper_name prog
+    in
+    (match data.Dart.Concolic.outcome with
+     | Dart.Concolic.Run_fault (fault, site) ->
+       Alcotest.(check bool) "same fault" true (fault = b.Dart.Driver.bug_fault);
+       Alcotest.(check string) "same function" b.Dart.Driver.bug_site.Machine.site_fn
+         site.Machine.site_fn;
+       Alcotest.(check int) "same pc" b.Dart.Driver.bug_site.Machine.site_pc
+         site.Machine.site_pc
+     | _ -> Alcotest.fail "witness did not replay the fault");
+    Alcotest.(check int) "replay reads only the witness inputs" 1
+      data.Dart.Concolic.inputs_read
+  | _ -> assert false
+
 let test_list_shapes_via_restarts () =
   (* The sum3 bug needs a length-3 list (shape found by restarts) with
      payloads summing to 300 (values found by the solver). *)
@@ -297,5 +363,7 @@ let suite =
     Alcotest.test_case "assume pruning" `Quick test_assume_prunes;
     Alcotest.test_case "coverage report" `Quick test_coverage_report;
     Alcotest.test_case "directed switch" `Quick test_directed_switch;
+    Alcotest.test_case "coverage count consistency" `Quick test_coverage_count_consistency;
+    Alcotest.test_case "minimal bug witness replays" `Quick test_bug_witness_minimal_and_replays;
     Alcotest.test_case "list shapes via restarts" `Slow test_list_shapes_via_restarts;
     Alcotest.test_case "list shapes symbolic ptrs" `Slow test_list_shapes_symbolic_pointers ]

@@ -1,0 +1,165 @@
+(* Candidate-window semantics of Strategy.remove_failed (the Unsat /
+   Unknown backtracking paths of Figure 5) and the input-kind boxing of
+   Solve_pc.domain_constraints. *)
+
+open Zarith_lite
+
+let rng () = Dart_util.Prng.create 99
+
+(* ---- remove_failed window semantics ---------------------------------------- *)
+
+let test_dfs_window () =
+  (* Dfs discards the failed candidate and everything deeper. *)
+  let c = Dart.Strategy.candidates_of_list [ 0; 2; 5; 7; 9 ] in
+  let rng = rng () in
+  Alcotest.(check (option int)) "deepest first" (Some 9)
+    (Dart.Strategy.choose Dart.Strategy.Dfs rng c);
+  Dart.Strategy.remove_failed Dart.Strategy.Dfs c;
+  Alcotest.(check (list int)) "window truncated from the top" [ 0; 2; 5; 7 ]
+    (Dart.Strategy.to_list c);
+  Alcotest.(check (option int)) "next deepest" (Some 7)
+    (Dart.Strategy.choose Dart.Strategy.Dfs rng c);
+  Dart.Strategy.remove_failed Dart.Strategy.Dfs c;
+  ignore (Dart.Strategy.choose Dart.Strategy.Dfs rng c);
+  Dart.Strategy.remove_failed Dart.Strategy.Dfs c;
+  Alcotest.(check (list int)) "two more removals" [ 0; 2 ] (Dart.Strategy.to_list c)
+
+let test_bfs_window () =
+  (* Bfs discards the failed candidate from the bottom of the window. *)
+  let c = Dart.Strategy.candidates_of_list [ 1; 3; 4 ] in
+  let rng = rng () in
+  Alcotest.(check (option int)) "shallowest first" (Some 1)
+    (Dart.Strategy.choose Dart.Strategy.Bfs rng c);
+  Dart.Strategy.remove_failed Dart.Strategy.Bfs c;
+  Alcotest.(check (list int)) "window advanced from the bottom" [ 3; 4 ]
+    (Dart.Strategy.to_list c);
+  Alcotest.(check (option int)) "next shallowest" (Some 3)
+    (Dart.Strategy.choose Dart.Strategy.Bfs rng c);
+  Dart.Strategy.remove_failed Dart.Strategy.Bfs c;
+  ignore (Dart.Strategy.choose Dart.Strategy.Bfs rng c);
+  Dart.Strategy.remove_failed Dart.Strategy.Bfs c;
+  Alcotest.(check int) "exhausted" 0 (Dart.Strategy.cardinal c);
+  Alcotest.(check (option int)) "choose on empty" None
+    (Dart.Strategy.choose Dart.Strategy.Bfs rng c)
+
+let test_random_window () =
+  (* Random_branch swap-removes exactly the chosen element. *)
+  let c = Dart.Strategy.candidates_of_list [ 10; 20; 30; 40 ] in
+  let rng = rng () in
+  let chosen =
+    match Dart.Strategy.choose Dart.Strategy.Random_branch rng c with
+    | Some j -> j
+    | None -> Alcotest.fail "choose on non-empty"
+  in
+  Dart.Strategy.remove_failed Dart.Strategy.Random_branch c;
+  let rest = Dart.Strategy.to_list c in
+  Alcotest.(check int) "one removed" 3 (List.length rest);
+  Alcotest.(check bool) "chosen gone" false (List.mem chosen rest);
+  List.iter
+    (fun j -> Alcotest.(check bool) "survivor was a candidate" true (List.mem j [ 10; 20; 30; 40 ]))
+    rest;
+  (* Draining the whole set never repeats and never invalid_args. *)
+  let seen = ref [ chosen ] in
+  for _ = 1 to 3 do
+    (match Dart.Strategy.choose Dart.Strategy.Random_branch rng c with
+     | Some j ->
+       Alcotest.(check bool) "no repeat" false (List.mem j !seen);
+       seen := j :: !seen
+     | None -> Alcotest.fail "drained too early");
+    Dart.Strategy.remove_failed Dart.Strategy.Random_branch c
+  done;
+  Alcotest.(check int) "drained" 0 (Dart.Strategy.cardinal c)
+
+let expect_invalid_arg name f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_remove_without_choose () =
+  List.iter
+    (fun strategy ->
+      let name = Dart.Strategy.to_string strategy in
+      (* Fresh set: no preceding choose at all. *)
+      let c = Dart.Strategy.candidates_of_list [ 0; 1; 2 ] in
+      expect_invalid_arg name (fun () -> Dart.Strategy.remove_failed strategy c);
+      (* Double removal after a single choose. *)
+      let c = Dart.Strategy.candidates_of_list [ 0; 1; 2 ] in
+      ignore (Dart.Strategy.choose strategy (rng ()) c);
+      Dart.Strategy.remove_failed strategy c;
+      expect_invalid_arg (name ^ " double") (fun () ->
+          Dart.Strategy.remove_failed strategy c))
+    [ Dart.Strategy.Dfs; Dart.Strategy.Bfs; Dart.Strategy.Random_branch ]
+
+(* ---- domain_constraints ----------------------------------------------------- *)
+
+let kinds_im () =
+  (* Register one input of each kind via the public API (get records
+     the kind and draws a value). *)
+  let im = Dart.Inputs.create () in
+  let rng = rng () in
+  ignore (Dart.Inputs.get im ~id:0 ~kind:Dart.Inputs.Kint ~rng);
+  ignore (Dart.Inputs.get im ~id:1 ~kind:Dart.Inputs.Kchar ~rng);
+  ignore (Dart.Inputs.get im ~id:2 ~kind:Dart.Inputs.Kcoin ~rng);
+  im
+
+let holds_at cs v value =
+  let env x = if x = v then Zint.of_int value else Zint.zero in
+  List.for_all (fun c -> Symbolic.Constr.holds env c) cs
+
+let test_domain_constraints_boxing () =
+  let im = kinds_im () in
+  (* Kint and unknown ids produce no atoms (the solver 32-bit-boxes
+     ints itself). *)
+  Alcotest.(check int) "int unboxed" 0
+    (List.length (Dart.Solve_pc.domain_constraints im [ 0 ]));
+  Alcotest.(check int) "unknown id unboxed" 0
+    (List.length (Dart.Solve_pc.domain_constraints im [ 42 ]));
+  (* Kchar: two atoms pinning 0..255 exactly. *)
+  let char_cs = Dart.Solve_pc.domain_constraints im [ 1 ] in
+  Alcotest.(check int) "char boxed by two atoms" 2 (List.length char_cs);
+  Alcotest.(check bool) "0 in char box" true (holds_at char_cs 1 0);
+  Alcotest.(check bool) "255 in char box" true (holds_at char_cs 1 255);
+  Alcotest.(check bool) "-1 outside char box" false (holds_at char_cs 1 (-1));
+  Alcotest.(check bool) "256 outside char box" false (holds_at char_cs 1 256);
+  (* Kcoin: 0..1. *)
+  let coin_cs = Dart.Solve_pc.domain_constraints im [ 2 ] in
+  Alcotest.(check int) "coin boxed by two atoms" 2 (List.length coin_cs);
+  Alcotest.(check bool) "0 is a coin" true (holds_at coin_cs 2 0);
+  Alcotest.(check bool) "1 is a coin" true (holds_at coin_cs 2 1);
+  Alcotest.(check bool) "2 is not a coin" false (holds_at coin_cs 2 2);
+  (* Mixed list: atoms accumulate per var. *)
+  Alcotest.(check int) "mixed list" 4
+    (List.length (Dart.Solve_pc.domain_constraints im [ 0; 1; 2 ]))
+
+let test_char_box_reaches_solver () =
+  (* if (c == 300) is unsatisfiable for a char: without the Kchar box
+     the solver would happily answer c = 300 and the search would churn
+     on prediction failures; with it, DFS proves the branch dead and
+     terminates Complete. *)
+  let r =
+    Dart.Driver.test_source
+      ~options:{ Dart.Driver.default_options with max_runs = 50 }
+      ~toplevel:"f" "void f(char c) { if (c == 300) abort(); }"
+  in
+  (match r.Dart.Driver.verdict with
+   | Dart.Driver.Complete -> ()
+   | Dart.Driver.Bug_found _ -> Alcotest.fail "char box violated: found impossible bug"
+   | Dart.Driver.Budget_exhausted -> Alcotest.fail "char box missing: search churned");
+  (* The satisfiable edge of the box is still reachable. *)
+  let r =
+    Dart.Driver.test_source
+      ~options:{ Dart.Driver.default_options with max_runs = 50 }
+      ~toplevel:"f" "void f(char c) { if (c == 255) abort(); }"
+  in
+  match r.Dart.Driver.verdict with
+  | Dart.Driver.Bug_found b ->
+    Alcotest.(check int) "witness c = 255" 255 (List.assoc 0 b.Dart.Driver.bug_inputs)
+  | _ -> Alcotest.fail "c == 255 must be reachable"
+
+let suite =
+  [ Alcotest.test_case "dfs window" `Quick test_dfs_window;
+    Alcotest.test_case "bfs window" `Quick test_bfs_window;
+    Alcotest.test_case "random swap-remove" `Quick test_random_window;
+    Alcotest.test_case "remove without choose" `Quick test_remove_without_choose;
+    Alcotest.test_case "domain constraints boxing" `Quick test_domain_constraints_boxing;
+    Alcotest.test_case "char box reaches solver" `Quick test_char_box_reaches_solver ]
