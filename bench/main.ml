@@ -71,11 +71,8 @@ let verdict_cell (r : Dart.Driver.report) seconds =
 let dart ?(depth = 1) ?(max_runs = 20_000) ?(strategy = Dart.Strategy.Dfs)
     ?(symbolic_pointers = false) ~toplevel src =
   let options =
-    { Dart.Driver.default_options with
-      depth;
-      max_runs;
-      strategy;
-      exec = { Dart.Concolic.default_exec_options with symbolic_pointers } }
+    Dart.Driver.Options.make ~depth ~max_runs ~strategy
+      ~exec:{ Dart.Concolic.default_exec_options with symbolic_pointers } ()
   in
   time_it (fun () -> Dart.Driver.test_source ~options ~toplevel src)
 
@@ -222,7 +219,7 @@ let experiment_osip_sweep () =
           (fun (f : Workloads.Osip_sim.gen_func) ->
             if f.gf_vulnerable then incr vulnerable;
             let prog = Dart.Driver.prepare ~toplevel:f.gf_toplevel ~depth:1 ast in
-            let options = { Dart.Driver.default_options with max_runs = per_function_budget } in
+            let options = Dart.Driver.Options.make ~max_runs:per_function_budget () in
             let r = Dart.Driver.run ~options prog in
             (match r.Dart.Driver.verdict with
              | Dart.Driver.Bug_found b ->
@@ -417,12 +414,12 @@ void f(int a, int b, int c) {
     ~paper:"lp_solve (real+integer programming)"
     ~measured:
       (Printf.sprintf "bug=%b, %d queries (%d simplex, %d fast-path)" found
-         stats.Solver.queries stats.Solver.simplex_queries stats.Solver.fast_path);
+         (Solver.queries stats) (Solver.simplex_queries stats) (Solver.fast_path stats));
   let found, stats = run_with false in
   row ~id:"solver-intervals-only" ~desc:"interval fast path only (ablated)" ~paper:"n/a"
     ~measured:
-      (Printf.sprintf "bug=%b, %d queries (%d unknown)" found stats.Solver.queries
-         stats.Solver.unknown)
+      (Printf.sprintf "bug=%b, %d queries (%d unknown)" found (Solver.queries stats)
+         (Solver.unknown_count stats))
 
 (* ---- E12: parallel jobs scaling ------------------------------------------------ *)
 
@@ -456,7 +453,7 @@ let experiment_jobs_scaling () =
     Dart.Driver.prepare ~toplevel:"deep" ~depth:1
       (Minic.Parser.parse_program (deep_chain_src chain))
   in
-  let base = { Dart.Driver.default_options with max_runs = budget } in
+  let base = Dart.Driver.Options.make ~max_runs:budget () in
   let t1 = ref 1.0 in
   let bugs_at_1 = ref [] in
   List.iter
@@ -499,9 +496,7 @@ let experiment_accel_ablation () =
   in
   let case ~id ~desc ~depth ~max_runs ~toplevel src =
     let run use_slicing use_cache =
-      let options =
-        { Dart.Driver.default_options with depth; max_runs; use_slicing; use_cache }
-      in
+      let options = Dart.Driver.Options.make ~depth ~max_runs ~use_slicing ~use_cache () in
       time_it (fun () -> Dart.Driver.test_source ~options ~toplevel src)
     in
     let accel, ta = run true true in
@@ -516,11 +511,23 @@ let experiment_accel_ablation () =
         (Printf.sprintf
            "queries %d -> %d (-%.0f%%), simplex %d -> %d (-%.0f%%), %d hits, %d sliced, \
             %.2fs -> %.2fs, identical: %b"
-           sp.Solver.queries sa.Solver.queries
-           (reduction sa.Solver.queries sp.Solver.queries)
-           sp.Solver.simplex_queries sa.Solver.simplex_queries
-           (reduction sa.Solver.simplex_queries sp.Solver.simplex_queries)
-           sa.Solver.cache_hits sa.Solver.constraints_sliced_away tp ta identical)
+           (Solver.queries sp) (Solver.queries sa)
+           (reduction (Solver.queries sa) (Solver.queries sp))
+           (Solver.simplex_queries sp) (Solver.simplex_queries sa)
+           (reduction (Solver.simplex_queries sa) (Solver.simplex_queries sp))
+           (Solver.cache_hits sa)
+           (Solver.constraints_sliced_away sa)
+           tp ta identical);
+    (* Machine-readable companion row: the full counter/timing vectors
+       land in the --json artifact through the same row channel. *)
+    row ~id:(id ^ "-counters") ~desc:"solver counters + phase seconds (accelerated run)"
+      ~paper:"n/a"
+      ~measured:
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (Solver.to_assoc sa)
+            @ List.map
+                (fun (k, v) -> Printf.sprintf "%s=%.3f" k v)
+                (Dart.Telemetry.metrics_to_assoc accel.Dart.Driver.metrics)))
   in
   let ac_src, ac_top = Workloads.Paper_examples.ac_controller in
   case ~id:"accel-ac-depth3" ~desc:"AC controller, depth 3" ~depth:3 ~max_runs:20_000
@@ -544,7 +551,7 @@ let experiment_deep_path () =
     Dart.Driver.prepare ~toplevel:"deep" ~depth:1
       (Minic.Parser.parse_program (deep_chain_src chain))
   in
-  let options = { Dart.Driver.default_options with max_runs = 2 * chain } in
+  let options = Dart.Driver.Options.make ~max_runs:(2 * chain) () in
   let r, s = time_it (fun () -> Dart.Driver.run ~options prog) in
   let per_run = s /. float_of_int r.Dart.Driver.runs *. 1000.0 in
   (* Generous ceiling: a quadratic candidate representation pushes the
@@ -555,7 +562,7 @@ let experiment_deep_path () =
     ~paper:"n/a (regression guard)"
     ~measured:
       (Printf.sprintf "%.2fs (%.1fms/run), %d solver queries [%s]" s per_run
-         r.Dart.Driver.solver_stats.Solver.queries
+         (Solver.queries r.Dart.Driver.solver_stats)
          (if s <= ceiling then "PASS" else Printf.sprintf "FAIL > %.0fs" ceiling))
 
 (* ---- Bechamel timing benches -------------------------------------------------- *)

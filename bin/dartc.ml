@@ -3,7 +3,11 @@
      dune exec bin/dartc.exe -- program.mc --toplevel f --depth 2
 
    Exit status: 0 when no bug was found, 1 on a bug, 2 on usage or
-   front-end errors. *)
+   front-end errors.
+
+   A second subcommand inspects traces written with --trace:
+
+     dune exec bin/dartc.exe -- trace-stats trace.jsonl *)
 
 open Cmdliner
 
@@ -113,15 +117,64 @@ let coverage_arg =
     value & flag
     & info [ "coverage" ] ~doc:"Print a per-function branch-coverage report after the search.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured event trace (one JSON object per line) of the whole search \
+           to $(docv); inspect it with $(b,dartc trace-stats).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print per-phase wall-clock timings (execute/solve/lower/merge) after the run.")
+
 let usage_error msg =
   Printf.eprintf "dartc: %s\n" msg;
   2
 
+(* Conflicting-flag validation, as one declarative table: first row
+   whose predicate fires wins, its message goes out with exit 2. Add
+   new conflicts here, not as ad-hoc if/else chains in the driver. *)
+let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing =
+  let table =
+    [ (jobs < 0, "--jobs must be >= 0");
+      ( portfolio && strategy <> None,
+        (* A portfolio cycles workers through its own strategy list: an
+           explicit --strategy would be silently overridden. *)
+        "--portfolio conflicts with an explicit --strategy" );
+      ( portfolio && (random_mode || jobs = 1),
+        "--portfolio requires a directed search with --jobs > 1 (or 0)" );
+      (* Random testing is a single undirected worker with no
+         branch-selection: reject flags that would silently be
+         ignored. *)
+      (random_mode && strategy <> None, "--strategy has no effect with --random-testing");
+      (random_mode && all_bugs, "--all-bugs is not supported with --random-testing");
+      (random_mode && jobs <> 1, "--jobs is not supported with --random-testing");
+      ( random_mode && (no_cache || no_slicing),
+        "--no-cache/--no-slicing have no effect with --random-testing" ) ]
+  in
+  List.find_opt fst table |> Option.map snd
+
 let print_coverage prog covered =
   print_string (Dart.Coverage.to_string (Dart.Coverage.compute prog ~covered))
 
+(* Run [f] with a telemetry sink for --trace: the null sink when
+   tracing is off, else a JSONL writer whose channel is closed (after a
+   final flush) whatever [f] does. *)
+let with_trace_sink trace f =
+  match trace with
+  | None -> f Dart.Telemetry.null
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Dart.Telemetry.jsonl oc))
+
 let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
-    jobs portfolio no_cache no_slicing show_interface show_driver dump_ram coverage =
+    jobs portfolio no_cache no_slicing trace metrics_flag show_interface show_driver
+    dump_ram coverage =
   try
     let src = read_file file in
     let ast = Minic.Parser.parse_program ~file src in
@@ -135,83 +188,101 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
       0
     end
     else begin
-      let prog = Dart.Driver.prepare ~toplevel ~depth ast in
-      if dump_ram then begin
-        Hashtbl.iter
-          (fun _ f -> print_string (Ram.Instr.func_to_string f))
-          prog.Ram.Instr.funcs;
-        0
-      end
-      else if jobs < 0 then usage_error "--jobs must be >= 0"
-      else if portfolio && strategy <> None then
-        (* A portfolio cycles workers through its own strategy list:
-           an explicit --strategy would be silently overridden. *)
-        usage_error "--portfolio conflicts with an explicit --strategy"
-      else if portfolio && (random_mode || jobs = 1) then
-        usage_error "--portfolio requires a directed search with --jobs > 1 (or 0)"
-      else if random_mode then begin
-        (* Random testing is a single undirected worker with no
-           branch-selection: reject flags that would silently be
-           ignored. *)
-        if strategy <> None then
-          usage_error "--strategy has no effect with --random-testing"
-        else if all_bugs then
-          usage_error "--all-bugs is not supported with --random-testing"
-        else if jobs <> 1 then
-          usage_error "--jobs is not supported with --random-testing"
-        else if no_cache || no_slicing then
-          usage_error "--no-cache/--no-slicing have no effect with --random-testing"
-        else begin
-          let exec =
-            { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs }
-          in
-          let report = Dart.Random_search.run ~seed ~max_runs ~exec prog in
-          print_endline (Dart.Random_search.report_to_string report);
-          if coverage then print_coverage prog report.Dart.Random_search.coverage_sites;
-          match report.Dart.Random_search.verdict with `Bug_found _ -> 1 | `No_bug -> 0
+      match
+        validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
+      with
+      | Some msg -> usage_error msg
+      | None ->
+        (* Preparation (driver generation, typecheck, lowering) is timed
+           into the Lower phase of the same metrics record the search
+           will use, so --metrics accounts for the whole pipeline. *)
+        let prep = Dart.Telemetry.create_metrics () in
+        let prog = Dart.Driver.prepare ~metrics:prep ~toplevel ~depth ast in
+        if dump_ram then begin
+          Hashtbl.iter
+            (fun _ f -> print_string (Ram.Instr.func_to_string f))
+            prog.Ram.Instr.funcs;
+          0
         end
-      end
-      else begin
-        let options =
-          { Dart.Driver.seed;
-            depth;
-            max_runs;
-            strategy = Option.value ~default:Dart.Strategy.Dfs strategy;
-            stop_on_first_bug = not all_bugs;
-            use_cache = not no_cache;
-            use_slicing = not no_slicing;
-            exec =
-              { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs } }
-        in
-        let report, worker_lines =
-          if jobs = 1 then (Dart.Driver.run ~options prog, None)
-          else begin
-            let portfolio =
-              if portfolio then
-                [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ]
-              else []
+        else
+          with_trace_sink trace @@ fun sink ->
+          let print_metrics m =
+            if metrics_flag then print_endline (Dart.Telemetry.metrics_to_string m)
+          in
+          if random_mode then begin
+            let exec =
+              { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs }
             in
-            let popts = Dart.Parallel.options ~jobs ~portfolio options in
-            let r = Dart.Parallel.run ~options:popts prog in
-            (r.Dart.Parallel.merged, Some r)
+            let report =
+              Dart.Random_search.run ~seed ~max_runs ~exec ~telemetry:sink ~metrics:prep
+                prog
+            in
+            if Dart.Telemetry.enabled sink then begin
+              Dart.Telemetry.emit_phase_totals sink prep;
+              Dart.Telemetry.flush sink
+            end;
+            print_endline (Dart.Random_search.report_to_string report);
+            print_metrics prep;
+            if coverage then print_coverage prog report.Dart.Random_search.coverage_sites;
+            match report.Dart.Random_search.verdict with `Bug_found _ -> 1 | `No_bug -> 0
           end
-        in
-        (match worker_lines with
-         | Some r -> print_endline (Dart.Parallel.report_to_string r)
-         | None -> print_endline (Dart.Driver.report_to_string report));
-        if coverage then print_coverage prog report.Dart.Driver.coverage_sites;
-        List.iter
-          (fun (b : Dart.Driver.bug) ->
-            Printf.printf "  - %s in %s at %s (run %d)\n"
-              (Machine.fault_to_string b.bug_fault)
-              b.bug_site.Machine.site_fn
-              (Minic.Loc.to_string b.bug_site.Machine.site_loc)
-              b.bug_run)
-          report.Dart.Driver.bugs;
-        match report.Dart.Driver.verdict with
-        | Dart.Driver.Bug_found _ -> 1
-        | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> 0
-      end
+          else begin
+            let options =
+              Dart.Driver.Options.make ~seed ~depth ~max_runs
+                ~strategy:(Option.value ~default:Dart.Strategy.Dfs strategy)
+                ~stop_on_first_bug:(not all_bugs) ~use_cache:(not no_cache)
+                ~use_slicing:(not no_slicing)
+                ~exec:
+                  { Dart.Concolic.default_exec_options with
+                    symbolic_pointers = symbolic_ptrs }
+                ~telemetry:(Dart.Telemetry.with_sink sink) ()
+            in
+            let report, worker_lines =
+              if jobs = 1 then begin
+                (* Sequential: hand the search the metrics record that
+                   already holds the Lower time, so its phase totals
+                   cover the full pipeline. *)
+                let ctx = Dart.Driver.make_ctx ~metrics:prep ~seed ~max_runs () in
+                (Dart.Driver.search ~ctx ~options prog, None)
+              end
+              else begin
+                let portfolio =
+                  if portfolio then
+                    [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ]
+                  else []
+                in
+                let popts = Dart.Parallel.options ~jobs ~portfolio options in
+                let r = Dart.Parallel.run ~options:popts prog in
+                (* Workers never see preparation time: fold it into the
+                   merged metrics (and the trace) here. *)
+                Dart.Telemetry.add_metrics ~into:r.Dart.Parallel.merged.Dart.Driver.metrics
+                  prep;
+                if Dart.Telemetry.enabled sink then begin
+                  Dart.Telemetry.emit sink
+                    (Dart.Telemetry.Phase_total
+                       { phase = Dart.Telemetry.Lower; dur_ns = prep.Dart.Telemetry.lower_ns });
+                  Dart.Telemetry.flush sink
+                end;
+                (r.Dart.Parallel.merged, Some r)
+              end
+            in
+            (match worker_lines with
+             | Some r -> print_endline (Dart.Parallel.report_to_string r)
+             | None -> print_endline (Dart.Driver.report_to_string report));
+            print_metrics report.Dart.Driver.metrics;
+            if coverage then print_coverage prog report.Dart.Driver.coverage_sites;
+            List.iter
+              (fun (b : Dart.Driver.bug) ->
+                Printf.printf "  - %s in %s at %s (run %d)\n"
+                  (Machine.fault_to_string b.bug_fault)
+                  b.bug_site.Machine.site_fn
+                  (Minic.Loc.to_string b.bug_site.Machine.site_loc)
+                  b.bug_run)
+              report.Dart.Driver.bugs;
+            match report.Dart.Driver.verdict with
+            | Dart.Driver.Bug_found _ -> 1
+            | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> 0
+          end
     end
   with
   | Minic.Lexer.Error (loc, msg) | Minic.Parser.Error (loc, msg)
@@ -225,15 +296,71 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
     Printf.eprintf "error: %s\n" msg;
     2
 
-let cmd =
-  let doc = "directed automated random testing for MiniC programs" in
-  let term =
-    Term.(
-      const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
-      $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg $ jobs_arg
-      $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ show_interface_arg $ show_driver_arg
-      $ dump_ram_arg $ coverage_arg)
-  in
-  Cmd.v (Cmd.info "dartc" ~doc) term
+(* ---- trace-stats ----------------------------------------------------------------- *)
 
-let () = exit (Cmd.eval' cmd)
+exception Malformed of string
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"JSONL trace file produced by $(b,--trace).")
+
+let run_trace_stats file =
+  try
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let events = ref [] in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             if String.trim line <> "" then
+               match Dart.Telemetry.event_of_json line with
+               | Ok e -> events := e :: !events
+               | Error msg ->
+                 raise (Malformed (Printf.sprintf "%s:%d: %s" file !lineno msg))
+           done
+         with End_of_file -> ());
+        print_string
+          (Dart.Telemetry.summary_to_string
+             (Dart.Telemetry.summarize (List.rev !events)));
+        0)
+  with
+  | Malformed msg ->
+    Printf.eprintf "dartc trace-stats: %s\n" msg;
+    2
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+let run_term =
+  Term.(
+    const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
+    $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg $ jobs_arg
+    $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ trace_arg $ metrics_arg
+    $ show_interface_arg $ show_driver_arg $ dump_ram_arg $ coverage_arg)
+
+let trace_stats_cmd =
+  let doc = "summarize a JSONL trace written with --trace" in
+  Cmd.v (Cmd.info "dartc trace-stats" ~doc) Term.(const run_trace_stats $ trace_file_arg)
+
+let run_cmd =
+  let doc = "directed automated random testing for MiniC programs" in
+  Cmd.v (Cmd.info "dartc" ~doc) run_term
+
+(* Manual subcommand dispatch: Cmd.group would treat the positional
+   source FILE of the default command as a (mis-spelled) command name,
+   so the plain `dartc FILE …` invocation must bypass it. *)
+let () =
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "trace-stats" then begin
+    let argv =
+      Array.append [| "dartc trace-stats" |] (Array.sub argv 2 (Array.length argv - 2))
+    in
+    exit (Cmd.eval' ~argv trace_stats_cmd)
+  end
+  else exit (Cmd.eval' run_cmd)

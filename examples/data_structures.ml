@@ -44,15 +44,14 @@ let describe name (report : Dart.Driver.report) =
 let () =
   (* Paper semantics: shapes come from random restarts, payloads from
      the solver. *)
-  let options = { Dart.Driver.default_options with max_runs = 200_000 } in
+  let options = Dart.Driver.Options.make ~max_runs:200_000 () in
   describe "paper semantics (random shapes + directed values)"
     (Dart.Driver.test_source ~options ~toplevel:"scan" source);
   (* Extension: pointer coins become symbolic, so the shape search is
      directed too. *)
   let options =
-    { options with
-      Dart.Driver.exec =
-        { Dart.Concolic.default_exec_options with symbolic_pointers = true } }
+    Dart.Driver.Options.make ~max_runs:200_000
+      ~exec:{ Dart.Concolic.default_exec_options with symbolic_pointers = true } ()
   in
   describe "symbolic-pointers extension (directed shapes)"
     (Dart.Driver.test_source ~options ~toplevel:"scan" source)

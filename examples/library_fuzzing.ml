@@ -12,7 +12,7 @@ let () =
   let crashed = ref 0 in
   List.iter
     (fun (f : Workloads.Osip_sim.gen_func) ->
-      let options = { Dart.Driver.default_options with max_runs = 500 } in
+      let options = Dart.Driver.Options.make ~max_runs:500 () in
       let report = Dart.Driver.test_source ~options ~toplevel:f.gf_toplevel src in
       (match report.Dart.Driver.verdict with
        | Dart.Driver.Bug_found bug ->
@@ -28,7 +28,7 @@ let () =
   (* The parser attack: an externally controllable crash through an
      unchecked alloca of an attacker-supplied Content-Length. *)
   print_endline "=== osip_message_parse attack ===";
-  let options = { Dart.Driver.default_options with max_runs = 2_000 } in
+  let options = Dart.Driver.Options.make ~max_runs:2_000 () in
   let report =
     Dart.Driver.test_source ~options ~toplevel:Workloads.Osip_sim.parser_toplevel
       Workloads.Osip_sim.parser_vulnerable

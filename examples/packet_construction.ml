@@ -20,7 +20,7 @@ let show_packet inputs =
 
 let () =
   print_endline "Searching for a crashing SIP packet (vulnerable parser)...";
-  let options = { Dart.Driver.default_options with max_runs = 50_000 } in
+  let options = Dart.Driver.Options.make ~max_runs:50_000 () in
   let report =
     Dart.Driver.test_source ~options ~toplevel:Workloads.Sip_parser.toplevel
       Workloads.Sip_parser.vulnerable

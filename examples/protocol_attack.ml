@@ -33,7 +33,7 @@ let () =
   let src = Workloads.Needham_schroeder.dolev_yao ~fix:`None in
   let toplevel = Workloads.Needham_schroeder.dolev_yao_toplevel in
   print_endline "Needham-Schroeder under a Dolev-Yao intruder; searching depth 4...";
-  let options = { Dart.Driver.default_options with depth = 4; max_runs = 400_000 } in
+  let options = Dart.Driver.Options.make ~depth:4 ~max_runs:400_000 () in
   let report = Dart.Driver.test_source ~options ~toplevel src in
   print_endline (Dart.Driver.report_to_string report);
   (match report.Dart.Driver.verdict with

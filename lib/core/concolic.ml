@@ -15,6 +15,7 @@ type run_data = {
   outcome : run_outcome;
   stack : branch_record array;
   path_constraint : Constr.t option array;
+  cond_sites : (string * int) array;
   conditionals : int;
   steps : int;
   inputs_read : int;
@@ -51,6 +52,7 @@ type ctx = {
   mutable next_input : int;
   mutable new_branches : bool list; (* beyond the prefix, reversed *)
   mutable pc_rev : Constr.t option list;
+  mutable sites_rev : (string * int) list; (* per conditional, same indexing *)
   mutable flip_confirmed : bool;
   mutable all_linear : bool;
   mutable all_locs_definite : bool;
@@ -165,8 +167,9 @@ let rec cond_constraint ctx m ~base (e : Ram.Instr.rexpr) ~taken : Constr.t opti
 
 (* ---- compare_and_update_stack (Figure 4) ----------------------------------- *)
 
-let record_branch ctx ~taken ~constraint_opt =
+let record_branch ctx ~site ~taken ~constraint_opt =
   ctx.pc_rev <- constraint_opt :: ctx.pc_rev;
+  ctx.sites_rev <- site :: ctx.sites_rev;
   let k = ctx.k in
   ctx.k <- k + 1;
   let plen = Array.length ctx.prev_stack in
@@ -222,7 +225,9 @@ and rand_init_pointer ctx m ~addr ~pointee ~depth =
         (* Extension: the coin toss becomes a directable pseudo-branch
            with constraint coin <> 0 (or = 0). *)
         let c = Constr.truth (Linexpr.var id) non_null in
-        record_branch ctx ~taken:non_null ~constraint_opt:(Some c)
+        (* No machine site backs the coin: attribute it to a synthetic
+           one keyed by the input id so traces stay unambiguous. *)
+        record_branch ctx ~site:("__coin", id) ~taken:non_null ~constraint_opt:(Some c)
       end
       else
         (* Paper semantics: the pointer shape is pure randomization the
@@ -265,6 +270,7 @@ let run_once ~opts ~rng ~im ~prev_stack ~entry (prog : Ram.Instr.program) : run_
       next_input = 0;
       new_branches = [];
       pc_rev = [];
+      sites_rev = [];
       flip_confirmed = false;
       all_linear = true;
       all_locs_definite = true;
@@ -280,7 +286,9 @@ let run_once ~opts ~rng ~im ~prev_stack ~entry (prog : Ram.Instr.program) : run_
           let constraint_opt =
             if opts.symbolic then cond_constraint ctx m ~base cond ~taken else None
           in
-          record_branch ctx ~taken ~constraint_opt);
+          record_branch ctx
+            ~site:(site.Machine.site_fn, site.Machine.site_pc)
+            ~taken ~constraint_opt);
       on_external =
         (fun m signature ~dst ->
           match dst with
@@ -329,6 +337,7 @@ let run_once ~opts ~rng ~im ~prev_stack ~entry (prog : Ram.Instr.program) : run_
   { outcome;
     stack = Array.append prefix fresh;
     path_constraint = Array.of_list (List.rev ctx.pc_rev);
+    cond_sites = Array.of_list (List.rev ctx.sites_rev);
     conditionals = ctx.k;
     steps = Machine.steps m;
     inputs_read = ctx.next_input;

@@ -24,6 +24,10 @@ type run_data = {
   path_constraint : Symbolic.Constr.t option array;
       (* same indexing as [stack]; [None] for conditions outside the
          linear theory or without symbolic variables *)
+  cond_sites : (string * int) array;
+      (* (function, pc) of each conditional, same indexing as [stack];
+         symbolic-pointer coins get the synthetic site ("__coin", id).
+         Lets telemetry attribute solver queries to branch sites. *)
   conditionals : int; (* the paper's k *)
   steps : int;
   inputs_read : int;

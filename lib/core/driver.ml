@@ -1,23 +1,48 @@
-type options = {
-  seed : int;
-  depth : int;
-  max_runs : int;
-  strategy : Strategy.t;
-  exec : Concolic.exec_options;
-  stop_on_first_bug : bool;
-  use_slicing : bool;
-  use_cache : bool;
-}
+module Options = struct
+  type budget = {
+    max_runs : int;
+    stop_on_first_bug : bool;
+  }
 
-let default_options =
-  { seed = 42;
-    depth = 1;
-    max_runs = 10_000;
-    strategy = Strategy.Dfs;
-    exec = Concolic.default_exec_options;
-    stop_on_first_bug = true;
-    use_slicing = true;
-    use_cache = true }
+  type search = {
+    seed : int;
+    depth : int;
+    strategy : Strategy.t;
+  }
+
+  type accel = {
+    use_slicing : bool;
+    use_cache : bool;
+  }
+
+  type t = {
+    budget : budget;
+    search : search;
+    accel : accel;
+    exec : Concolic.exec_options;
+    telemetry : Telemetry.config;
+  }
+
+  let default =
+    { budget = { max_runs = 10_000; stop_on_first_bug = true };
+      search = { seed = 42; depth = 1; strategy = Strategy.Dfs };
+      accel = { use_slicing = true; use_cache = true };
+      exec = Concolic.default_exec_options;
+      telemetry = Telemetry.default_config }
+
+  let make ?(seed = default.search.seed) ?(depth = default.search.depth)
+      ?(max_runs = default.budget.max_runs) ?(strategy = default.search.strategy)
+      ?(stop_on_first_bug = default.budget.stop_on_first_bug)
+      ?(use_slicing = default.accel.use_slicing) ?(use_cache = default.accel.use_cache)
+      ?(exec = default.exec) ?(telemetry = default.telemetry) () =
+    { budget = { max_runs; stop_on_first_bug };
+      search = { seed; depth; strategy };
+      accel = { use_slicing; use_cache };
+      exec;
+      telemetry }
+end
+
+type options = Options.t
 
 type bug = {
   bug_fault : Machine.fault;
@@ -44,6 +69,7 @@ type report = {
   all_linear : bool;
   all_locs_definite : bool;
   solver_stats : Solver.stats;
+  metrics : Telemetry.metrics;
   bugs : bug list;
 }
 
@@ -52,27 +78,43 @@ type search_ctx = {
   sc_im : Inputs.t;
   sc_stats : Solver.stats;
   sc_cache : Solver.Cache.t;
+  sc_metrics : Telemetry.metrics;
   sc_max_runs : int;
   sc_should_stop : unit -> bool;
 }
 
-let make_ctx ?(should_stop = fun () -> false) ~seed ~max_runs () =
+let make_ctx ?(should_stop = fun () -> false)
+    ?(metrics = Telemetry.create_metrics ()) ~seed ~max_runs () =
   { sc_rng = Dart_util.Prng.create seed;
     sc_im = Inputs.create ();
     sc_stats = Solver.create_stats ();
     sc_cache = Solver.Cache.create ();
+    sc_metrics = metrics;
     sc_max_runs = max_runs;
     sc_should_stop = should_stop }
 
-let prepare ?(library_sigs = []) ~toplevel ~depth (ast : Minic.Ast.program) =
-  let ast = Driver_gen.generate ast ~toplevel ~depth in
-  let tp = Minic.Typecheck.check ~library:library_sigs ast in
-  Ram.Lower.lower_program tp
+let prepare ?metrics ?(library_sigs = []) ~toplevel ~depth (ast : Minic.Ast.program) =
+  let lower () =
+    let ast = Driver_gen.generate ast ~toplevel ~depth in
+    let tp = Minic.Typecheck.check ~library:library_sigs ast in
+    Ram.Lower.lower_program tp
+  in
+  match metrics with
+  | None -> lower ()
+  | Some m -> Telemetry.timed m Telemetry.Lower lower
 
-let search ~ctx ~options (prog : Ram.Instr.program) : report =
+let outcome_to_string = function
+  | Concolic.Run_fault _ -> "fault"
+  | Concolic.Run_prediction_failure -> "prediction_failure"
+  | Concolic.Run_halted -> "halted"
+
+let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
   let rng = ctx.sc_rng in
   let stats = ctx.sc_stats in
   let im = ctx.sc_im in
+  let metrics = ctx.sc_metrics in
+  let sink = options.Options.telemetry.Telemetry.sink in
+  let tracing = Telemetry.enabled sink in
   let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
   let bug_sites : (string * int * Machine.fault, unit) Hashtbl.t = Hashtbl.create 16 in
   let runs = ref 0 in
@@ -111,12 +153,43 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
             (fun (id, _) -> id < data.Concolic.inputs_read)
             (Inputs.to_alist im) }
     in
+    if tracing then
+      Telemetry.emit sink
+        (Telemetry.Bug_found
+           { fn = site.Machine.site_fn;
+             pc = site.Machine.site_pc;
+             fault = Machine.fault_to_string fault;
+             run = !runs });
     let key = bug_key bug in
     if not (Hashtbl.mem bug_sites key) then begin
       Hashtbl.replace bug_sites key ();
       bugs := bug :: !bugs
     end;
     if !first_bug = None then first_bug := Some bug
+  in
+  (* One instrumented run, bracketed with Run_start/Run_end and timed
+     into the Execute phase. *)
+  let instrumented_run prev_stack =
+    if tracing then Telemetry.emit sink (Telemetry.Run_start { run = !runs + 1 });
+    let t0 = Telemetry.now () in
+    let data = Concolic.run_once ~opts:options.Options.exec ~rng ~im ~prev_stack ~entry prog in
+    let dur = Int64.sub (Telemetry.now ()) t0 in
+    Telemetry.add_phase metrics Telemetry.Execute dur;
+    if tracing then begin
+      Array.iteri
+        (fun i (fn, pc) ->
+          Telemetry.emit sink
+            (Telemetry.Branch_taken
+               { fn; pc; dir = data.Concolic.stack.(i).Concolic.br_branch }))
+        data.Concolic.cond_sites;
+      Telemetry.emit sink
+        (Telemetry.Run_end
+           { run = !runs + 1;
+             outcome = outcome_to_string data.Concolic.outcome;
+             steps = data.Concolic.steps;
+             dur_ns = dur })
+    end;
+    data
   in
   (* Run boundary: out of sharded budget, or an external cancellation
      (another worker found a bug) — in both cases the search drains. *)
@@ -127,14 +200,12 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
     let rec loop prev_stack =
       if not (budget_left ()) then `Budget
       else begin
-        let data =
-          Concolic.run_once ~opts:options.exec ~rng ~im ~prev_stack ~entry prog
-        in
+        let data = instrumented_run prev_stack in
         record_run data;
         match data.Concolic.outcome with
         | Concolic.Run_fault (fault, site) ->
           record_bug fault site data;
-          if options.stop_on_first_bug then `Bug
+          if options.Options.budget.Options.stop_on_first_bug then `Bug
           else begin
             (* Keep searching: treat the faulting path as fully
                explored and force the next branch. *)
@@ -151,12 +222,18 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
           continue_solving data
       end
     and continue_solving data =
-      match
+      let t0 = Telemetry.now () in
+      let next =
         Solve_pc.solve
-          ?cache:(if options.use_cache then Some ctx.sc_cache else None)
-          ~slicing:options.use_slicing ~strategy:options.strategy ~rng ~stats ~im
-          ~stack:data.Concolic.stack ~path_constraint:data.Concolic.path_constraint ()
-      with
+          ?cache:
+            (if options.Options.accel.Options.use_cache then Some ctx.sc_cache else None)
+          ~slicing:options.Options.accel.Options.use_slicing ~telemetry:sink
+          ~sites:data.Concolic.cond_sites ~strategy:options.Options.search.Options.strategy
+          ~rng ~stats ~im ~stack:data.Concolic.stack
+          ~path_constraint:data.Concolic.path_constraint ()
+      in
+      Telemetry.add_phase metrics Telemetry.Solve (Int64.sub (Telemetry.now ()) t0);
+      match next with
       | Solve_pc.Next_run stack' -> loop stack'
       | Solve_pc.Exhausted { solver_incomplete } ->
         if solver_incomplete then all_linear := false;
@@ -169,11 +246,16 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
      beneath it, so BFS/random exhaustion does not imply full path
      coverage and only triggers a restart. *)
   let may_claim_complete () =
-    options.strategy = Strategy.Dfs && !all_linear && !all_locs_definite
+    options.Options.search.Options.strategy = Strategy.Dfs && !all_linear
+    && !all_locs_definite
   in
   (* Outer loop (Figure 2): repeat until the directed search terminates
      with completeness flags intact, or the budget runs out. *)
   let complete = ref false in
+  let restart () =
+    incr restarts;
+    if tracing then Telemetry.emit sink (Telemetry.Restart { restarts = !restarts })
+  in
   let rec outer () =
     Inputs.clear im;
     match directed_search () with
@@ -181,17 +263,21 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
     | `Budget -> ()
     | `Restart ->
       if budget_left () then begin
-        incr restarts;
+        restart ();
         outer ()
       end
     | `Exhausted ->
       if may_claim_complete () then complete := true
       else if budget_left () then begin
-        incr restarts;
+        restart ();
         outer ()
       end
   in
   outer ();
+  if tracing then begin
+    Telemetry.emit_phase_totals sink metrics;
+    Telemetry.flush sink
+  end;
   let verdict =
     match !first_bug with
     | Some bug -> Bug_found bug
@@ -207,16 +293,28 @@ let search ~ctx ~options (prog : Ram.Instr.program) : report =
     all_linear = !all_linear;
     all_locs_definite = !all_locs_definite;
     solver_stats = stats;
+    metrics;
     bugs = List.rev !bugs }
 
-let run ?(options = default_options) (prog : Ram.Instr.program) : report =
-  let ctx = make_ctx ~seed:options.seed ~max_runs:options.max_runs () in
+let run ?(options = Options.default) (prog : Ram.Instr.program) : report =
+  let ctx =
+    make_ctx ~seed:options.Options.search.Options.seed
+      ~max_runs:options.Options.budget.Options.max_runs ()
+  in
   search ~ctx ~options prog
 
-let test_source ?(options = default_options) ?(library_sigs = []) ~toplevel src =
+let test_source ?(options = Options.default) ?(library_sigs = []) ~toplevel src =
   let ast = Minic.Parser.parse_program src in
-  let prog = prepare ~library_sigs ~toplevel ~depth:options.depth ast in
-  run ~options prog
+  let metrics = Telemetry.create_metrics () in
+  let prog =
+    prepare ~metrics ~library_sigs ~toplevel
+      ~depth:options.Options.search.Options.depth ast
+  in
+  let ctx =
+    make_ctx ~metrics ~seed:options.Options.search.Options.seed
+      ~max_runs:options.Options.budget.Options.max_runs ()
+  in
+  search ~ctx ~options prog
 
 let verdict_to_string = function
   | Bug_found b ->
@@ -227,6 +325,11 @@ let verdict_to_string = function
   | Budget_exhausted -> "BUDGET EXHAUSTED: no bug found within the run budget"
 
 let report_to_string r =
+  (* Counters go through the abstract-stats assoc view; the key set is
+     fixed by [Solver.to_assoc], so a missing key is a programming
+     error. *)
+  let a = Solver.to_assoc r.solver_stats in
+  let g k = match List.assoc_opt k a with Some v -> v | None -> 0 in
   Printf.sprintf
     "%s\n\
      runs: %d  restarts: %d  paths: %d  steps: %d  branch-dirs covered: %d\n\
@@ -236,9 +339,7 @@ let report_to_string r =
      accel: %d cache hits, %d cache misses, %d constraints sliced away\n\
      distinct bugs: %d"
     (verdict_to_string r.verdict) r.runs r.restarts r.paths_explored r.total_steps
-    r.branches_covered r.all_linear r.all_locs_definite r.solver_stats.Solver.queries
-    r.solver_stats.Solver.sat r.solver_stats.Solver.unsat r.solver_stats.Solver.unknown
-    r.solver_stats.Solver.fast_path r.solver_stats.Solver.simplex_queries
-    r.solver_stats.Solver.ne_splits r.solver_stats.Solver.cache_hits
-    r.solver_stats.Solver.cache_misses r.solver_stats.Solver.constraints_sliced_away
+    r.branches_covered r.all_linear r.all_locs_definite (g "queries") (g "sat")
+    (g "unsat") (g "unknown") (g "fast_path") (g "simplex_queries") (g "ne_splits")
+    (g "cache_hits") (g "cache_misses") (g "constraints_sliced_away")
     (List.length r.bugs)

@@ -2,18 +2,59 @@
     inner directed-search loop, plus program preparation (driver
     generation, typechecking, lowering). *)
 
-type options = {
-  seed : int;
-  depth : int; (* iterations of the toplevel function per run (paper §3.2) *)
-  max_runs : int; (* overall budget of instrumented runs *)
-  strategy : Strategy.t;
-  exec : Concolic.exec_options;
-  stop_on_first_bug : bool;
-  use_slicing : bool; (* independence slicing of path constraints (default on) *)
-  use_cache : bool; (* per-worker solve cache (default on) *)
-}
+(** Search configuration, grouped by concern so new knobs widen one
+    sub-record instead of a flat options type: [budget] (how much work),
+    [search] (where randomness and direction come from), [accel] (the
+    exact accelerations of the solve path), [exec] (the instrumented
+    machine), [telemetry] (tracing sinks and buffers). Build with
+    {!Options.make}, which defaults every field to {!Options.default}'s
+    value. *)
+module Options : sig
+  type budget = {
+    max_runs : int; (* overall budget of instrumented runs *)
+    stop_on_first_bug : bool;
+  }
 
-val default_options : options
+  type search = {
+    seed : int;
+    depth : int; (* iterations of the toplevel function per run (paper §3.2) *)
+    strategy : Strategy.t;
+  }
+
+  type accel = {
+    use_slicing : bool; (* independence slicing of path constraints (default on) *)
+    use_cache : bool; (* per-worker solve cache (default on) *)
+  }
+
+  type t = {
+    budget : budget;
+    search : search;
+    accel : accel;
+    exec : Concolic.exec_options;
+    telemetry : Telemetry.config;
+  }
+
+  val default : t
+  (** seed 42, depth 1, 10_000 runs, DFS, stop on first bug, both
+      accelerations on, default machine, tracing off. *)
+
+  val make :
+    ?seed:int ->
+    ?depth:int ->
+    ?max_runs:int ->
+    ?strategy:Strategy.t ->
+    ?stop_on_first_bug:bool ->
+    ?use_slicing:bool ->
+    ?use_cache:bool ->
+    ?exec:Concolic.exec_options ->
+    ?telemetry:Telemetry.config ->
+    unit ->
+    t
+  (** Smart constructor: every omitted argument takes {!default}'s
+      value. *)
+end
+
+type options = Options.t
 
 type bug = {
   bug_fault : Machine.fault;
@@ -50,6 +91,10 @@ type report = {
   all_linear : bool;
   all_locs_definite : bool;
   solver_stats : Solver.stats;
+  metrics : Telemetry.metrics;
+      (* per-phase wall clock (execute/solve, plus lower when prepared
+         through [test_source] or [prepare ~metrics]); always
+         collected, never printed by [report_to_string] *)
   bugs : bug list; (* every distinct bug site seen (>= 1 when Bug_found) *)
 }
 
@@ -60,6 +105,7 @@ type search_ctx = {
   sc_cache : Solver.Cache.t;
       (* private solve cache (shared-nothing across domains, so hits
          and misses are deterministic per worker) *)
+  sc_metrics : Telemetry.metrics; (* private phase timers *)
   sc_max_runs : int; (* this search's share of the run budget *)
   sc_should_stop : unit -> bool;
       (* polled at every run boundary; [true] drains the search (used
@@ -70,24 +116,35 @@ type search_ctx = {
     without sharing state. *)
 
 val make_ctx :
-  ?should_stop:(unit -> bool) -> seed:int -> max_runs:int -> unit -> search_ctx
+  ?should_stop:(unit -> bool) ->
+  ?metrics:Telemetry.metrics ->
+  seed:int ->
+  max_runs:int ->
+  unit ->
+  search_ctx
 (** Fresh context: new PRNG from [seed], empty input vector, zeroed
-    solver stats. [should_stop] defaults to never. *)
+    solver stats. [should_stop] defaults to never; [metrics] defaults
+    to a fresh record (pass one to fold preparation time measured by
+    {!prepare} into the search's report). *)
 
 val prepare :
+  ?metrics:Telemetry.metrics ->
   ?library_sigs:Minic.Tast.fsig list ->
   toplevel:string ->
   depth:int ->
   Minic.Ast.program ->
   Ram.Instr.program
 (** Synthesize the test driver, typecheck and lower. The resulting
-    entry point is {!Driver_gen.wrapper_name}. *)
+    entry point is {!Driver_gen.wrapper_name}. When [metrics] is given,
+    the elapsed wall clock is attributed to its [Lower] phase. *)
 
 val search : ctx:search_ctx -> options:options -> Ram.Instr.program -> report
 (** One directed search driven entirely by [ctx]'s mutable state:
-    [options.seed] and [options.max_runs] are ignored in favour of the
-    context's PRNG and budget cell. {!run} is [search] over a fresh
-    context; {!Parallel.run} calls it once per worker domain. *)
+    [options.search.seed] and [options.budget.max_runs] are ignored in
+    favour of the context's PRNG and budget cell. {!run} is [search]
+    over a fresh context; {!Parallel.run} calls it once per worker
+    domain. Events flow into [options.telemetry.sink]; with the null
+    sink the instrumentation allocates nothing. *)
 
 val run : ?options:options -> Ram.Instr.program -> report
 (** Run DART on a prepared program. *)
@@ -98,6 +155,9 @@ val test_source :
   toplevel:string ->
   string ->
   report
-(** Parse MiniC source, prepare it with [options.depth], and run. *)
+(** Parse MiniC source, prepare it with [options.search.depth], and
+    run. Preparation time lands in the report's [Lower] phase. *)
 
 val report_to_string : report -> string
+(** Byte-stable end-of-run summary (phase metrics are deliberately
+    excluded: print them with {!Telemetry.metrics_to_string}). *)

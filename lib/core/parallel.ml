@@ -3,7 +3,12 @@
    domain runs a full [Driver.search] over a private [search_ctx] —
    its own PRNG stream, input vector, solver stats and budget share —
    so the domains share nothing but one cancellation atomic and the
-   immutable program. *)
+   immutable program.  Telemetry follows the same discipline: each
+   worker traces into a private ring buffer, replayed into the main
+   sink in worker order at join, so the merged trace is deterministic
+   and the main sink is only ever written from the joining domain. *)
+
+module O = Driver.Options
 
 type options = {
   base : Driver.options;
@@ -46,25 +51,12 @@ let budget_shares ~total n =
 
 let worker_strategy t i =
   match t.portfolio with
-  | [] -> t.base.Driver.strategy
+  | [] -> t.base.O.search.O.strategy
   | p -> List.nth p (i mod List.length p)
 
 let sum_stats (per_worker : Solver.stats list) =
   let s = Solver.create_stats () in
-  List.iter
-    (fun (w : Solver.stats) ->
-      s.Solver.queries <- s.Solver.queries + w.Solver.queries;
-      s.Solver.sat <- s.Solver.sat + w.Solver.sat;
-      s.Solver.unsat <- s.Solver.unsat + w.Solver.unsat;
-      s.Solver.unknown <- s.Solver.unknown + w.Solver.unknown;
-      s.Solver.fast_path <- s.Solver.fast_path + w.Solver.fast_path;
-      s.Solver.simplex_queries <- s.Solver.simplex_queries + w.Solver.simplex_queries;
-      s.Solver.ne_splits <- s.Solver.ne_splits + w.Solver.ne_splits;
-      s.Solver.cache_hits <- s.Solver.cache_hits + w.Solver.cache_hits;
-      s.Solver.cache_misses <- s.Solver.cache_misses + w.Solver.cache_misses;
-      s.Solver.constraints_sliced_away <-
-        s.Solver.constraints_sliced_away + w.Solver.constraints_sliced_away)
-    per_worker;
+  List.iter (fun w -> Solver.add_stats ~into:s w) per_worker;
   s
 
 let merge (reports : Driver.report list) : Driver.report =
@@ -114,6 +106,12 @@ let merge (reports : Driver.report list) : Driver.report =
       then Driver.Complete
       else Driver.Budget_exhausted
   in
+  (* Phase timings are CPU-time-like under parallelism: the sum over
+     workers, not the wall clock of the slowest one. *)
+  let metrics = Telemetry.create_metrics () in
+  List.iter
+    (fun (r : Driver.report) -> Telemetry.add_metrics ~into:metrics r.Driver.metrics)
+    reports;
   { Driver.verdict;
     runs = sum (fun r -> r.Driver.runs);
     restarts = sum (fun r -> r.Driver.restarts);
@@ -124,40 +122,77 @@ let merge (reports : Driver.report list) : Driver.report =
     all_linear = forall (fun r -> r.Driver.all_linear);
     all_locs_definite = forall (fun r -> r.Driver.all_locs_definite);
     solver_stats = sum_stats (List.map (fun r -> r.Driver.solver_stats) reports);
+    metrics;
     bugs }
 
-let run ?(options = options Driver.default_options) (prog : Ram.Instr.program) : report =
+let run ?(options = options O.default) (prog : Ram.Instr.program) : report =
   let t = options in
   let n = effective_jobs t.jobs in
-  let seeds = worker_seeds ~base_seed:t.base.Driver.seed n in
-  let shares = budget_shares ~total:t.base.Driver.max_runs n in
+  let seeds = worker_seeds ~base_seed:t.base.O.search.O.seed n in
+  let shares = budget_shares ~total:t.base.O.budget.O.max_runs n in
+  let stop_on_first_bug = t.base.O.budget.O.stop_on_first_bug in
+  let base_sink = t.base.O.telemetry.Telemetry.sink in
+  let tracing = Telemetry.enabled base_sink in
   let cancel = Atomic.make false in
   let should_stop =
-    if t.base.Driver.stop_on_first_bug && n > 1 then fun () -> Atomic.get cancel
+    if stop_on_first_bug && n > 1 then fun () -> Atomic.get cancel
     else fun () -> false
   in
-  let worker i () =
+  let worker i sink () =
     let strategy = worker_strategy t i in
-    let ctx =
-      Driver.make_ctx ~should_stop ~seed:seeds.(i) ~max_runs:shares.(i) ()
+    let ctx = Driver.make_ctx ~should_stop ~seed:seeds.(i) ~max_runs:shares.(i) () in
+    let options =
+      { t.base with
+        O.search = { t.base.O.search with O.strategy };
+        O.telemetry = { t.base.O.telemetry with Telemetry.sink } }
     in
-    let options = { t.base with Driver.strategy } in
     let r = Driver.search ~ctx ~options prog in
     (* First finder flags the others; they drain at their next run
        boundary (the [should_stop] poll in [Driver.search]). *)
-    if t.base.Driver.stop_on_first_bug && r.Driver.bugs <> [] then Atomic.set cancel true;
+    if stop_on_first_bug && r.Driver.bugs <> [] then Atomic.set cancel true;
     { w_id = i; w_seed = seeds.(i); w_strategy = strategy; w_report = r }
   in
   if n = 1 then begin
-    (* Single worker: no merge pass, so the report — field order of
-       coverage_sites included — is bit-identical to [Driver.run]. *)
-    let w = worker 0 () in
+    (* Single worker: no merge pass and the main sink is handed straight
+       to the search, so report and trace — field order of
+       coverage_sites included — are identical to [Driver.run]. *)
+    let w = worker 0 base_sink () in
     { jobs = 1; merged = w.w_report; workers = [ w ] }
   end
   else begin
-    let domains = Array.init n (fun i -> Domain.spawn (worker i)) in
+    (* Each worker traces into a private ring: domains never contend on
+       the main sink, and replaying the rings in worker order at join
+       makes the merged trace deterministic. *)
+    let wsinks =
+      Array.init n (fun _ ->
+          if tracing then
+            Telemetry.ring ~capacity:t.base.O.telemetry.Telemetry.worker_buffer
+          else Telemetry.null)
+    in
+    if tracing then
+      Array.iteri
+        (fun i seed ->
+          Telemetry.emit base_sink (Telemetry.Worker_spawn { worker = i; seed }))
+        seeds;
+    let domains = Array.init n (fun i -> Domain.spawn (worker i wsinks.(i))) in
     let workers = Array.to_list (Array.map Domain.join domains) in
-    { jobs = n; merged = merge (List.map (fun w -> w.w_report) workers); workers }
+    let t0 = Telemetry.now () in
+    if tracing then
+      List.iter
+        (fun w ->
+          Telemetry.replay wsinks.(w.w_id) ~into:base_sink;
+          Telemetry.emit base_sink
+            (Telemetry.Worker_drain { worker = w.w_id; runs = w.w_report.Driver.runs }))
+        workers;
+    let merged = merge (List.map (fun w -> w.w_report) workers) in
+    let merge_ns = Int64.sub (Telemetry.now ()) t0 in
+    Telemetry.add_phase merged.Driver.metrics Telemetry.Merge merge_ns;
+    if tracing then begin
+      Telemetry.emit base_sink
+        (Telemetry.Phase_total { phase = Telemetry.Merge; dur_ns = merge_ns });
+      Telemetry.flush base_sink
+    end;
+    { jobs = n; merged; workers }
   end
 
 let report_to_string r =

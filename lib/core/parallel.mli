@@ -23,13 +23,18 @@
 
 type options = {
   base : Driver.options;
-      (** [base.max_runs] is the {e total} budget, sharded across
-          workers; [base.seed] seeds worker 0 directly and derives the
-          other workers' streams. *)
+      (** [base.budget.max_runs] is the {e total} budget, sharded
+          across workers; [base.search.seed] seeds worker 0 directly
+          and derives the other workers' streams.
+          [base.telemetry.sink] receives the merged trace: with more
+          than one worker each domain traces into a private ring of
+          [base.telemetry.worker_buffer] events, replayed into the main
+          sink in worker order at join (bracketed by [Worker_spawn] /
+          [Worker_drain] events). *)
   jobs : int; (* 0 = [Domain.recommended_domain_count ()] *)
   portfolio : Strategy.t list;
       (** Cycled across workers ([worker i] gets [i mod length]);
-          empty = every worker uses [base.strategy]. *)
+          empty = every worker uses [base.search.strategy]. *)
 }
 
 val options : ?jobs:int -> ?portfolio:Strategy.t list -> Driver.options -> options
@@ -59,8 +64,9 @@ val budget_shares : total:int -> int -> int array
 val merge : Driver.report list -> Driver.report
 (** Merge worker reports: bugs deduped by {!Driver.bug_key} (keeping
     the cheapest witness, ordered by key), branch-direction coverage
-    unioned and sorted, run/step/restart/path counters and solver
-    stats summed, completeness flags conjoined. The verdict is
+    unioned and sorted, run/step/restart/path counters, solver stats
+    and phase metrics summed (so merged timings read as CPU time, not
+    wall clock), completeness flags conjoined. The verdict is
     [Bug_found] if any worker found a bug, else [Complete] if any
     worker's DFS search finished exhaustively, else
     [Budget_exhausted].

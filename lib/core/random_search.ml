@@ -6,13 +6,15 @@ type report = {
   coverage_sites : (string * int * bool) list;
 }
 
-let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options) prog =
+let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options)
+    ?(telemetry = Telemetry.null) ?metrics prog =
   let exec = { exec with Concolic.symbolic = false } in
   let rng = Dart_util.Prng.create seed in
   let im = Inputs.create () in
   let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
   let total_steps = ref 0 in
   let entry = Driver_gen.wrapper_name in
+  let tracing = Telemetry.enabled telemetry in
   let rec loop run_index =
     if run_index > max_runs then
       { verdict = `No_bug;
@@ -22,7 +24,22 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
         coverage_sites = Hashtbl.fold (fun site () acc -> site :: acc) coverage [] }
     else begin
       Inputs.clear im; (* fresh random inputs every run *)
+      if tracing then Telemetry.emit telemetry (Telemetry.Run_start { run = run_index });
+      let t0 = Telemetry.now () in
       let data = Concolic.run_once ~opts:exec ~rng ~im ~prev_stack:[||] ~entry prog in
+      let dur = Int64.sub (Telemetry.now ()) t0 in
+      Option.iter (fun m -> Telemetry.add_phase m Telemetry.Execute dur) metrics;
+      if tracing then
+        Telemetry.emit telemetry
+          (Telemetry.Run_end
+             { run = run_index;
+               outcome =
+                 (match data.Concolic.outcome with
+                  | Concolic.Run_fault _ -> "fault"
+                  | Concolic.Run_prediction_failure -> "prediction_failure"
+                  | Concolic.Run_halted -> "halted");
+               steps = data.Concolic.steps;
+               dur_ns = dur });
       total_steps := !total_steps + data.Concolic.steps;
       (* Same filtering as Driver.search: driver-internal sites are not
          program coverage. *)
@@ -32,6 +49,13 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
         data.Concolic.branch_sites;
       match data.Concolic.outcome with
       | Concolic.Run_fault (fault, site) ->
+        if tracing then
+          Telemetry.emit telemetry
+            (Telemetry.Bug_found
+               { fn = site.Machine.site_fn;
+                 pc = site.Machine.site_pc;
+                 fault = Machine.fault_to_string fault;
+                 run = run_index });
         let bug =
           { Driver.bug_fault = fault;
             bug_site = site;
@@ -51,10 +75,11 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
   in
   loop 1
 
-let test_source ?seed ?max_runs ?(depth = 1) ?(library_sigs = []) ~toplevel src =
+let test_source ?seed ?max_runs ?(depth = 1) ?(library_sigs = []) ?telemetry ?metrics
+    ~toplevel src =
   let ast = Minic.Parser.parse_program src in
-  let prog = Driver.prepare ~library_sigs ~toplevel ~depth ast in
-  run ?seed ?max_runs prog
+  let prog = Driver.prepare ?metrics ~library_sigs ~toplevel ~depth ast in
+  run ?seed ?max_runs ?telemetry ?metrics prog
 
 let report_to_string r =
   let v =

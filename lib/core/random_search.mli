@@ -15,16 +15,22 @@ val run :
   ?seed:int ->
   ?max_runs:int ->
   ?exec:Concolic.exec_options ->
+  ?telemetry:Telemetry.sink ->
+  ?metrics:Telemetry.metrics ->
   Ram.Instr.program ->
   report
 (** Entry point is {!Driver_gen.wrapper_name}, i.e. the program must
-    have been prepared with {!Driver.prepare}. *)
+    have been prepared with {!Driver.prepare}. When [telemetry] is an
+    enabled sink, each run emits [Run_start]/[Run_end] (and [Bug_found]
+    on a fault); [metrics] accumulates Execute-phase wall clock. *)
 
 val test_source :
   ?seed:int ->
   ?max_runs:int ->
   ?depth:int ->
   ?library_sigs:Minic.Tast.fsig list ->
+  ?telemetry:Telemetry.sink ->
+  ?metrics:Telemetry.metrics ->
   toplevel:string ->
   string ->
   report

@@ -74,9 +74,14 @@ let slice ~pivot ~prefix =
     in
     (pivot :: kept, List.length dropped)
 
-let solve ?cache ?(slicing = true) ~strategy ~rng ~stats ~im ~stack ~path_constraint () =
+let solve ?cache ?(slicing = true) ?(telemetry = Telemetry.null) ?(sites = [||]) ~strategy
+    ~rng ~stats ~im ~stack ~path_constraint () =
   let n = Array.length stack in
   assert (Array.length path_constraint = n);
+  let tracing = Telemetry.enabled telemetry in
+  let site_of j =
+    if j >= 0 && j < Array.length sites then sites.(j) else ("?", j)
+  in
   let candidates =
     Strategy.candidates_of_list
       (List.filter
@@ -84,27 +89,49 @@ let solve ?cache ?(slicing = true) ~strategy ~rng ~stats ~im ~stack ~path_constr
          (List.init n Fun.id))
   in
   let solver_incomplete = ref false in
-  let solve_query cs =
+  (* One pivot-solve attempt. [j] is the flipped branch (for trace
+     attribution), [sliced] how many prefix constraints independence
+     slicing already dropped from [cs]. *)
+  let solve_query ~j ~sliced cs =
     let prefer v = Option.map Zint.of_int (Inputs.value_of im v) in
-    match cache with
-    | None -> Solver.solve ~stats ~prefer cs
-    | Some cache ->
-      let key = Solver.Cache.canonical cs in
-      (match Solver.Cache.find cache key with
-       | Some (Solver.Cache.Sat model) ->
-         stats.Solver.cache_hits <- stats.Solver.cache_hits + 1;
-         Solver.Sat model
-       | Some Solver.Cache.Unsat ->
-         stats.Solver.cache_hits <- stats.Solver.cache_hits + 1;
-         Solver.Unsat
-       | None ->
-         stats.Solver.cache_misses <- stats.Solver.cache_misses + 1;
-         let r = Solver.solve ~stats ~prefer cs in
-         (match r with
-          | Solver.Sat model -> Solver.Cache.add cache key (Solver.Cache.Sat model)
-          | Solver.Unsat -> Solver.Cache.add cache key Solver.Cache.Unsat
-          | Solver.Unknown -> ());
-         r)
+    let t0 = if tracing then Telemetry.now () else 0L in
+    let result, cache_hit =
+      match cache with
+      | None -> (Solver.solve ~stats ~prefer cs, false)
+      | Some cache ->
+        let key = Solver.Cache.canonical cs in
+        (match Solver.Cache.find cache key with
+         | Some (Solver.Cache.Sat model) ->
+           Solver.record_cache_hit stats;
+           (Solver.Sat model, true)
+         | Some Solver.Cache.Unsat ->
+           Solver.record_cache_hit stats;
+           (Solver.Unsat, true)
+         | None ->
+           Solver.record_cache_miss stats;
+           let r = Solver.solve ~stats ~prefer cs in
+           (match r with
+            | Solver.Sat model -> Solver.Cache.add cache key (Solver.Cache.Sat model)
+            | Solver.Unsat -> Solver.Cache.add cache key Solver.Cache.Unsat
+            | Solver.Unknown -> ());
+           (r, false))
+    in
+    if tracing then begin
+      let fn, pc = site_of j in
+      Telemetry.emit telemetry
+        (Telemetry.Solve_query
+           { fn;
+             pc;
+             result =
+               (match result with
+                | Solver.Sat _ -> Telemetry.R_sat
+                | Solver.Unsat -> Telemetry.R_unsat
+                | Solver.Unknown -> Telemetry.R_unknown);
+             dur_ns = Int64.sub (Telemetry.now ()) t0;
+             cache_hit;
+             sliced })
+    end;
+    result
   in
   let rec go () =
     match Strategy.choose strategy rng candidates with
@@ -118,14 +145,13 @@ let solve ?cache ?(slicing = true) ~strategy ~rng ~stats ~im ~stack ~path_constr
       let prefix =
         List.filter_map (fun h -> path_constraint.(h)) (List.init j Fun.id)
       in
-      let base_cs =
+      let base_cs, sliced =
         if slicing then begin
           let kept, dropped = slice ~pivot ~prefix in
-          stats.Solver.constraints_sliced_away <-
-            stats.Solver.constraints_sliced_away + dropped;
-          kept
+          Solver.record_sliced stats dropped;
+          (kept, dropped)
         end
-        else pivot :: prefix
+        else (pivot :: prefix, 0)
       in
       let vars =
         let tbl = Hashtbl.create 16 in
@@ -135,13 +161,17 @@ let solve ?cache ?(slicing = true) ~strategy ~rng ~stats ~im ~stack ~path_constr
         Hashtbl.fold (fun v () acc -> v :: acc) tbl []
       in
       let cs = base_cs @ domain_constraints im vars in
-      (match solve_query cs with
+      (match solve_query ~j ~sliced cs with
        | Solver.Sat model ->
          (* IM + IM': overwrite solved inputs, keep the rest (with
             slicing, inputs outside the pivot's component are never in
             the model and keep their current values). *)
          List.iter
-           (fun (v, z) -> Inputs.set im ~id:v (Dart_util.Word32.of_zint_trunc z))
+           (fun (v, z) ->
+             let w = Dart_util.Word32.of_zint_trunc z in
+             Inputs.set im ~id:v w;
+             if tracing then
+               Telemetry.emit telemetry (Telemetry.Input_update { id = v; value = w }))
            model;
          let next_stack =
            Array.init (j + 1) (fun i ->

@@ -15,7 +15,14 @@
     - {b solve caching} ([cache]): Sat models and Unsat verdicts are
       memoised per canonical constraint set. Pass each worker its own
       cache ({!Driver.search_ctx} does) — sharing one across domains
-      would make hit sequences racy. *)
+      would make hit sequences racy.
+
+    When [telemetry] is an enabled sink, every pivot-solve attempt
+    emits a {!Telemetry.Solve_query} event (result, duration, cache
+    hit, sliced-away count) attributed to the flipped branch's site
+    from [sites] (same indexing as [stack] — pass
+    {!Concolic.run_data.cond_sites}), and every IM + IM' write emits an
+    {!Telemetry.Input_update}. *)
 
 type next =
   | Next_run of Concolic.branch_record array
@@ -43,6 +50,8 @@ val slice :
 val solve :
   ?cache:Solver.Cache.t ->
   ?slicing:bool ->
+  ?telemetry:Telemetry.sink ->
+  ?sites:(string * int) array ->
   strategy:Strategy.t ->
   rng:Dart_util.Prng.t ->
   stats:Solver.stats ->

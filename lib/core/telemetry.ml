@@ -1,0 +1,602 @@
+(* Structured tracing and phase metrics. See telemetry.mli for the
+   contract; the only subtlety here is that the null sink must keep the
+   disabled path allocation-free, which is why every instrumentation
+   point in the search guards event construction behind [enabled]. *)
+
+type phase =
+  | Execute
+  | Solve
+  | Lower
+  | Merge
+
+let phases = [ Execute; Solve; Lower; Merge ]
+
+let phase_to_string = function
+  | Execute -> "execute"
+  | Solve -> "solve"
+  | Lower -> "lower"
+  | Merge -> "merge"
+
+let phase_of_string = function
+  | "execute" -> Some Execute
+  | "solve" -> Some Solve
+  | "lower" -> Some Lower
+  | "merge" -> Some Merge
+  | _ -> None
+
+type solve_result =
+  | R_sat
+  | R_unsat
+  | R_unknown
+
+let solve_result_to_string = function
+  | R_sat -> "sat"
+  | R_unsat -> "unsat"
+  | R_unknown -> "unknown"
+
+let solve_result_of_string = function
+  | "sat" -> Some R_sat
+  | "unsat" -> Some R_unsat
+  | "unknown" -> Some R_unknown
+  | _ -> None
+
+type event =
+  | Run_start of { run : int }
+  | Run_end of { run : int; outcome : string; steps : int; dur_ns : int64 }
+  | Branch_taken of { fn : string; pc : int; dir : bool }
+  | Solve_query of {
+      fn : string;
+      pc : int;
+      result : solve_result;
+      dur_ns : int64;
+      cache_hit : bool;
+      sliced : int;
+    }
+  | Input_update of { id : int; value : int }
+  | Restart of { restarts : int }
+  | Bug_found of { fn : string; pc : int; fault : string; run : int }
+  | Worker_spawn of { worker : int; seed : int }
+  | Worker_drain of { worker : int; runs : int }
+  | Phase_total of { phase : phase; dur_ns : int64 }
+
+(* ---- monotonic clock -------------------------------------------------------- *)
+
+let now () = Monotonic_clock.now ()
+
+(* ---- JSONL codec ------------------------------------------------------------- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let event_to_json ev =
+  let buf = Buffer.create 96 in
+  let field_sep () = Buffer.add_char buf ',' in
+  let key k =
+    add_json_string buf k;
+    Buffer.add_char buf ':'
+  in
+  let str k v =
+    field_sep ();
+    key k;
+    add_json_string buf v
+  in
+  let int k v =
+    field_sep ();
+    key k;
+    Buffer.add_string buf (string_of_int v)
+  in
+  let i64 k v =
+    field_sep ();
+    key k;
+    Buffer.add_string buf (Int64.to_string v)
+  in
+  let bool k v =
+    field_sep ();
+    key k;
+    Buffer.add_string buf (if v then "true" else "false")
+  in
+  let tag name =
+    Buffer.add_char buf '{';
+    key "ev";
+    add_json_string buf name
+  in
+  (match ev with
+   | Run_start { run } ->
+     tag "run_start";
+     int "run" run
+   | Run_end { run; outcome; steps; dur_ns } ->
+     tag "run_end";
+     int "run" run;
+     str "outcome" outcome;
+     int "steps" steps;
+     i64 "ns" dur_ns
+   | Branch_taken { fn; pc; dir } ->
+     tag "branch";
+     str "fn" fn;
+     int "pc" pc;
+     bool "dir" dir
+   | Solve_query { fn; pc; result; dur_ns; cache_hit; sliced } ->
+     tag "solve";
+     str "fn" fn;
+     int "pc" pc;
+     str "result" (solve_result_to_string result);
+     i64 "ns" dur_ns;
+     bool "cache_hit" cache_hit;
+     int "sliced" sliced
+   | Input_update { id; value } ->
+     tag "input";
+     int "id" id;
+     int "value" value
+   | Restart { restarts } ->
+     tag "restart";
+     int "restarts" restarts
+   | Bug_found { fn; pc; fault; run } ->
+     tag "bug";
+     str "fn" fn;
+     int "pc" pc;
+     str "fault" fault;
+     int "run" run
+   | Worker_spawn { worker; seed } ->
+     tag "worker_spawn";
+     int "worker" worker;
+     int "seed" seed
+   | Worker_drain { worker; runs } ->
+     tag "worker_drain";
+     int "worker" worker;
+     int "runs" runs
+   | Phase_total { phase; dur_ns } ->
+     tag "phase";
+     str "phase" (phase_to_string phase);
+     i64 "ns" dur_ns);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Minimal parser for the flat objects emitted above: string, integer
+   and boolean values only, no nesting. *)
+
+exception Bad of string
+
+type jval =
+  | Jstr of string
+  | Jint of int64
+  | Jbool of bool
+
+let parse_flat_object s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\r') do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Bad (Printf.sprintf "expected %C at offset %d" c !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string")
+      else begin
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+          (if !pos >= n then raise (Bad "unterminated escape");
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'u' ->
+             if !pos + 4 > n then raise (Bad "truncated \\u escape");
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> raise (Bad "bad \\u escape"))
+           | _ -> raise (Bad (Printf.sprintf "bad escape \\%c" e)));
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          go ()
+      end
+    in
+    go ()
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+        pos := !pos + 4;
+        Jbool true
+      end
+      else raise (Bad "bad literal")
+    | Some 'f' ->
+      if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+        pos := !pos + 5;
+        Jbool false
+      end
+      else raise (Bad "bad literal")
+    | Some ('-' | '0' .. '9') ->
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        advance ()
+      done;
+      (match Int64.of_string_opt (String.sub s start (!pos - start)) with
+       | Some v -> Jint v
+       | None -> raise (Bad "bad integer"))
+    | _ -> raise (Bad (Printf.sprintf "unexpected value at offset %d" !pos))
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = Some '}' then advance ()
+  else begin
+    let rec members () =
+      skip_ws ();
+      let k = parse_string () in
+      expect ':';
+      let v = parse_value () in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        advance ();
+        members ()
+      | Some '}' -> advance ()
+      | _ -> raise (Bad "expected ',' or '}'")
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing garbage after object");
+  List.rev !fields
+
+let event_of_json line =
+  try
+    let fields = parse_flat_object line in
+    let str k =
+      match List.assoc_opt k fields with
+      | Some (Jstr s) -> s
+      | _ -> raise (Bad (Printf.sprintf "missing string field %S" k))
+    in
+    let i64 k =
+      match List.assoc_opt k fields with
+      | Some (Jint v) -> v
+      | _ -> raise (Bad (Printf.sprintf "missing integer field %S" k))
+    in
+    let int k = Int64.to_int (i64 k) in
+    let bool k =
+      match List.assoc_opt k fields with
+      | Some (Jbool b) -> b
+      | _ -> raise (Bad (Printf.sprintf "missing boolean field %S" k))
+    in
+    let ev =
+      match str "ev" with
+      | "run_start" -> Run_start { run = int "run" }
+      | "run_end" ->
+        Run_end
+          { run = int "run"; outcome = str "outcome"; steps = int "steps"; dur_ns = i64 "ns" }
+      | "branch" -> Branch_taken { fn = str "fn"; pc = int "pc"; dir = bool "dir" }
+      | "solve" ->
+        let result =
+          match solve_result_of_string (str "result") with
+          | Some r -> r
+          | None -> raise (Bad "bad solve result")
+        in
+        Solve_query
+          { fn = str "fn";
+            pc = int "pc";
+            result;
+            dur_ns = i64 "ns";
+            cache_hit = bool "cache_hit";
+            sliced = int "sliced" }
+      | "input" -> Input_update { id = int "id"; value = int "value" }
+      | "restart" -> Restart { restarts = int "restarts" }
+      | "bug" ->
+        Bug_found { fn = str "fn"; pc = int "pc"; fault = str "fault"; run = int "run" }
+      | "worker_spawn" -> Worker_spawn { worker = int "worker"; seed = int "seed" }
+      | "worker_drain" -> Worker_drain { worker = int "worker"; runs = int "runs" }
+      | "phase" ->
+        let phase =
+          match phase_of_string (str "phase") with
+          | Some p -> p
+          | None -> raise (Bad "bad phase name")
+        in
+        Phase_total { phase; dur_ns = i64 "ns" }
+      | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
+    in
+    Ok ev
+  with Bad msg -> Error msg
+
+(* ---- sinks -------------------------------------------------------------------- *)
+
+type ring_state = {
+  cap : int;
+  mutable arr : event array; (* allocated lazily on the first emit *)
+  mutable next : int; (* next write slot *)
+  mutable len : int; (* filled slots, <= cap *)
+  mutable total : int;
+}
+
+type sink =
+  | Null
+  | Ring of ring_state
+  | Jsonl of { oc : out_channel; mutable written : int }
+
+let null = Null
+
+let ring ~capacity =
+  if capacity < 1 then invalid_arg "Telemetry.ring: capacity < 1";
+  Ring { cap = capacity; arr = [||]; next = 0; len = 0; total = 0 }
+
+let jsonl oc = Jsonl { oc; written = 0 }
+
+let enabled = function
+  | Null -> false
+  | Ring _ | Jsonl _ -> true
+
+let emit sink ev =
+  match sink with
+  | Null -> ()
+  | Ring r ->
+    if Array.length r.arr = 0 then r.arr <- Array.make r.cap ev;
+    r.arr.(r.next) <- ev;
+    r.next <- (r.next + 1) mod r.cap;
+    if r.len < r.cap then r.len <- r.len + 1;
+    r.total <- r.total + 1
+  | Jsonl j ->
+    output_string j.oc (event_to_json ev);
+    output_char j.oc '\n';
+    j.written <- j.written + 1
+
+let emitted = function
+  | Null -> 0
+  | Ring r -> r.total
+  | Jsonl j -> j.written
+
+let events = function
+  | Null | Jsonl _ -> []
+  | Ring r ->
+    List.init r.len (fun i ->
+        (* Oldest event first: when the ring has wrapped, the oldest
+           slot is the next write position. *)
+        let start = if r.len < r.cap then 0 else r.next in
+        r.arr.((start + i) mod r.cap))
+
+let replay src ~into = List.iter (emit into) (events src)
+
+let flush = function
+  | Null | Ring _ -> ()
+  | Jsonl j -> Stdlib.flush j.oc
+
+(* ---- phase metrics ------------------------------------------------------------- *)
+
+type metrics = {
+  mutable execute_ns : int64;
+  mutable solve_ns : int64;
+  mutable lower_ns : int64;
+  mutable merge_ns : int64;
+}
+
+let create_metrics () = { execute_ns = 0L; solve_ns = 0L; lower_ns = 0L; merge_ns = 0L }
+
+let phase_ns m = function
+  | Execute -> m.execute_ns
+  | Solve -> m.solve_ns
+  | Lower -> m.lower_ns
+  | Merge -> m.merge_ns
+
+let add_phase m phase ns =
+  match phase with
+  | Execute -> m.execute_ns <- Int64.add m.execute_ns ns
+  | Solve -> m.solve_ns <- Int64.add m.solve_ns ns
+  | Lower -> m.lower_ns <- Int64.add m.lower_ns ns
+  | Merge -> m.merge_ns <- Int64.add m.merge_ns ns
+
+let add_metrics ~into m = List.iter (fun p -> add_phase into p (phase_ns m p)) phases
+
+let total_ns m =
+  List.fold_left (fun acc p -> Int64.add acc (phase_ns m p)) 0L phases
+
+let timed m phase f =
+  let t0 = now () in
+  let r = f () in
+  add_phase m phase (Int64.sub (now ()) t0);
+  r
+
+let seconds ns = Int64.to_float ns /. 1e9
+
+let metrics_to_assoc m =
+  List.map (fun p -> (phase_to_string p ^ "_s", seconds (phase_ns m p))) phases
+  @ [ ("total_s", seconds (total_ns m)) ]
+
+let metrics_to_string m =
+  Printf.sprintf
+    "phase timings: execute %.3fs  solve %.3fs  lower %.3fs  merge %.3fs  (total %.3fs)"
+    (seconds m.execute_ns) (seconds m.solve_ns) (seconds m.lower_ns) (seconds m.merge_ns)
+    (seconds (total_ns m))
+
+let emit_phase_totals sink m =
+  List.iter (fun p -> emit sink (Phase_total { phase = p; dur_ns = phase_ns m p })) phases
+
+(* ---- trace summaries ------------------------------------------------------------ *)
+
+type site_agg = {
+  s_count : int;
+  s_sat : int;
+  s_unsat : int;
+  s_unknown : int;
+  s_hits : int;
+  s_sliced : int;
+  s_ns : int64;
+}
+
+type summary = {
+  total_events : int;
+  runs : int;
+  branches : int;
+  solves : int;
+  solve_hits : int;
+  solve_sat : int;
+  solve_unsat : int;
+  solve_unknown : int;
+  solve_site_ns : int64;
+  exec_run_ns : int64;
+  inputs_updated : int;
+  restarts : int;
+  bugs : int;
+  workers : int;
+  phase_ns : (phase * int64) list;
+  sites : ((string * int) * site_agg) list;
+}
+
+let empty_agg =
+  { s_count = 0; s_sat = 0; s_unsat = 0; s_unknown = 0; s_hits = 0; s_sliced = 0; s_ns = 0L }
+
+let summarize evs =
+  let runs = ref 0 and branches = ref 0 and solves = ref 0 and hits = ref 0 in
+  let sat = ref 0 and unsat = ref 0 and unknown = ref 0 in
+  let solve_ns = ref 0L and exec_ns = ref 0L in
+  let inputs = ref 0 and restarts = ref 0 and bugs = ref 0 and workers = ref 0 in
+  let phase_tbl : (phase, int64) Hashtbl.t = Hashtbl.create 4 in
+  let site_tbl : (string * int, site_agg) Hashtbl.t = Hashtbl.create 32 in
+  let count = ref 0 in
+  List.iter
+    (fun ev ->
+      incr count;
+      match ev with
+      | Run_start _ -> incr runs
+      | Run_end { dur_ns; _ } -> exec_ns := Int64.add !exec_ns dur_ns
+      | Branch_taken _ -> incr branches
+      | Solve_query { fn; pc; result; dur_ns; cache_hit; sliced } ->
+        incr solves;
+        if cache_hit then incr hits;
+        (match result with
+         | R_sat -> incr sat
+         | R_unsat -> incr unsat
+         | R_unknown -> incr unknown);
+        solve_ns := Int64.add !solve_ns dur_ns;
+        let prev = Option.value ~default:empty_agg (Hashtbl.find_opt site_tbl (fn, pc)) in
+        Hashtbl.replace site_tbl (fn, pc)
+          { s_count = prev.s_count + 1;
+            s_sat = (prev.s_sat + if result = R_sat then 1 else 0);
+            s_unsat = (prev.s_unsat + if result = R_unsat then 1 else 0);
+            s_unknown = (prev.s_unknown + if result = R_unknown then 1 else 0);
+            s_hits = (prev.s_hits + if cache_hit then 1 else 0);
+            s_sliced = prev.s_sliced + sliced;
+            s_ns = Int64.add prev.s_ns dur_ns }
+      | Input_update _ -> incr inputs
+      | Restart _ -> incr restarts
+      | Bug_found _ -> incr bugs
+      | Worker_spawn _ -> incr workers
+      | Worker_drain _ -> ()
+      | Phase_total { phase; dur_ns } ->
+        let prev = Option.value ~default:0L (Hashtbl.find_opt phase_tbl phase) in
+        Hashtbl.replace phase_tbl phase (Int64.add prev dur_ns))
+    evs;
+  let phase_ns =
+    List.map
+      (fun p -> (p, Option.value ~default:0L (Hashtbl.find_opt phase_tbl p)))
+      phases
+  in
+  let sites =
+    Hashtbl.fold (fun site agg acc -> (site, agg) :: acc) site_tbl []
+    |> List.sort (fun (sa, a) (sb, b) ->
+           match Int64.compare b.s_ns a.s_ns with 0 -> compare sa sb | c -> c)
+  in
+  { total_events = !count;
+    runs = !runs;
+    branches = !branches;
+    solves = !solves;
+    solve_hits = !hits;
+    solve_sat = !sat;
+    solve_unsat = !unsat;
+    solve_unknown = !unknown;
+    solve_site_ns = !solve_ns;
+    exec_run_ns = !exec_ns;
+    inputs_updated = !inputs;
+    restarts = !restarts;
+    bugs = !bugs;
+    workers = !workers;
+    phase_ns;
+    sites }
+
+let summary_to_string s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "trace: %d events (%d runs, %d branches, %d solver queries, %d inputs updated, %d \
+        restarts, %d bugs, %d workers)\n"
+       s.total_events s.runs s.branches s.solves s.inputs_updated s.restarts s.bugs
+       s.workers);
+  Buffer.add_string buf
+    (Printf.sprintf "solver: %d real queries + %d cache hits (%d sat, %d unsat, %d unknown)\n"
+       (s.solves - s.solve_hits) s.solve_hits s.solve_sat s.solve_unsat s.solve_unknown);
+  let total = List.fold_left (fun acc (_, ns) -> Int64.add acc ns) 0L s.phase_ns in
+  Buffer.add_string buf "phases:\n";
+  List.iter
+    (fun (p, ns) ->
+      let pct =
+        if Int64.compare total 0L > 0 then
+          100.0 *. Int64.to_float ns /. Int64.to_float total
+        else 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-8s %10.3fms  (%5.1f%%)\n" (phase_to_string p) (seconds ns *. 1e3)
+           pct))
+    s.phase_ns;
+  Buffer.add_string buf
+    (Printf.sprintf "per-run execution time (from run_end): %.3fms\n"
+       (seconds s.exec_run_ns *. 1e3));
+  if s.sites <> [] then begin
+    Buffer.add_string buf "solve sites (by total solver time):\n";
+    List.iter
+      (fun ((fn, pc), a) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-28s %5d queries (%d sat, %d unsat, %d unknown), %d hits, %d sliced, \
+              %.3fms\n"
+             (Printf.sprintf "%s:%d" fn pc)
+             a.s_count a.s_sat a.s_unsat a.s_unknown a.s_hits a.s_sliced
+             (seconds a.s_ns *. 1e3)))
+      s.sites
+  end;
+  Buffer.contents buf
+
+(* ---- configuration --------------------------------------------------------------- *)
+
+type config = {
+  sink : sink;
+  worker_buffer : int;
+}
+
+let default_config = { sink = null; worker_buffer = 1 lsl 20 }
+
+let with_sink sink = { default_config with sink }

@@ -1,0 +1,182 @@
+(** Structured event tracing and phase timing for the directed search.
+
+    Every interesting step of the concolic loop — instrumented runs,
+    branches, solver queries, input updates, restarts, bugs, worker
+    lifecycle — can be emitted as a typed {!event} into a {!sink}.
+    Three sink implementations are provided:
+
+    - {!null}: tracing off. [enabled] is [false], so instrumented code
+      guards event construction behind it and the hot path allocates
+      nothing.
+    - {!ring}: a bounded in-memory buffer keeping the most recent
+      [capacity] events. Used both for tests and as the per-domain
+      buffer of {!Parallel} workers, whose events are replayed into the
+      main sink in worker order at join.
+    - {!jsonl}: one JSON object per line on an output channel, the
+      stable on-disk trace format consumed by [dartc trace-stats].
+
+    Orthogonally, {!metrics} accumulates monotonic per-phase wall-clock
+    time (execute / solve / lower / merge); a metrics record rides in
+    every {!Driver.report} so bench rows and [dartc --metrics] can
+    attribute where a search spent its time. *)
+
+(** {1 Phases and events} *)
+
+type phase =
+  | Execute (* instrumented runs on the RAM machine *)
+  | Solve (* solve_path_constraint: slicing, cache, solver *)
+  | Lower (* driver generation, typechecking, lowering *)
+  | Merge (* parallel report + trace merging at join *)
+
+val phase_to_string : phase -> string
+val phase_of_string : string -> phase option
+
+type solve_result =
+  | R_sat
+  | R_unsat
+  | R_unknown
+
+val solve_result_to_string : solve_result -> string
+
+type event =
+  | Run_start of { run : int } (* 1-based, before the run executes *)
+  | Run_end of { run : int; outcome : string; steps : int; dur_ns : int64 }
+  | Branch_taken of { fn : string; pc : int; dir : bool }
+  | Solve_query of {
+      fn : string; (* site of the pivot branch being forced *)
+      pc : int;
+      result : solve_result;
+      dur_ns : int64;
+      cache_hit : bool; (* answered from the per-worker solve cache *)
+      sliced : int; (* prefix constraints dropped by independence slicing *)
+    }
+  | Input_update of { id : int; value : int } (* IM + IM' write *)
+  | Restart of { restarts : int } (* fresh random restart of the outer loop *)
+  | Bug_found of { fn : string; pc : int; fault : string; run : int }
+  | Worker_spawn of { worker : int; seed : int }
+  | Worker_drain of { worker : int; runs : int }
+  | Phase_total of { phase : phase; dur_ns : int64 }
+      (* summary record flushed at the end of a search / merge *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val null : sink
+(** The no-op sink: [enabled] is [false], [emit] does nothing. *)
+
+val ring : capacity:int -> sink
+(** Bounded in-memory buffer holding the most recent [capacity] events
+    (older events are overwritten). Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val jsonl : out_channel -> sink
+(** Writes one {!event_to_json} line per event. The caller owns the
+    channel ([flush] flushes it; closing is the caller's business). *)
+
+val enabled : sink -> bool
+(** [false] only for {!null}: instrumentation points check this before
+    constructing an event, so a disabled trace costs one branch. *)
+
+val emit : sink -> event -> unit
+val emitted : sink -> int
+(** Events accepted so far (including ring events since overwritten). *)
+
+val events : sink -> event list
+(** Buffered events, oldest first. [[]] for {!null} and {!jsonl}. *)
+
+val replay : sink -> into:sink -> unit
+(** Re-emit every buffered event of the first sink into [into], in
+    order. Used by {!Parallel} to splice per-worker buffers into the
+    main trace at join. *)
+
+val flush : sink -> unit
+
+(** {1 JSONL codec} *)
+
+val event_to_json : event -> string
+(** One flat JSON object, no trailing newline. Schema (the [ev] field
+    selects the variant): [run_start], [run_end], [branch], [solve],
+    [input], [restart], [bug], [worker_spawn], [worker_drain],
+    [phase]. *)
+
+val event_of_json : string -> (event, string) result
+(** Inverse of {!event_to_json}; [Error] explains the first schema
+    violation found. *)
+
+(** {1 Phase metrics} *)
+
+type metrics = {
+  mutable execute_ns : int64;
+  mutable solve_ns : int64;
+  mutable lower_ns : int64;
+  mutable merge_ns : int64;
+}
+
+val create_metrics : unit -> metrics
+val add_metrics : into:metrics -> metrics -> unit
+val add_phase : metrics -> phase -> int64 -> unit
+val total_ns : metrics -> int64
+
+val timed : metrics -> phase -> (unit -> 'a) -> 'a
+(** Run the thunk, attributing its wall-clock time to the phase. *)
+
+val now : unit -> int64
+(** Monotonic clock, nanoseconds (CLOCK_MONOTONIC via bechamel's
+    noalloc stub). Differences are meaningful; absolute values are
+    not. *)
+
+val metrics_to_assoc : metrics -> (string * float) list
+(** Per-phase seconds plus a ["total_s"] entry, stable key order. *)
+
+val metrics_to_string : metrics -> string
+val emit_phase_totals : sink -> metrics -> unit
+(** One {!Phase_total} event per phase, in declaration order. *)
+
+(** {1 Trace summaries ([dartc trace-stats])} *)
+
+type site_agg = {
+  s_count : int;
+  s_sat : int;
+  s_unsat : int;
+  s_unknown : int;
+  s_hits : int;
+  s_sliced : int;
+  s_ns : int64;
+}
+
+type summary = {
+  total_events : int;
+  runs : int; (* Run_start events *)
+  branches : int;
+  solves : int; (* all Solve_query events *)
+  solve_hits : int; (* ... of which answered from the cache *)
+  solve_sat : int;
+  solve_unsat : int;
+  solve_unknown : int;
+  solve_site_ns : int64; (* summed per-query durations *)
+  exec_run_ns : int64; (* summed Run_end durations *)
+  inputs_updated : int;
+  restarts : int;
+  bugs : int;
+  workers : int; (* Worker_spawn events *)
+  phase_ns : (phase * int64) list; (* summed Phase_total, all four phases *)
+  sites : ((string * int) * site_agg) list; (* sorted by s_ns descending *)
+}
+
+val summarize : event list -> summary
+val summary_to_string : summary -> string
+
+(** {1 Configuration} *)
+
+type config = {
+  sink : sink;
+  worker_buffer : int;
+      (* per-domain ring capacity used by Parallel when tracing a
+         multi-worker search *)
+}
+
+val default_config : config
+(** Null sink, 2^20-event worker buffers. *)
+
+val with_sink : sink -> config

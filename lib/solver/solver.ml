@@ -27,6 +27,63 @@ let create_stats () =
   { queries = 0; sat = 0; unsat = 0; unknown = 0; fast_path = 0; simplex_queries = 0;
     ne_splits = 0; cache_hits = 0; cache_misses = 0; constraints_sliced_away = 0 }
 
+(* The record stays private to this module: outside consumers go
+   through the accessors / [to_assoc], so widening the record (as the
+   acceleration PR did) is a local change. *)
+
+let queries s = s.queries
+let sat_count s = s.sat
+let unsat_count s = s.unsat
+let unknown_count s = s.unknown
+let fast_path s = s.fast_path
+let simplex_queries s = s.simplex_queries
+let ne_splits s = s.ne_splits
+let cache_hits s = s.cache_hits
+let cache_misses s = s.cache_misses
+let constraints_sliced_away s = s.constraints_sliced_away
+
+let to_assoc s =
+  [ ("queries", s.queries); ("sat", s.sat); ("unsat", s.unsat); ("unknown", s.unknown);
+    ("fast_path", s.fast_path); ("simplex_queries", s.simplex_queries);
+    ("ne_splits", s.ne_splits); ("cache_hits", s.cache_hits);
+    ("cache_misses", s.cache_misses);
+    ("constraints_sliced_away", s.constraints_sliced_away) ]
+
+let of_assoc alist =
+  let s = create_stats () in
+  List.iter
+    (fun (k, v) ->
+      match k with
+      | "queries" -> s.queries <- v
+      | "sat" -> s.sat <- v
+      | "unsat" -> s.unsat <- v
+      | "unknown" -> s.unknown <- v
+      | "fast_path" -> s.fast_path <- v
+      | "simplex_queries" -> s.simplex_queries <- v
+      | "ne_splits" -> s.ne_splits <- v
+      | "cache_hits" -> s.cache_hits <- v
+      | "cache_misses" -> s.cache_misses <- v
+      | "constraints_sliced_away" -> s.constraints_sliced_away <- v
+      | k -> invalid_arg (Printf.sprintf "Solver.of_assoc: unknown counter %S" k))
+    alist;
+  s
+
+let add_stats ~into w =
+  into.queries <- into.queries + w.queries;
+  into.sat <- into.sat + w.sat;
+  into.unsat <- into.unsat + w.unsat;
+  into.unknown <- into.unknown + w.unknown;
+  into.fast_path <- into.fast_path + w.fast_path;
+  into.simplex_queries <- into.simplex_queries + w.simplex_queries;
+  into.ne_splits <- into.ne_splits + w.ne_splits;
+  into.cache_hits <- into.cache_hits + w.cache_hits;
+  into.cache_misses <- into.cache_misses + w.cache_misses;
+  into.constraints_sliced_away <- into.constraints_sliced_away + w.constraints_sliced_away
+
+let record_cache_hit s = s.cache_hits <- s.cache_hits + 1
+let record_cache_miss s = s.cache_misses <- s.cache_misses + 1
+let record_sliced s n = s.constraints_sliced_away <- s.constraints_sliced_away + n
+
 let dummy_stats = create_stats ()
 
 let check_model cs model =

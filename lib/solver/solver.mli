@@ -44,22 +44,46 @@ type result =
   | Unsat
   | Unknown (* resource limits hit; callers must treat conservatively *)
 
-type stats = {
-  mutable queries : int;
-  mutable sat : int;
-  mutable unsat : int;
-  mutable unknown : int;
-  mutable fast_path : int; (* queries discharged without simplex *)
-  mutable simplex_queries : int;
-  mutable ne_splits : int;
-  mutable cache_hits : int; (* queries answered from the solve cache *)
-  mutable cache_misses : int; (* cache-enabled queries that hit the solver *)
-  mutable constraints_sliced_away : int;
-      (* prefix constraints dropped by independence slicing before the
-         query reached the solver *)
-}
+type stats
+(** Mutable solver counters. Abstract so new counters can be added
+    without breaking every consumer: read through the named accessors
+    or {!to_assoc}, fabricate/serialise through {!of_assoc}, merge with
+    {!add_stats}. *)
 
 val create_stats : unit -> stats
+
+(** {2 Accessors} *)
+
+val queries : stats -> int
+val sat_count : stats -> int
+val unsat_count : stats -> int
+val unknown_count : stats -> int
+val fast_path : stats -> int (* queries discharged without simplex *)
+val simplex_queries : stats -> int
+val ne_splits : stats -> int
+val cache_hits : stats -> int (* queries answered from the solve cache *)
+val cache_misses : stats -> int (* cache-enabled queries that hit the solver *)
+val constraints_sliced_away : stats -> int
+(** Prefix constraints dropped by independence slicing before the query
+    reached the solver. *)
+
+val to_assoc : stats -> (string * int) list
+(** Every counter as [(name, value)], stable declaration order; the
+    single source of truth for report printing, bench JSON and merge
+    code, so a new counter shows up everywhere at once. *)
+
+val of_assoc : (string * int) list -> stats
+(** Inverse of {!to_assoc}; missing keys default to 0, unknown keys are
+    rejected with [Invalid_argument]. *)
+
+val add_stats : into:stats -> stats -> unit
+(** Counter-wise accumulation (used by [Parallel.sum_stats]). *)
+
+(** {2 Recorders for the acceleration layer (see [Solve_pc])} *)
+
+val record_cache_hit : stats -> unit
+val record_cache_miss : stats -> unit
+val record_sliced : stats -> int -> unit
 
 val solve :
   ?stats:stats ->

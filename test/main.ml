@@ -9,6 +9,7 @@ let () =
       ("symbolic", Test_symbolic.suite);
       ("solver", Test_solver.suite);
       ("concolic", Test_concolic.suite);
+      ("telemetry", Test_telemetry.suite);
       ("driver", Test_driver.suite);
       ("strategy", Test_strategy.suite);
       ("accel", Test_accel.suite);

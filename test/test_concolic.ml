@@ -78,7 +78,7 @@ let test_symbolic_deref_fallback () =
      aggregated flags. *)
   let report =
     Dart.Driver.test_source
-      ~options:{ Dart.Driver.default_options with max_runs = 50 }
+      ~options:(Dart.Driver.Options.make ~max_runs:50 ())
       ~toplevel:"f"
       "int g[10]; void f(int i) { if (i >= 0) { if (i < 10) { int v = g[i]; } } }"
   in

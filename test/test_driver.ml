@@ -2,8 +2,9 @@
    search strategies, solve_path_constraint behaviour, and the random
    baseline. *)
 
-let options ?(depth = 1) ?(max_runs = 20_000) ?(strategy = Dart.Strategy.Dfs) () =
-  { Dart.Driver.default_options with depth; max_runs; strategy }
+let options ?(depth = 1) ?(max_runs = 20_000) ?(strategy = Dart.Strategy.Dfs) ?seed
+    ?stop_on_first_bug () =
+  Dart.Driver.Options.make ~depth ~max_runs ~strategy ?seed ?stop_on_first_bug ()
 
 let dart ?depth ?max_runs ?strategy (src, toplevel) =
   Dart.Driver.test_source ~options:(options ?depth ?max_runs ?strategy ()) ~toplevel src
@@ -172,7 +173,7 @@ void f(int x) {
   if (x == 20) { int *p = NULL; *p = 1; }
 }
 |} in
-  let opts = { (options ()) with Dart.Driver.stop_on_first_bug = false } in
+  let opts = options ~stop_on_first_bug:false () in
   let r = Dart.Driver.test_source ~options:opts ~toplevel:"f" src in
   Alcotest.(check int) "two distinct bugs" 2 (List.length r.Dart.Driver.bugs)
 
@@ -195,7 +196,7 @@ let test_seed_sensitivity () =
   (* Different seeds still find the bug (robustness of the search). *)
   List.iter
     (fun seed ->
-      let opts = { (options ~depth:2 ()) with Dart.Driver.seed } in
+      let opts = options ~depth:2 ~seed () in
       let r =
         Dart.Driver.test_source ~options:opts ~toplevel:"ac_controller"
           (fst Workloads.Paper_examples.ac_controller)
@@ -224,7 +225,7 @@ let test_coverage_report () =
   (* h's two conditionals are both reachable in both directions; a
      search that keeps going after the first bug covers all four. *)
   let src, toplevel = Workloads.Paper_examples.section_2_1 in
-  let opts = { (options ()) with Dart.Driver.stop_on_first_bug = false } in
+  let opts = options ~stop_on_first_bug:false () in
   let r = Dart.Driver.test_source ~options:opts ~toplevel src in
   let ast = Minic.Parser.parse_program src in
   let prog = Dart.Driver.prepare ~toplevel ~depth:1 ast in
@@ -269,7 +270,7 @@ let test_coverage_count_consistency () =
      that [Coverage.compute] filters out, so the headline number and
      the per-function report disagreed. They must count the same set. *)
   let src, toplevel = Workloads.Paper_examples.section_2_1 in
-  let opts = { (options ()) with Dart.Driver.stop_on_first_bug = false } in
+  let opts = options ~stop_on_first_bug:false () in
   let r = Dart.Driver.test_source ~options:opts ~toplevel src in
   let prog = Dart.Driver.prepare ~toplevel ~depth:1 (Minic.Parser.parse_program src) in
   let cov = Dart.Coverage.compute prog ~covered:r.Dart.Driver.coverage_sites in

@@ -15,11 +15,7 @@ let bug ?(fault = Machine.Abort) ?(run = 1) fn pc =
     bug_run = run;
     bug_inputs = [ (0, 7) ] }
 
-let stats ~queries ~sat =
-  let s = Solver.create_stats () in
-  s.Solver.queries <- queries;
-  s.Solver.sat <- sat;
-  s
+let stats ~queries ~sat = Solver.of_assoc [ ("queries", queries); ("sat", sat) ]
 
 let fake_report ?(verdict = Dart.Driver.Budget_exhausted) ?(runs = 10) ?(restarts = 1)
     ?(steps = 100) ?(coverage = []) ?(paths = 5) ?(all_linear = true)
@@ -34,6 +30,7 @@ let fake_report ?(verdict = Dart.Driver.Budget_exhausted) ?(runs = 10) ?(restart
     all_linear;
     all_locs_definite;
     solver_stats = stats;
+    metrics = Dart.Telemetry.create_metrics ();
     bugs }
 
 (* ---- merge layer ---------------------------------------------------------- *)
@@ -83,8 +80,8 @@ let test_merge_counter_sums () =
   Alcotest.(check int) "restarts summed" 3 m.Dart.Driver.restarts;
   Alcotest.(check int) "steps summed" 150 m.Dart.Driver.total_steps;
   Alcotest.(check int) "paths summed" 7 m.Dart.Driver.paths_explored;
-  Alcotest.(check int) "queries summed" 12 m.Dart.Driver.solver_stats.Solver.queries;
-  Alcotest.(check int) "sat summed" 4 m.Dart.Driver.solver_stats.Solver.sat;
+  Alcotest.(check int) "queries summed" 12 (Solver.queries m.Dart.Driver.solver_stats);
+  Alcotest.(check int) "sat summed" 4 (Solver.sat_count m.Dart.Driver.solver_stats);
   Alcotest.(check bool) "all_linear conjoined" false m.Dart.Driver.all_linear;
   Alcotest.(check bool) "all_locs_definite conjoined" true m.Dart.Driver.all_locs_definite
 
@@ -145,7 +142,7 @@ let test_jobs1_equals_sequential () =
   List.iter
     (fun (workload, depth) ->
       let prog = prepare_workload workload ~depth in
-      let base = { Dart.Driver.default_options with depth } in
+      let base = Dart.Driver.Options.make ~depth () in
       let seq = Dart.Driver.run ~options:base prog in
       let par = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:1 base) prog in
       Alcotest.(check int) "one worker" 1 par.Dart.Parallel.jobs;
@@ -160,7 +157,7 @@ let test_jobs4_same_bug_set () =
   List.iter
     (fun (workload, depth) ->
       let prog = prepare_workload workload ~depth in
-      let base = { Dart.Driver.default_options with depth; max_runs = 2_000 } in
+      let base = Dart.Driver.Options.make ~depth ~max_runs:2_000 () in
       let r1 = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:1 base) prog in
       let r4 = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:4 base) prog in
       let tag (r : Dart.Parallel.report) =
@@ -178,7 +175,7 @@ let test_jobs4_same_bug_set () =
 
 let test_portfolio_strategies () =
   let prog = prepare_workload Workloads.Paper_examples.section_2_4 ~depth:1 in
-  let base = { Dart.Driver.default_options with max_runs = 400 } in
+  let base = Dart.Driver.Options.make ~max_runs:400 () in
   let portfolio = [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ] in
   let r = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:3 ~portfolio base) prog in
   Alcotest.(check (list string)) "portfolio cycled"

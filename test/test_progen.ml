@@ -124,7 +124,7 @@ let test_witness_replay_soundness () =
   for seed = 0 to 79 do
     let ast = gen_at seed in
     let prog = Dart.Driver.prepare ~toplevel:Progen.toplevel_name ~depth:1 ast in
-    let options = { Dart.Driver.default_options with max_runs = 300; seed } in
+    let options = Dart.Driver.Options.make ~max_runs:300 ~seed () in
     let report = Dart.Driver.run ~options prog in
     match report.Dart.Driver.verdict with
     | Dart.Driver.Bug_found bug ->
@@ -156,7 +156,7 @@ let test_dart_never_crashes_on_generated () =
   for seed = 200 to 279 do
     let ast = gen_at seed in
     let prog = Dart.Driver.prepare ~toplevel:Progen.toplevel_name ~depth:1 ast in
-    let options = { Dart.Driver.default_options with max_runs = 200; seed } in
+    let options = Dart.Driver.Options.make ~max_runs:200 ~seed () in
     match Dart.Driver.run ~options prog with
     | _ -> ()
     | exception e ->

@@ -182,9 +182,19 @@ let test_stats () =
   let stats = Solver.create_stats () in
   ignore (Solver.solve ~stats [ eq (mk (-10) [ (0, 1) ]) ]);
   ignore (Solver.solve ~stats [ le (mk 10 [ (0, -1); (1, -1) ]) ]);
-  Alcotest.(check int) "queries" 2 stats.Solver.queries;
-  Alcotest.(check bool) "fast path used" true (stats.Solver.fast_path >= 1);
-  Alcotest.(check bool) "simplex used" true (stats.Solver.simplex_queries >= 1)
+  Alcotest.(check int) "queries" 2 (Solver.queries stats);
+  Alcotest.(check bool) "fast path used" true (Solver.fast_path stats >= 1);
+  Alcotest.(check bool) "simplex used" true (Solver.simplex_queries stats >= 1);
+  (* The assoc view round-trips through of_assoc and sums with add_stats. *)
+  let a = Solver.to_assoc stats in
+  Alcotest.(check int) "assoc queries" 2 (List.assoc "queries" a);
+  let copy = Solver.of_assoc a in
+  Alcotest.(check (list (pair string int))) "of_assoc round-trips" a (Solver.to_assoc copy);
+  Solver.add_stats ~into:copy stats;
+  Alcotest.(check int) "add_stats doubles queries" 4 (Solver.queries copy);
+  Alcotest.check_raises "unknown counter rejected"
+    (Invalid_argument "Solver.of_assoc: unknown counter \"bogus\"") (fun () ->
+      ignore (Solver.of_assoc [ ("bogus", 1) ]))
 
 (* ---- property: planted solutions are found -------------------------------- *)
 

@@ -138,7 +138,7 @@ let test_char_box_reaches_solver () =
      terminates Complete. *)
   let r =
     Dart.Driver.test_source
-      ~options:{ Dart.Driver.default_options with max_runs = 50 }
+      ~options:(Dart.Driver.Options.make ~max_runs:50 ())
       ~toplevel:"f" "void f(char c) { if (c == 300) abort(); }"
   in
   (match r.Dart.Driver.verdict with
@@ -148,7 +148,7 @@ let test_char_box_reaches_solver () =
   (* The satisfiable edge of the box is still reachable. *)
   let r =
     Dart.Driver.test_source
-      ~options:{ Dart.Driver.default_options with max_runs = 50 }
+      ~options:(Dart.Driver.Options.make ~max_runs:50 ())
       ~toplevel:"f" "void f(char c) { if (c == 255) abort(); }"
   in
   match r.Dart.Driver.verdict with

@@ -1,0 +1,259 @@
+(* The telemetry subsystem: sink semantics (null / ring / jsonl), the
+   JSONL codec, phase metrics, and the end-to-end contracts — tracing
+   must never perturb the search, and trace event counts must agree
+   with the report's counters. *)
+
+module T = Dart.Telemetry
+
+(* ---- sinks ------------------------------------------------------------------- *)
+
+let test_null_sink () =
+  Alcotest.(check bool) "null disabled" false (T.enabled T.null);
+  T.emit T.null (T.Run_start { run = 1 });
+  Alcotest.(check int) "null counts nothing" 0 (T.emitted T.null);
+  Alcotest.(check int) "null buffers nothing" 0 (List.length (T.events T.null))
+
+let test_ring_wraparound () =
+  let r = T.ring ~capacity:4 in
+  Alcotest.(check bool) "ring enabled" true (T.enabled r);
+  for i = 1 to 10 do
+    T.emit r (T.Run_start { run = i })
+  done;
+  Alcotest.(check int) "all emissions counted" 10 (T.emitted r);
+  let runs =
+    List.filter_map (function T.Run_start { run } -> Some run | _ -> None) (T.events r)
+  in
+  Alcotest.(check (list int)) "most recent capacity events, oldest first" [ 7; 8; 9; 10 ]
+    runs;
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Telemetry.ring: capacity < 1") (fun () ->
+      ignore (T.ring ~capacity:0))
+
+let test_replay () =
+  let src = T.ring ~capacity:8 and dst = T.ring ~capacity:8 in
+  T.emit src (T.Run_start { run = 1 });
+  T.emit src (T.Restart { restarts = 1 });
+  T.emit dst (T.Run_start { run = 99 });
+  T.replay src ~into:dst;
+  Alcotest.(check int) "replayed in order" 3 (List.length (T.events dst));
+  match T.events dst with
+  | [ T.Run_start { run = 99 }; T.Run_start { run = 1 }; T.Restart _ ] -> ()
+  | _ -> Alcotest.fail "replay appended source events in order"
+
+(* ---- JSONL codec -------------------------------------------------------------- *)
+
+let all_variants =
+  [ T.Run_start { run = 1 };
+    T.Run_end { run = 1; outcome = "halted"; steps = 42; dur_ns = 123_456_789L };
+    T.Branch_taken { fn = "f"; pc = 3; dir = true };
+    T.Branch_taken { fn = "__coin"; pc = 0; dir = false };
+    T.Solve_query
+      { fn = "g \"quoted\"\\path";
+        pc = 7;
+        result = T.R_sat;
+        dur_ns = 5L;
+        cache_hit = false;
+        sliced = 2 };
+    T.Solve_query
+      { fn = "h"; pc = 0; result = T.R_unknown; dur_ns = 0L; cache_hit = true; sliced = 0 };
+    T.Input_update { id = 0; value = 12345 };
+    T.Restart { restarts = 2 };
+    T.Bug_found { fn = "g"; pc = 9; fault = "abort"; run = 4 };
+    T.Worker_spawn { worker = 0; seed = 42 };
+    T.Worker_drain { worker = 3; runs = 10 };
+    T.Phase_total { phase = T.Solve; dur_ns = 99L } ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun e ->
+      let line = T.event_to_json e in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match T.event_of_json line with
+      | Ok e' -> Alcotest.(check bool) (T.event_to_json e) true (e = e')
+      | Error msg -> Alcotest.failf "%s failed to parse: %s" line msg)
+    all_variants
+
+let test_json_rejects_malformed () =
+  let bad =
+    [ "{oops"; "[]"; "{}"; {|{"ev":"warp_drive"}|}; {|{"ev":"run_start"}|};
+      {|{"ev":"run_start","run":"one"}|}; {|{"ev":"phase","phase":"think","ns":1}|} ]
+  in
+  List.iter
+    (fun line ->
+      match T.event_of_json line with
+      | Ok _ -> Alcotest.failf "accepted malformed line %s" line
+      | Error _ -> ())
+    bad
+
+(* ---- phase metrics ------------------------------------------------------------- *)
+
+let test_metrics () =
+  let m = T.create_metrics () in
+  T.add_phase m T.Execute 100L;
+  T.add_phase m T.Solve 50L;
+  T.add_phase m T.Solve 25L;
+  Alcotest.(check int64) "phases accumulate" 75L m.T.solve_ns;
+  Alcotest.(check int64) "total sums all phases" 175L (T.total_ns m);
+  let m2 = T.create_metrics () in
+  T.add_phase m2 T.Lower 1_000L;
+  T.add_metrics ~into:m m2;
+  Alcotest.(check int64) "add_metrics folds in" 1_175L (T.total_ns m);
+  let assoc = T.metrics_to_assoc m in
+  Alcotest.(check (list string)) "stable assoc keys"
+    [ "execute_s"; "solve_s"; "lower_s"; "merge_s"; "total_s" ]
+    (List.map fst assoc);
+  let x = T.timed m T.Merge (fun () -> 17) in
+  Alcotest.(check int) "timed returns the thunk's value" 17 x;
+  Alcotest.(check bool) "timed attributed time" true (Int64.compare m.T.merge_ns 0L >= 0);
+  let sink = T.ring ~capacity:8 in
+  T.emit_phase_totals sink m;
+  let phases =
+    List.filter_map
+      (function T.Phase_total { phase; _ } -> Some (T.phase_to_string phase) | _ -> None)
+      (T.events sink)
+  in
+  Alcotest.(check (list string)) "one total per phase, declaration order"
+    [ "execute"; "solve"; "lower"; "merge" ] phases
+
+(* ---- tracing must not perturb the search ---------------------------------------- *)
+
+let test_tracing_off_and_on_agree () =
+  let src, toplevel = Workloads.Paper_examples.ac_controller in
+  let run telemetry =
+    let options = Dart.Driver.Options.make ~depth:2 ~telemetry () in
+    Dart.Driver.test_source ~options ~toplevel src
+  in
+  let off = run T.default_config in
+  let ring = T.ring ~capacity:(1 lsl 16) in
+  let on = run (T.with_sink ring) in
+  Alcotest.(check int) "null sink stayed empty" 0 (T.emitted T.null);
+  Alcotest.(check string) "identical report with tracing on"
+    (Dart.Driver.report_to_string off)
+    (Dart.Driver.report_to_string on);
+  Alcotest.(check bool) "enabled sink saw events" true (T.emitted ring > 0)
+
+(* ---- golden JSONL trace ---------------------------------------------------------- *)
+
+let read_trace path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let events = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match T.event_of_json line with
+           | Ok e -> events := e :: !events
+           | Error msg -> Alcotest.failf "malformed trace line %s: %s" line msg
+         done
+       with End_of_file -> ());
+      List.rev !events)
+
+let count p events = List.length (List.filter p events)
+
+let test_jsonl_trace_counts () =
+  let src, toplevel = Workloads.Paper_examples.ac_controller in
+  let path = Filename.temp_file "dart_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let telemetry = T.with_sink (T.jsonl oc) in
+        let options = Dart.Driver.Options.make ~depth:2 ~telemetry () in
+        Dart.Driver.test_source ~options ~toplevel src)
+  in
+  let events = read_trace path in
+  let is_run_start = function T.Run_start _ -> true | _ -> false in
+  let is_run_end = function T.Run_end _ -> true | _ -> false in
+  Alcotest.(check int) "run_start per run" r.Dart.Driver.runs (count is_run_start events);
+  Alcotest.(check int) "run_end per run" r.Dart.Driver.runs (count is_run_end events);
+  Alcotest.(check int) "non-hit solve events = solver queries"
+    (Solver.queries r.Dart.Driver.solver_stats)
+    (count (function T.Solve_query { cache_hit; _ } -> not cache_hit | _ -> false) events);
+  Alcotest.(check int) "all solve events = queries + cache hits"
+    (Solver.queries r.Dart.Driver.solver_stats
+    + Solver.cache_hits r.Dart.Driver.solver_stats)
+    (count (function T.Solve_query _ -> true | _ -> false) events);
+  Alcotest.(check int) "restart events" r.Dart.Driver.restarts
+    (count (function T.Restart _ -> true | _ -> false) events);
+  Alcotest.(check bool) "bug event present" true
+    (count (function T.Bug_found _ -> true | _ -> false) events >= 1);
+  Alcotest.(check bool) "branch events present" true
+    (count (function T.Branch_taken _ -> true | _ -> false) events > 0);
+  Alcotest.(check int) "one phase total per phase" 4
+    (count (function T.Phase_total _ -> true | _ -> false) events);
+  (* The summary agrees with the report. *)
+  let s = T.summarize events in
+  Alcotest.(check int) "summary runs" r.Dart.Driver.runs s.T.runs;
+  Alcotest.(check int) "summary real queries"
+    (Solver.queries r.Dart.Driver.solver_stats)
+    (s.T.solves - s.T.solve_hits);
+  Alcotest.(check int) "summary bugs" 1 s.T.bugs;
+  (* Per-site aggregation attributes every query. *)
+  Alcotest.(check int) "site aggregation covers all queries" s.T.solves
+    (List.fold_left (fun acc (_, a) -> acc + a.T.s_count) 0 s.T.sites);
+  (* The run's own metrics cover execute + solve + lower. *)
+  Alcotest.(check bool) "metrics collected" true
+    (Int64.compare (T.total_ns r.Dart.Driver.metrics) 0L > 0)
+
+(* ---- parallel trace merging ------------------------------------------------------ *)
+
+let test_parallel_trace_merge () =
+  let src, toplevel = Workloads.Paper_examples.section_2_4 in
+  let prog = Dart.Driver.prepare ~toplevel ~depth:1 (Minic.Parser.parse_program src) in
+  let ring = T.ring ~capacity:(1 lsl 16) in
+  let base = Dart.Driver.Options.make ~max_runs:300 ~telemetry:(T.with_sink ring) () in
+  let r = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:3 base) prog in
+  let events = T.events ring in
+  let spawns =
+    List.filter_map (function T.Worker_spawn { worker; _ } -> Some worker | _ -> None)
+      events
+  in
+  let drains =
+    List.filter_map
+      (function T.Worker_drain { worker; runs } -> Some (worker, runs) | _ -> None)
+      events
+  in
+  Alcotest.(check (list int)) "spawns in worker order" [ 0; 1; 2 ] spawns;
+  Alcotest.(check (list int)) "drains in worker order" [ 0; 1; 2 ] (List.map fst drains);
+  List.iter
+    (fun (w : Dart.Parallel.worker_report) ->
+      Alcotest.(check int)
+        (Printf.sprintf "drain runs of worker %d" w.Dart.Parallel.w_id)
+        w.Dart.Parallel.w_report.Dart.Driver.runs
+        (List.assoc w.Dart.Parallel.w_id drains))
+    r.Dart.Parallel.workers;
+  Alcotest.(check int) "merged runs = run_start events"
+    r.Dart.Parallel.merged.Dart.Driver.runs
+    (count (function T.Run_start _ -> true | _ -> false) events);
+  Alcotest.(check int) "merged queries = non-hit solve events"
+    (Solver.queries r.Dart.Parallel.merged.Dart.Driver.solver_stats)
+    (count (function T.Solve_query { cache_hit; _ } -> not cache_hit | _ -> false) events);
+  (* The join emits the merge phase total after the worker replays. *)
+  (match List.rev events with
+   | T.Phase_total { phase = T.Merge; _ } :: _ -> ()
+   | _ -> Alcotest.fail "trace must end with the merge phase total");
+  (* jobs=1 hands the sink through without worker framing. *)
+  let ring1 = T.ring ~capacity:(1 lsl 16) in
+  let base1 = Dart.Driver.Options.make ~max_runs:300 ~telemetry:(T.with_sink ring1) () in
+  let r1 = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:1 base1) prog in
+  Alcotest.(check int) "jobs=1: no worker events" 0
+    (count
+       (function T.Worker_spawn _ | T.Worker_drain _ -> true | _ -> false)
+       (T.events ring1));
+  Alcotest.(check int) "jobs=1: run_start per run" r1.Dart.Parallel.merged.Dart.Driver.runs
+    (count (function T.Run_start _ -> true | _ -> false) (T.events ring1))
+
+let suite =
+  [ Alcotest.test_case "null sink" `Quick test_null_sink;
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "replay" `Quick test_replay;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects malformed" `Quick test_json_rejects_malformed;
+    Alcotest.test_case "phase metrics" `Quick test_metrics;
+    Alcotest.test_case "tracing does not perturb search" `Quick test_tracing_off_and_on_agree;
+    Alcotest.test_case "jsonl trace counts" `Quick test_jsonl_trace_counts;
+    Alcotest.test_case "parallel trace merge" `Quick test_parallel_trace_merge ]

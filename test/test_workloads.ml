@@ -4,7 +4,7 @@
    reduced budgets as integration tests. *)
 
 let options ?(depth = 1) ?(max_runs = 50_000) () =
-  { Dart.Driver.default_options with depth; max_runs }
+  Dart.Driver.Options.make ~depth ~max_runs ()
 
 let ns_poss ~fix ~depth ~max_runs =
   Dart.Driver.test_source
