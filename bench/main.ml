@@ -542,6 +542,88 @@ let experiment_accel_ablation () =
   end
   else print_endline "(NS depth 3 skipped in --quick mode)"
 
+(* ---- E14: coverage over time (directed vs random) ------------------------------ *)
+
+(* Sample the Cover_point stream of a directed and a random search on
+   the same prepared program and compare how coverage accumulates. The
+   compressed trajectory (run:directions pairs at every coverage gain)
+   rides in the measured cell, so the --json artifact carries the whole
+   curve for offline plotting. *)
+let experiment_coverage_trajectory () =
+  header "E14: coverage over time (directed vs random testing, depth >= 3)";
+  let gains points =
+    let _, rev =
+      List.fold_left
+        (fun (prev, acc) (p : Dart.Telemetry.cover_point) ->
+          if p.Dart.Telemetry.cp_covered > prev then (p.Dart.Telemetry.cp_covered, p :: acc)
+          else (prev, acc))
+        (0, []) points
+    in
+    List.rev rev
+  in
+  let traj points =
+    let gs = gains points in
+    let shown, elided =
+      if List.length gs <= 16 then (gs, 0)
+      else (List.filteri (fun i _ -> i < 16) gs, List.length gs - 16)
+    in
+    String.concat " "
+      (List.map
+         (fun (p : Dart.Telemetry.cover_point) ->
+           Printf.sprintf "%d:%d" p.Dart.Telemetry.cp_run p.Dart.Telemetry.cp_covered)
+         shown)
+    ^ if elided > 0 then Printf.sprintf " (+%d more gains)" elided else ""
+  in
+  let summary_of points total_runs possible =
+    match List.rev points with
+    | [] -> "no cover points"
+    | (last : Dart.Telemetry.cover_point) :: _ ->
+      Printf.sprintf "%d/%d dirs in %d runs (last gain at run %d): %s"
+        last.Dart.Telemetry.cp_covered possible total_runs
+        (match List.rev (gains points) with
+         | g :: _ -> g.Dart.Telemetry.cp_run
+         | [] -> 0)
+        (traj points)
+  in
+  let case ~id ~desc ~depth ~max_runs ~toplevel src =
+    let ast = Minic.Parser.parse_program src in
+    let prog = Dart.Driver.prepare ~toplevel ~depth ast in
+    let possible =
+      2 * (Dart.Coverage.compute prog ~covered:[]).Dart.Coverage.total_sites
+    in
+    let sink = Dart.Telemetry.ring ~capacity:(1 lsl 20) in
+    let options =
+      Dart.Driver.Options.make ~depth ~max_runs ~stop_on_first_bug:false
+        ~telemetry:(Dart.Telemetry.with_sink sink) ()
+    in
+    let ctx = Dart.Driver.make_ctx ~seed:42 ~max_runs () in
+    let r, s = time_it (fun () -> Dart.Driver.search ~ctx ~options prog) in
+    let points = Dart.Telemetry.timeline (Dart.Telemetry.events sink) in
+    row ~id:(id ^ "-directed")
+      ~desc:(desc ^ ", directed")
+      ~paper:"coverage grows with directed flips"
+      ~measured:(Printf.sprintf "%s (%.2fs)" (summary_of points r.Dart.Driver.runs possible) s);
+    let sink = Dart.Telemetry.ring ~capacity:(1 lsl 20) in
+    let rr, s =
+      time_it (fun () -> Dart.Random_search.run ~seed:42 ~max_runs ~telemetry:sink prog)
+    in
+    let points = Dart.Telemetry.timeline (Dart.Telemetry.events sink) in
+    row ~id:(id ^ "-random")
+      ~desc:(desc ^ ", random testing")
+      ~paper:"plateaus below directed"
+      ~measured:
+        (Printf.sprintf "%s (%.2fs)" (summary_of points rr.Dart.Random_search.runs possible) s)
+  in
+  let ac_src, ac_top = Workloads.Paper_examples.ac_controller in
+  case ~id:"cover-ac-depth3" ~desc:"AC controller, depth 3" ~depth:3
+    ~max_runs:(if !quick then 2_000 else 20_000)
+    ~toplevel:ac_top ac_src;
+  if not !quick then
+    case ~id:"cover-ns-poss-depth3" ~desc:"NS possibilistic intruder, depth 3" ~depth:3
+      ~max_runs:10_000 ~toplevel:Workloads.Needham_schroeder.possibilistic_toplevel
+      (Workloads.Needham_schroeder.possibilistic ~fix:`None)
+  else print_endline "(NS depth 3 skipped in --quick mode)"
+
 (* ---- A4: deep-path regression guard -------------------------------------------- *)
 
 let experiment_deep_path () =
@@ -676,6 +758,7 @@ let experiments =
     ("e10", experiment_parser_attack);
     ("e12", experiment_jobs_scaling);
     ("e13", experiment_accel_ablation);
+    ("e14", experiment_coverage_trajectory);
     ("a1", experiment_strategy_ablation);
     ("a2", experiment_solver_ablation);
     ("a3", experiment_packet_construction);

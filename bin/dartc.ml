@@ -306,32 +306,186 @@ let trace_file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"TRACE" ~doc:"JSONL trace file produced by $(b,--trace).")
 
+(* Parse a JSONL trace back into events, oldest first. Raises
+   [Malformed] on the first line that is not a known event. *)
+let read_trace_events file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let events = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           if String.trim line <> "" then
+             match Dart.Telemetry.event_of_json line with
+             | Ok e -> events := e :: !events
+             | Error msg -> raise (Malformed (Printf.sprintf "%s:%d: %s" file !lineno msg))
+         done
+       with End_of_file -> ());
+      List.rev !events)
+
 let run_trace_stats file =
   try
-    let ic = open_in file in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let events = ref [] in
-        let lineno = ref 0 in
-        (try
-           while true do
-             let line = input_line ic in
-             incr lineno;
-             if String.trim line <> "" then
-               match Dart.Telemetry.event_of_json line with
-               | Ok e -> events := e :: !events
-               | Error msg ->
-                 raise (Malformed (Printf.sprintf "%s:%d: %s" file !lineno msg))
-           done
-         with End_of_file -> ());
-        print_string
-          (Dart.Telemetry.summary_to_string
-             (Dart.Telemetry.summarize (List.rev !events)));
-        0)
+    print_string
+      (Dart.Telemetry.summary_to_string
+         (Dart.Telemetry.summarize (read_trace_events file)));
+    0
   with
   | Malformed msg ->
     Printf.eprintf "dartc trace-stats: %s\n" msg;
+    2
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+(* ---- cover ----------------------------------------------------------------------- *)
+
+(* The coverage explorer: run a directed search (or replay a recorded
+   trace) and render where the branch coverage actually landed —
+   annotated source, lcov tracefile, single-file HTML, and the
+   coverage-over-time curve with a plateau diagnosis. *)
+
+let cover_from_trace_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "from-trace" ] ~docv:"TRACE"
+        ~doc:
+          "Derive coverage from a recorded JSONL trace (written with $(b,--trace)) instead \
+           of running a live search.")
+
+let cover_annotate_arg =
+  Arg.(
+    value & flag
+    & info [ "annotate" ]
+        ~doc:
+          "Print the annotated source listing (the default when no other output is \
+           selected).")
+
+let cover_lcov_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lcov" ] ~docv:"FILE" ~doc:"Write an lcov tracefile (BRDA/DA records) to $(docv).")
+
+let cover_html_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "html" ] ~docv:"FILE"
+        ~doc:"Write a self-contained single-file HTML report to $(docv).")
+
+let cover_timeline_arg =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:
+          "Print the coverage-over-time curve (one cover point per run) with a plateau \
+           diagnosis and the frontier sites ranked by solver attempts.")
+
+let print_timeline summary =
+  match summary.Dart.Telemetry.timeline with
+  | [] ->
+    print_endline
+      "no cover points (trace predates coverage sampling, or tracing was disabled)"
+  | points ->
+    print_endline "coverage over time (cumulative branch directions per run):";
+    List.iter
+      (fun (p : Dart.Telemetry.cover_point) ->
+        Printf.printf "  run %6d  %4d dirs  %10.2f ms\n" p.Dart.Telemetry.cp_run
+          p.Dart.Telemetry.cp_covered
+          (Int64.to_float p.Dart.Telemetry.cp_ns /. 1e6))
+      points;
+    (match Dart.Telemetry.plateau summary with
+     | Some (last_run, stale) ->
+       Printf.printf "plateau: %d runs total, %d since the last new direction\n" last_run
+         stale
+     | None -> ());
+    (match Dart.Telemetry.frontier_sites summary with
+     | [] -> ()
+     | fs ->
+       print_endline "frontier sites (one direction missing, by solver attempts):";
+       List.iter
+         (fun ((fn, pc), missing_taken, attempts) ->
+           Printf.printf "  %s:%d  missing %s  %d solve attempts\n" fn pc
+             (if missing_taken then "taken-dir" else "fall-dir")
+             attempts)
+         fs)
+
+let run_cover file toplevel depth max_runs seed from_trace annotate lcov_out html_out
+    timeline =
+  try
+    let src = read_file file in
+    let ast = Minic.Parser.parse_program ~file src in
+    let prog = Dart.Driver.prepare ~toplevel ~depth ast in
+    let events, covered =
+      match from_trace with
+      | Some trace ->
+        (* A recorded trace carries both the per-site directions (from
+           Branch_taken, user sites only) and the cover-point curve. *)
+        let events = read_trace_events trace in
+        let summary = Dart.Telemetry.summarize events in
+        let covered =
+          List.concat_map
+            (fun ((fn, pc), (taken, fall)) ->
+              (if taken then [ (fn, pc, true) ] else [])
+              @ if fall then [ (fn, pc, false) ] else [])
+            summary.Dart.Telemetry.site_dirs
+        in
+        (* Random-testing traces run uninstrumented: they carry the
+           Cover_point curve but no per-site Branch_taken events, so
+           site classification would be vacuously "unreached". *)
+        if covered = [] && summary.Dart.Telemetry.timeline <> [] then
+          prerr_endline
+            "dartc cover: warning: trace has no per-site branch events (recorded with \
+             --random-testing?); only --timeline reflects its coverage";
+        (events, covered)
+      | None ->
+        let sink = Dart.Telemetry.ring ~capacity:(1 lsl 20) in
+        let options =
+          Dart.Driver.Options.make ~seed ~depth ~max_runs ~stop_on_first_bug:false
+            ~telemetry:(Dart.Telemetry.with_sink sink) ()
+        in
+        let ctx = Dart.Driver.make_ctx ~seed ~max_runs () in
+        let report = Dart.Driver.search ~ctx ~options prog in
+        (Dart.Telemetry.events sink, report.Dart.Driver.coverage_sites)
+    in
+    let t = Dart.Cover_report.compute prog ~covered in
+    let explicit_output = annotate || timeline || lcov_out <> None || html_out <> None in
+    if annotate || not explicit_output then
+      print_string (Dart.Cover_report.annotate t ~source:src);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Dart.Cover_report.to_lcov t));
+        Printf.eprintf "dartc cover: wrote %s\n" path)
+      lcov_out;
+    Option.iter
+      (fun path ->
+        let title = Printf.sprintf "%s \u{2014} %s" (Filename.basename file) toplevel in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Dart.Cover_report.to_html t ~source:src ~title));
+        Printf.eprintf "dartc cover: wrote %s\n" path)
+      html_out;
+    if timeline then print_timeline (Dart.Telemetry.summarize events);
+    0
+  with
+  | Minic.Lexer.Error (loc, msg) | Minic.Parser.Error (loc, msg)
+  | Minic.Typecheck.Error (loc, msg) ->
+    Printf.eprintf "%s: error: %s\n" (Minic.Loc.to_string loc) msg;
+    2
+  | Dart.Driver_gen.No_toplevel name ->
+    Printf.eprintf "error: no function named %s with a body\n" name;
+    2
+  | Malformed msg ->
+    Printf.eprintf "dartc cover: %s\n" msg;
     2
   | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -348,6 +502,18 @@ let trace_stats_cmd =
   let doc = "summarize a JSONL trace written with --trace" in
   Cmd.v (Cmd.info "dartc trace-stats" ~doc) Term.(const run_trace_stats $ trace_file_arg)
 
+let cover_cmd =
+  let doc =
+    "explore branch coverage at the source level: annotated listing, lcov/HTML export, \
+     coverage-over-time"
+  in
+  Cmd.v
+    (Cmd.info "dartc cover" ~doc)
+    Term.(
+      const run_cover $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
+      $ cover_from_trace_arg $ cover_annotate_arg $ cover_lcov_arg $ cover_html_arg
+      $ cover_timeline_arg)
+
 let run_cmd =
   let doc = "directed automated random testing for MiniC programs" in
   Cmd.v (Cmd.info "dartc" ~doc) run_term
@@ -362,5 +528,11 @@ let () =
       Array.append [| "dartc trace-stats" |] (Array.sub argv 2 (Array.length argv - 2))
     in
     exit (Cmd.eval' ~argv trace_stats_cmd)
+  end
+  else if Array.length argv > 1 && argv.(1) = "cover" then begin
+    let argv =
+      Array.append [| "dartc cover" |] (Array.sub argv 2 (Array.length argv - 2))
+    in
+    exit (Cmd.eval' ~argv cover_cmd)
   end
   else exit (Cmd.eval' run_cmd)

@@ -11,9 +11,7 @@ type t = {
   total_directions : int;
 }
 
-let is_driver_function name =
-  name = Driver_gen.wrapper_name
-  || String.length name >= 7 && String.sub name 0 7 = "__dart_"
+let is_driver_function = Driver_gen.is_driver_function
 
 let compute (prog : Ram.Instr.program) ~covered =
   let by_site : (string * int, bool * bool) Hashtbl.t = Hashtbl.create 64 in
@@ -61,12 +59,20 @@ let percent t =
 let to_string t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "branch coverage (directions taken / possible):\n";
+  (* Columns sized from the data (functions with hundreds of sites
+     overflow fixed widths); the historical minima keep small reports
+     byte-stable. *)
+  let shown = List.filter (fun e -> e.cov_sites > 0) t.entries in
+  let digits n = String.length (string_of_int n) in
+  let name_w =
+    List.fold_left (fun acc e -> max acc (String.length e.cov_fn)) 30 shown
+  in
+  let num_w = List.fold_left (fun acc e -> max acc (digits (2 * e.cov_sites))) 3 shown in
   List.iter
     (fun e ->
-      if e.cov_sites > 0 then
-        Buffer.add_string buf
-          (Printf.sprintf "  %-30s %3d/%3d  (%d sites fully covered)\n" e.cov_fn
-             e.cov_directions (2 * e.cov_sites) e.cov_full))
-    t.entries;
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s %*d/%*d  (%d sites fully covered)\n" name_w e.cov_fn num_w
+           e.cov_directions num_w (2 * e.cov_sites) e.cov_full))
+    shown;
   Buffer.add_string buf (Printf.sprintf "  total: %.1f%%\n" (percent t));
   Buffer.contents buf

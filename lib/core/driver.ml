@@ -115,6 +115,7 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
   let metrics = ctx.sc_metrics in
   let sink = options.Options.telemetry.Telemetry.sink in
   let tracing = Telemetry.enabled sink in
+  let search_start = Telemetry.now () in
   let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
   let bug_sites : (string * int * Machine.fault, unit) Hashtbl.t = Hashtbl.create 16 in
   let runs = ref 0 in
@@ -137,7 +138,16 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
     List.iter
       (fun ((fn, _, _) as site) ->
         if not (Coverage.is_driver_function fn) then Hashtbl.replace coverage site ())
-      data.Concolic.branch_sites
+      data.Concolic.branch_sites;
+    (* One coverage-over-time sample per run: cumulative distinct user
+       branch directions (the same set [branches_covered] reports) and
+       wall clock since the search started. *)
+    if tracing then
+      Telemetry.emit sink
+        (Telemetry.Cover_point
+           { run = !runs;
+             covered = Hashtbl.length coverage;
+             elapsed_ns = Int64.sub (Telemetry.now ()) search_start })
   in
   let record_bug fault site (data : Concolic.run_data) =
     let bug =

@@ -15,6 +15,10 @@ let wrapper_name = "__dart_main"
 
 let arg_fn_name i = Printf.sprintf "__dart_arg%d" i
 
+let is_driver_function name =
+  name = wrapper_name
+  || String.length name >= 7 && String.sub name 0 7 = "__dart_"
+
 exception No_toplevel of string
 
 let find_toplevel (prog : Ast.program) name =

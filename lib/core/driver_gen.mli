@@ -14,6 +14,12 @@ val wrapper_name : string
 val arg_fn_name : int -> string
 (** The external function supplying the i-th toplevel argument. *)
 
+val is_driver_function : string -> bool
+(** Whether [name] is part of the synthesized test driver (the
+    [__dart_*] wrapper and argument functions). The single source of
+    truth for the predicate {!Coverage.is_driver_function} re-exports
+    and {!Telemetry.summarize} uses to split trace branch counts. *)
+
 exception No_toplevel of string
 
 val generate : Minic.Ast.program -> toplevel:string -> depth:int -> Minic.Ast.program

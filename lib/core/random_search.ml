@@ -15,6 +15,7 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
   let total_steps = ref 0 in
   let entry = Driver_gen.wrapper_name in
   let tracing = Telemetry.enabled telemetry in
+  let search_start = Telemetry.now () in
   let rec loop run_index =
     if run_index > max_runs then
       { verdict = `No_bug;
@@ -47,6 +48,14 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
         (fun ((fn, _, _) as site) ->
           if not (Coverage.is_driver_function fn) then Hashtbl.replace coverage site ())
         data.Concolic.branch_sites;
+      (* Same coverage-over-time sample the directed search emits, so
+         directed-vs-random trajectories are comparable per trace. *)
+      if tracing then
+        Telemetry.emit telemetry
+          (Telemetry.Cover_point
+             { run = run_index;
+               covered = Hashtbl.length coverage;
+               elapsed_ns = Int64.sub (Telemetry.now ()) search_start });
       match data.Concolic.outcome with
       | Concolic.Run_fault (fault, site) ->
         if tracing then

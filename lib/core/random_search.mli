@@ -21,8 +21,9 @@ val run :
   report
 (** Entry point is {!Driver_gen.wrapper_name}, i.e. the program must
     have been prepared with {!Driver.prepare}. When [telemetry] is an
-    enabled sink, each run emits [Run_start]/[Run_end] (and [Bug_found]
-    on a fault); [metrics] accumulates Execute-phase wall clock. *)
+    enabled sink, each run emits [Run_start]/[Run_end] plus a
+    [Cover_point] coverage-over-time sample (and [Bug_found] on a
+    fault); [metrics] accumulates Execute-phase wall clock. *)
 
 val test_source :
   ?seed:int ->

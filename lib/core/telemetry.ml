@@ -58,6 +58,14 @@ type event =
   | Worker_spawn of { worker : int; seed : int }
   | Worker_drain of { worker : int; runs : int }
   | Phase_total of { phase : phase; dur_ns : int64 }
+  | Cover_point of { run : int; covered : int; elapsed_ns : int64 }
+
+(* Branch sites that belong to the harness rather than the program
+   under test: the synthesized [__dart_*] driver functions and the
+   synthetic [__coin] sites of symbolic pointer shapes. Both are
+   excluded from [Coverage.compute] and [branches_covered], so trace
+   summaries must count them apart to agree with the report. *)
+let is_harness_site fn = Driver_gen.is_driver_function fn || fn = "__coin"
 
 (* ---- monotonic clock -------------------------------------------------------- *)
 
@@ -158,7 +166,12 @@ let event_to_json ev =
    | Phase_total { phase; dur_ns } ->
      tag "phase";
      str "phase" (phase_to_string phase);
-     i64 "ns" dur_ns);
+     i64 "ns" dur_ns
+   | Cover_point { run; covered; elapsed_ns } ->
+     tag "cover";
+     int "run" run;
+     int "covered" covered;
+     i64 "ns" elapsed_ns);
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -330,6 +343,8 @@ let event_of_json line =
           | None -> raise (Bad "bad phase name")
         in
         Phase_total { phase; dur_ns = i64 "ns" }
+      | "cover" ->
+        Cover_point { run = int "run"; covered = int "covered"; elapsed_ns = i64 "ns" }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     Ok ev
@@ -462,6 +477,7 @@ type summary = {
   total_events : int;
   runs : int;
   branches : int;
+  driver_branches : int;
   solves : int;
   solve_hits : int;
   solve_sat : int;
@@ -475,6 +491,14 @@ type summary = {
   workers : int;
   phase_ns : (phase * int64) list;
   sites : ((string * int) * site_agg) list;
+  timeline : cover_point list;
+  site_dirs : ((string * int) * (bool * bool)) list;
+}
+
+and cover_point = {
+  cp_run : int;
+  cp_covered : int;
+  cp_ns : int64;
 }
 
 let empty_agg =
@@ -482,11 +506,14 @@ let empty_agg =
 
 let summarize evs =
   let runs = ref 0 and branches = ref 0 and solves = ref 0 and hits = ref 0 in
+  let driver_branches = ref 0 in
   let sat = ref 0 and unsat = ref 0 and unknown = ref 0 in
   let solve_ns = ref 0L and exec_ns = ref 0L in
   let inputs = ref 0 and restarts = ref 0 and bugs = ref 0 and workers = ref 0 in
   let phase_tbl : (phase, int64) Hashtbl.t = Hashtbl.create 4 in
   let site_tbl : (string * int, site_agg) Hashtbl.t = Hashtbl.create 32 in
+  let dir_tbl : (string * int, bool * bool) Hashtbl.t = Hashtbl.create 32 in
+  let points = ref [] in
   let count = ref 0 in
   List.iter
     (fun ev ->
@@ -494,7 +521,16 @@ let summarize evs =
       match ev with
       | Run_start _ -> incr runs
       | Run_end { dur_ns; _ } -> exec_ns := Int64.add !exec_ns dur_ns
-      | Branch_taken _ -> incr branches
+      | Branch_taken { fn; pc; dir } ->
+        if is_harness_site fn then incr driver_branches
+        else begin
+          incr branches;
+          let taken, fallthrough =
+            Option.value ~default:(false, false) (Hashtbl.find_opt dir_tbl (fn, pc))
+          in
+          Hashtbl.replace dir_tbl (fn, pc)
+            (if dir then (true, fallthrough) else (taken, true))
+        end
       | Solve_query { fn; pc; result; dur_ns; cache_hit; sliced } ->
         incr solves;
         if cache_hit then incr hits;
@@ -519,7 +555,9 @@ let summarize evs =
       | Worker_drain _ -> ()
       | Phase_total { phase; dur_ns } ->
         let prev = Option.value ~default:0L (Hashtbl.find_opt phase_tbl phase) in
-        Hashtbl.replace phase_tbl phase (Int64.add prev dur_ns))
+        Hashtbl.replace phase_tbl phase (Int64.add prev dur_ns)
+      | Cover_point { run; covered; elapsed_ns } ->
+        points := { cp_run = run; cp_covered = covered; cp_ns = elapsed_ns } :: !points)
     evs;
   let phase_ns =
     List.map
@@ -531,9 +569,14 @@ let summarize evs =
     |> List.sort (fun (sa, a) (sb, b) ->
            match Int64.compare b.s_ns a.s_ns with 0 -> compare sa sb | c -> c)
   in
+  let site_dirs =
+    Hashtbl.fold (fun site dirs acc -> (site, dirs) :: acc) dir_tbl []
+    |> List.sort compare
+  in
   { total_events = !count;
     runs = !runs;
     branches = !branches;
+    driver_branches = !driver_branches;
     solves = !solves;
     solve_hits = !hits;
     solve_sat = !sat;
@@ -546,16 +589,66 @@ let summarize evs =
     bugs = !bugs;
     workers = !workers;
     phase_ns;
-    sites }
+    sites;
+    timeline = List.rev !points;
+    site_dirs }
+
+(* ---- coverage-over-time views ------------------------------------------------- *)
+
+let timeline evs =
+  List.rev
+    (List.fold_left
+       (fun acc ev ->
+         match ev with
+         | Cover_point { run; covered; elapsed_ns } ->
+           { cp_run = run; cp_covered = covered; cp_ns = elapsed_ns } :: acc
+         | _ -> acc)
+       [] evs)
+
+let plateau s =
+  match s.timeline with
+  | [] -> None
+  | points ->
+    let last_run = ref 0 and last_gain = ref 0 and prev = ref 0 in
+    List.iter
+      (fun p ->
+        last_run := p.cp_run;
+        if p.cp_covered > !prev then last_gain := p.cp_run;
+        prev := p.cp_covered)
+      points;
+    Some (!last_run, !last_run - !last_gain)
+
+let frontier_sites s =
+  List.filter_map
+    (fun (site, (taken, fallthrough)) ->
+      match (taken, fallthrough) with
+      | true, true | false, false -> None
+      | one_dir_taken, _ ->
+        let attempts =
+          match List.assoc_opt site s.sites with
+          | Some a -> a.s_count
+          | None -> 0
+        in
+        (* The missing direction is the one not yet seen. *)
+        Some (site, not one_dir_taken, attempts))
+    s.site_dirs
+  |> List.sort (fun (sa, _, a) (sb, _, b) ->
+         match compare b a with 0 -> compare sa sb | c -> c)
+
+let distinct_branch_dirs s =
+  List.fold_left
+    (fun acc (_, (taken, fallthrough)) ->
+      acc + (if taken then 1 else 0) + if fallthrough then 1 else 0)
+    0 s.site_dirs
 
 let summary_to_string s =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf
-       "trace: %d events (%d runs, %d branches, %d solver queries, %d inputs updated, %d \
-        restarts, %d bugs, %d workers)\n"
-       s.total_events s.runs s.branches s.solves s.inputs_updated s.restarts s.bugs
-       s.workers);
+       "trace: %d events (%d runs, %d branches + %d driver branches, %d solver queries, %d \
+        inputs updated, %d restarts, %d bugs, %d workers)\n"
+       s.total_events s.runs s.branches s.driver_branches s.solves s.inputs_updated
+       s.restarts s.bugs s.workers);
   Buffer.add_string buf
     (Printf.sprintf "solver: %d real queries + %d cache hits (%d sat, %d unsat, %d unknown)\n"
        (s.solves - s.solve_hits) s.solve_hits s.solve_sat s.solve_unsat s.solve_unknown);
@@ -588,6 +681,34 @@ let summary_to_string s =
              (seconds a.s_ns *. 1e3)))
       s.sites
   end;
+  (match plateau s with
+   | None -> ()
+   | Some (last_run, stale) ->
+     (* Directed (and parallel) traces carry Branch_taken events, whose
+        distinct-direction count is the merged coverage; random-testing
+        traces run uninstrumented and carry only the Cover_point curve,
+        so fall back to its final sample there. *)
+     let covered =
+       if s.site_dirs <> [] then distinct_branch_dirs s
+       else match List.rev s.timeline with p :: _ -> p.cp_covered | [] -> 0
+     in
+     Buffer.add_string buf
+       (Printf.sprintf
+          "coverage: %d branch directions after %d runs (%d cover points); plateau: %d \
+           runs since the last new direction\n"
+          covered last_run (List.length s.timeline) stale));
+  (match frontier_sites s with
+   | [] -> ()
+   | frontier ->
+     Buffer.add_string buf "frontier sites (one direction missing, by solver attempts):\n";
+     List.iter
+       (fun ((fn, pc), missing_taken, attempts) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %-28s missing %s, %d solve attempts\n"
+              (Printf.sprintf "%s:%d" fn pc)
+              (if missing_taken then "taken-dir" else "fall-dir")
+              attempts))
+       frontier);
   Buffer.contents buf
 
 (* ---- configuration --------------------------------------------------------------- *)

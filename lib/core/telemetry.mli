@@ -57,6 +57,11 @@ type event =
   | Worker_drain of { worker : int; runs : int }
   | Phase_total of { phase : phase; dur_ns : int64 }
       (* summary record flushed at the end of a search / merge *)
+  | Cover_point of { run : int; covered : int; elapsed_ns : int64 }
+      (* emitted after each concolic run: cumulative user branch
+         directions covered so far and wall clock since the search
+         started. The sequence of these is the coverage-over-time
+         curve [dartc cover --timeline] plots. *)
 
 (** {1 Sinks} *)
 
@@ -98,7 +103,7 @@ val event_to_json : event -> string
 (** One flat JSON object, no trailing newline. Schema (the [ev] field
     selects the variant): [run_start], [run_end], [branch], [solve],
     [input], [restart], [bug], [worker_spawn], [worker_drain],
-    [phase]. *)
+    [phase], [cover]. *)
 
 val event_of_json : string -> (event, string) result
 (** Inverse of {!event_to_json}; [Error] explains the first schema
@@ -149,6 +154,12 @@ type summary = {
   total_events : int;
   runs : int; (* Run_start events *)
   branches : int;
+      (* Branch_taken events at sites of the program under test. Driver
+         wrapper ([__dart_*]) and synthetic pointer-coin ([__coin])
+         sites are counted separately in [driver_branches], keeping
+         this consistent with what {!Coverage.compute} (and
+         [Driver.report.branches_covered]) count. *)
+  driver_branches : int; (* Branch_taken at driver-internal/coin sites *)
   solves : int; (* all Solve_query events *)
   solve_hits : int; (* ... of which answered from the cache *)
   solve_sat : int;
@@ -162,10 +173,52 @@ type summary = {
   workers : int; (* Worker_spawn events *)
   phase_ns : (phase * int64) list; (* summed Phase_total, all four phases *)
   sites : ((string * int) * site_agg) list; (* sorted by s_ns descending *)
+  timeline : cover_point list; (* Cover_point events, trace order *)
+  site_dirs : ((string * int) * (bool * bool)) list;
+      (* per user branch site, (then seen, else seen) across every
+         Branch_taken event; sorted by site. The distinct-direction
+         count [2*both + one-directional] equals
+         [Driver.report.branches_covered] for a trace of the same
+         search. *)
+}
+
+and cover_point = {
+  cp_run : int;
+  cp_covered : int; (* cumulative branch directions after that run *)
+  cp_ns : int64; (* elapsed since the search started *)
 }
 
 val summarize : event list -> summary
 val summary_to_string : summary -> string
+
+(** {1 Coverage-over-time}
+
+    Derived views of the {!Cover_point} stream used by
+    [dartc cover --timeline], [dartc trace-stats] and the bench
+    trajectory artifact. In a multi-worker trace the points appear in
+    worker-replay order: each worker's segment is monotone, the
+    concatenation is not a single global curve. *)
+
+val timeline : event list -> cover_point list
+(** The Cover_point events, in trace order. *)
+
+val plateau : summary -> (int * int) option
+(** [(last_run, stale_runs)]: the run number of the last cover point
+    and how many runs have passed since coverage last increased. [None]
+    when the trace has no cover points. *)
+
+val frontier_sites : summary -> ((string * int) * bool * int) list
+(** User branch sites with exactly one direction seen — the candidates
+    a directed search can still force. Each entry is
+    [(site, missing_dir, solve_attempts)] where [missing_dir] is the
+    machine direction not yet exercised ([true] = jump taken), ranked
+    by solver attempts at that site (descending), i.e. by how hard the
+    search is already trying: a high-attempt frontier site is where the
+    search plateaued. *)
+
+val distinct_branch_dirs : summary -> int
+(** Distinct (site, direction) pairs over user branch sites — the
+    trace-side counterpart of [Driver.report.branches_covered]. *)
 
 (** {1 Configuration} *)
 

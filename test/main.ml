@@ -10,6 +10,7 @@ let () =
       ("solver", Test_solver.suite);
       ("concolic", Test_concolic.suite);
       ("telemetry", Test_telemetry.suite);
+      ("cover", Test_cover.suite);
       ("driver", Test_driver.suite);
       ("strategy", Test_strategy.suite);
       ("accel", Test_accel.suite);

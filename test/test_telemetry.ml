@@ -61,7 +61,8 @@ let all_variants =
     T.Bug_found { fn = "g"; pc = 9; fault = "abort"; run = 4 };
     T.Worker_spawn { worker = 0; seed = 42 };
     T.Worker_drain { worker = 3; runs = 10 };
-    T.Phase_total { phase = T.Solve; dur_ns = 99L } ]
+    T.Phase_total { phase = T.Solve; dur_ns = 99L };
+    T.Cover_point { run = 6; covered = 12; elapsed_ns = 987_654L } ]
 
 let test_json_roundtrip () =
   List.iter
@@ -197,7 +198,23 @@ let test_jsonl_trace_counts () =
     (List.fold_left (fun acc (_, a) -> acc + a.T.s_count) 0 s.T.sites);
   (* The run's own metrics cover execute + solve + lower. *)
   Alcotest.(check bool) "metrics collected" true
-    (Int64.compare (T.total_ns r.Dart.Driver.metrics) 0L > 0)
+    (Int64.compare (T.total_ns r.Dart.Driver.metrics) 0L > 0);
+  (* One cover point per run, monotone, ending at the report's
+     coverage count; the trace-side distinct-direction count agrees
+     with the report (the user/driver branch split at work). *)
+  Alcotest.(check int) "cover point per run" r.Dart.Driver.runs (List.length s.T.timeline);
+  let rec monotone prev = function
+    | [] -> true
+    | (p : T.cover_point) :: rest -> p.T.cp_covered >= prev && monotone p.T.cp_covered rest
+  in
+  Alcotest.(check bool) "timeline is monotone" true (monotone 0 s.T.timeline);
+  (match List.rev s.T.timeline with
+   | last :: _ ->
+     Alcotest.(check int) "timeline ends at report coverage"
+       r.Dart.Driver.branches_covered last.T.cp_covered
+   | [] -> Alcotest.fail "no cover points in trace");
+  Alcotest.(check int) "distinct trace dirs = report coverage"
+    r.Dart.Driver.branches_covered (T.distinct_branch_dirs s)
 
 (* ---- parallel trace merging ------------------------------------------------------ *)
 
