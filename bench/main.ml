@@ -67,6 +67,10 @@ let verdict_cell (r : Dart.Driver.report) seconds =
   | Dart.Driver.Complete -> Printf.sprintf "complete, %d runs (%.2fs)" r.Dart.Driver.runs seconds
   | Dart.Driver.Budget_exhausted ->
     Printf.sprintf "no bug in %d runs (%.2fs)" r.Dart.Driver.runs seconds
+  | Dart.Driver.Time_exhausted ->
+    Printf.sprintf "time budget exhausted after %d runs (%.2fs)" r.Dart.Driver.runs seconds
+  | Dart.Driver.Interrupted ->
+    Printf.sprintf "interrupted after %d runs (%.2fs)" r.Dart.Driver.runs seconds
 
 let dart ?(depth = 1) ?(max_runs = 20_000) ?(strategy = Dart.Strategy.Dfs)
     ?(symbolic_pointers = false) ~toplevel src =
@@ -85,6 +89,10 @@ let random_cell (r : Dart.Random_search.report) seconds =
   match r.Dart.Random_search.verdict with
   | `Bug_found b -> Printf.sprintf "BUG on run %d (%.2fs)" b.Dart.Driver.bug_run seconds
   | `No_bug -> Printf.sprintf "no bug in %d runs (%.2fs)" r.Dart.Random_search.runs seconds
+  | `Time_exhausted ->
+    Printf.sprintf "time budget exhausted after %d runs (%.2fs)" r.Dart.Random_search.runs seconds
+  | `Interrupted ->
+    Printf.sprintf "interrupted after %d runs (%.2fs)" r.Dart.Random_search.runs seconds
 
 (* ---- E1-E4, E11: the Section 2 example programs --------------------------- *)
 
@@ -227,11 +235,12 @@ let experiment_osip_sweep () =
                if f.gf_vulnerable then incr dart_tp;
                Hashtbl.replace faults b.Dart.Driver.bug_fault
                  (1 + Option.value ~default:0 (Hashtbl.find_opt faults b.Dart.Driver.bug_fault))
-             | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ());
+             | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+             | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> ());
             let rr = Dart.Random_search.run ~seed:1 ~max_runs:per_function_budget prog in
             match rr.Dart.Random_search.verdict with
             | `Bug_found _ -> incr random_crashed
-            | `No_bug -> ())
+            | `No_bug | `Time_exhausted | `Interrupted -> ())
           funcs)
   in
   let pct a b = 100.0 *. float_of_int a /. float_of_int b in
@@ -265,7 +274,8 @@ let experiment_parser_attack () =
     | Dart.Driver.Bug_found b ->
       let len = Option.value ~default:0 (List.assoc_opt 0 b.Dart.Driver.bug_inputs) in
       Printf.sprintf " [Content-Length witness = %d]" len
-    | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ""
+    | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+    | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> ""
   in
   row ~id:"osip-parser-attack" ~desc:"unchecked alloca of attacker-controlled size"
     ~paper:">2.5MB message kills any oSIP app"
@@ -318,7 +328,8 @@ let experiment_packet_construction () =
             if c >= 32 && c < 127 then Char.chr c else '.')
       in
       Printf.sprintf " [packet %S]" packet
-    | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ""
+    | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+    | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> ""
   in
   row ~id:"packet-dart" ~desc:"SIP parser OOB behind strncmp/atoi filters"
     ~paper:"directed search passes input filters" ~measured:(verdict_cell r s ^ extra);
@@ -490,7 +501,9 @@ let experiment_accel_ablation () =
     ( (match r.Dart.Driver.verdict with
        | Dart.Driver.Bug_found _ -> "bug"
        | Dart.Driver.Complete -> "complete"
-       | Dart.Driver.Budget_exhausted -> "budget"),
+       | Dart.Driver.Budget_exhausted -> "budget"
+       | Dart.Driver.Time_exhausted -> "time"
+       | Dart.Driver.Interrupted -> "interrupted"),
       List.map Dart.Driver.bug_key r.Dart.Driver.bugs,
       List.sort compare r.Dart.Driver.coverage_sites )
   in

@@ -2,8 +2,13 @@
 
      dune exec bin/dartc.exe -- program.mc --toplevel f --depth 2
 
-   Exit status: 0 when no bug was found, 1 on a bug, 2 on usage or
-   front-end errors.
+   Exit status (all subcommands):
+     0  search finished clean, no bug found
+     1  a bug was found
+     2  usage or front-end error
+     3  interrupted (SIGINT/SIGTERM) or the --time-budget expired;
+        the partial report (and --checkpoint file, when given) was
+        still written
 
    A second subcommand inspects traces written with --trace:
 
@@ -132,6 +137,68 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Print per-phase wall-clock timings (execute/solve/lower/merge) after the run.")
 
+let time_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget for the whole search, in seconds. Checked at run boundaries: \
+           an over-budget search stops cleanly with a complete partial report and exit \
+           code 3.")
+
+let solver_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "solver-timeout" ] ~docv:"MS"
+        ~doc:
+          "Per-solver-query deadline in milliseconds; an overrunning query degrades to \
+           unknown (counted in the report) instead of stalling the search.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically write a resumable search checkpoint to $(docv) (atomic \
+           write-then-rename), plus a final one when the search stops early; resume with \
+           $(b,--resume).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint every $(docv) instrumented runs (default 256).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume a search from a checkpoint written by $(b,--checkpoint). The seed, \
+           depth, strategy and run budget must match the checkpointed search; the resumed \
+           search continues the exact run sequence of the uninterrupted one.")
+
+let faultsim_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faultsim" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection for resilience testing: comma-separated rules \
+           $(i,point[@key][:nth]) with points solver_deadline, worker_crash and \
+           machine_step_limit (\":?\" draws the occurrence from $(b,--faultsim-seed)).")
+
+let faultsim_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "faultsim-seed" ] ~docv:"N"
+        ~doc:"Seed for the \":?\" occurrence draws in $(b,--faultsim) rules.")
+
 let usage_error msg =
   Printf.eprintf "dartc: %s\n" msg;
   2
@@ -139,7 +206,8 @@ let usage_error msg =
 (* Conflicting-flag validation, as one declarative table: first row
    whose predicate fires wins, its message goes out with exit 2. Add
    new conflicts here, not as ad-hoc if/else chains in the driver. *)
-let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing =
+let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
+    ~time_budget ~solver_timeout ~checkpoint ~checkpoint_every ~resume ~faultsim =
   let table =
     [ (jobs < 0, "--jobs must be >= 0");
       ( portfolio && strategy <> None,
@@ -155,7 +223,25 @@ let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_sli
       (random_mode && all_bugs, "--all-bugs is not supported with --random-testing");
       (random_mode && jobs <> 1, "--jobs is not supported with --random-testing");
       ( random_mode && (no_cache || no_slicing),
-        "--no-cache/--no-slicing have no effect with --random-testing" ) ]
+        "--no-cache/--no-slicing have no effect with --random-testing" );
+      ( (match time_budget with Some s -> s <= 0.0 | None -> false),
+        "--time-budget must be positive" );
+      ( (match solver_timeout with Some ms -> ms <= 0.0 | None -> false),
+        "--solver-timeout must be positive" );
+      ( (match checkpoint_every with Some n -> n <= 0 | None -> false),
+        "--checkpoint-every must be positive" );
+      ( checkpoint_every <> None && checkpoint = None,
+        "--checkpoint-every requires --checkpoint" );
+      (* Checkpoints serialize one sequential search's state; the
+         parallel and random paths have no resumable single stream. *)
+      ( random_mode && (checkpoint <> None || resume <> None),
+        "--checkpoint/--resume are not supported with --random-testing" );
+      ( jobs <> 1 && (checkpoint <> None || resume <> None),
+        "--checkpoint/--resume require --jobs 1" );
+      ( random_mode && solver_timeout <> None,
+        "--solver-timeout has no effect with --random-testing (no solver)" );
+      ( random_mode && faultsim <> None,
+        "--faultsim is not supported with --random-testing" ) ]
   in
   List.find_opt fst table |> Option.map snd
 
@@ -172,9 +258,23 @@ let with_trace_sink trace f =
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Dart.Telemetry.jsonl oc))
 
+let ns_of_seconds s = Int64.of_float (s *. 1e9)
+let ns_of_ms ms = Int64.of_float (ms *. 1e6)
+
+(* SIGINT/SIGTERM flip the cooperative cancellation flag: the search
+   drains at its next run boundary, prints the partial report, writes
+   its artifacts (trace, checkpoint) and dartc exits 3 — instead of the
+   process dying mid-write. The handler stays installed, so repeated
+   signals are idempotent requests rather than a hard kill. *)
+let install_signal_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> Dart.Cancel.request ()) in
+  (try Sys.set_signal Sys.sigint handle with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm handle with Invalid_argument _ | Sys_error _ -> ()
+
 let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
-    jobs portfolio no_cache no_slicing trace metrics_flag show_interface show_driver
-    dump_ram coverage =
+    jobs portfolio no_cache no_slicing time_budget solver_timeout checkpoint
+    checkpoint_every resume faultsim faultsim_seed trace metrics_flag show_interface
+    show_driver dump_ram coverage =
   try
     let src = read_file file in
     let ast = Minic.Parser.parse_program ~file src in
@@ -190,6 +290,7 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
     else begin
       match
         validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
+          ~time_budget ~solver_timeout ~checkpoint ~checkpoint_every ~resume ~faultsim
       with
       | Some msg -> usage_error msg
       | None ->
@@ -204,85 +305,131 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
             prog.Ram.Instr.funcs;
           0
         end
-        else
-          with_trace_sink trace @@ fun sink ->
-          let print_metrics m =
-            if metrics_flag then print_endline (Dart.Telemetry.metrics_to_string m)
-          in
-          if random_mode then begin
-            let exec =
-              { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs }
+        else begin
+          match
+            match faultsim with
+            | None -> Ok Dart_util.Faultsim.off
+            | Some spec -> Dart_util.Faultsim.of_spec ~seed:faultsim_seed spec
+          with
+          | Error msg -> usage_error (Printf.sprintf "--faultsim: %s" msg)
+          | Ok fs ->
+            with_trace_sink trace @@ fun sink ->
+            install_signal_handlers ();
+            let print_metrics m =
+              if metrics_flag then print_endline (Dart.Telemetry.metrics_to_string m)
             in
-            let report =
-              Dart.Random_search.run ~seed ~max_runs ~exec ~telemetry:sink ~metrics:prep
-                prog
-            in
-            if Dart.Telemetry.enabled sink then begin
-              Dart.Telemetry.emit_phase_totals sink prep;
-              Dart.Telemetry.flush sink
-            end;
-            print_endline (Dart.Random_search.report_to_string report);
-            print_metrics prep;
-            if coverage then print_coverage prog report.Dart.Random_search.coverage_sites;
-            match report.Dart.Random_search.verdict with `Bug_found _ -> 1 | `No_bug -> 0
-          end
-          else begin
-            let options =
-              Dart.Driver.Options.make ~seed ~depth ~max_runs
-                ~strategy:(Option.value ~default:Dart.Strategy.Dfs strategy)
-                ~stop_on_first_bug:(not all_bugs) ~use_cache:(not no_cache)
-                ~use_slicing:(not no_slicing)
-                ~exec:
-                  { Dart.Concolic.default_exec_options with
-                    symbolic_pointers = symbolic_ptrs }
-                ~telemetry:(Dart.Telemetry.with_sink sink) ()
-            in
-            let report, worker_lines =
-              if jobs = 1 then begin
-                (* Sequential: hand the search the metrics record that
-                   already holds the Lower time, so its phase totals
-                   cover the full pipeline. *)
-                let ctx = Dart.Driver.make_ctx ~metrics:prep ~seed ~max_runs () in
-                (Dart.Driver.search ~ctx ~options prog, None)
-              end
-              else begin
-                let portfolio =
-                  if portfolio then
-                    [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ]
-                  else []
-                in
-                let popts = Dart.Parallel.options ~jobs ~portfolio options in
-                let r = Dart.Parallel.run ~options:popts prog in
-                (* Workers never see preparation time: fold it into the
-                   merged metrics (and the trace) here. *)
-                Dart.Telemetry.add_metrics ~into:r.Dart.Parallel.merged.Dart.Driver.metrics
-                  prep;
-                if Dart.Telemetry.enabled sink then begin
-                  Dart.Telemetry.emit sink
-                    (Dart.Telemetry.Phase_total
-                       { phase = Dart.Telemetry.Lower; dur_ns = prep.Dart.Telemetry.lower_ns });
-                  Dart.Telemetry.flush sink
-                end;
-                (r.Dart.Parallel.merged, Some r)
-              end
-            in
-            (match worker_lines with
-             | Some r -> print_endline (Dart.Parallel.report_to_string r)
-             | None -> print_endline (Dart.Driver.report_to_string report));
-            print_metrics report.Dart.Driver.metrics;
-            if coverage then print_coverage prog report.Dart.Driver.coverage_sites;
-            List.iter
-              (fun (b : Dart.Driver.bug) ->
-                Printf.printf "  - %s in %s at %s (run %d)\n"
-                  (Machine.fault_to_string b.bug_fault)
-                  b.bug_site.Machine.site_fn
-                  (Minic.Loc.to_string b.bug_site.Machine.site_loc)
-                  b.bug_run)
-              report.Dart.Driver.bugs;
-            match report.Dart.Driver.verdict with
-            | Dart.Driver.Bug_found _ -> 1
-            | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> 0
-          end
+            if random_mode then begin
+              let exec =
+                { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs }
+              in
+              let deadline =
+                Option.map
+                  (fun s -> Int64.add (Dart.Telemetry.now ()) (ns_of_seconds s))
+                  time_budget
+              in
+              let report =
+                Dart.Random_search.run ~seed ~max_runs ?deadline ~exec ~telemetry:sink
+                  ~metrics:prep prog
+              in
+              if Dart.Telemetry.enabled sink then begin
+                Dart.Telemetry.emit_phase_totals sink prep;
+                Dart.Telemetry.flush sink
+              end;
+              print_endline (Dart.Random_search.report_to_string report);
+              print_metrics prep;
+              if coverage then print_coverage prog report.Dart.Random_search.coverage_sites;
+              match report.Dart.Random_search.verdict with
+              | `Bug_found _ -> 1
+              | `No_bug -> 0
+              | `Time_exhausted | `Interrupted -> 3
+            end
+            else begin
+              let options =
+                Dart.Driver.Options.make ~seed ~depth ~max_runs
+                  ~strategy:(Option.value ~default:Dart.Strategy.Dfs strategy)
+                  ~stop_on_first_bug:(not all_bugs) ~use_cache:(not no_cache)
+                  ~use_slicing:(not no_slicing)
+                  ?time_budget_ns:(Option.map ns_of_seconds time_budget)
+                  ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout)
+                  ~exec:
+                    { Dart.Concolic.default_exec_options with
+                      symbolic_pointers = symbolic_ptrs }
+                  ~telemetry:(Dart.Telemetry.with_sink sink) ~faultsim:fs ()
+              in
+              let meta = Dart.Checkpoint.meta_of_options options in
+              let resume_snapshot =
+                match resume with
+                | None -> Ok None
+                | Some path ->
+                  (match Dart.Checkpoint.load ~path with
+                   | Error msg -> Error (Printf.sprintf "--resume %s: %s" path msg)
+                   | Ok (found, snap) ->
+                     (match Dart.Checkpoint.check_meta ~expected:meta ~found with
+                      | Error msg -> Error (Printf.sprintf "--resume %s: %s" path msg)
+                      | Ok () -> Ok (Some snap)))
+              in
+              match resume_snapshot with
+              | Error msg -> usage_error msg
+              | Ok resume_snapshot ->
+              let on_checkpoint =
+                Option.map
+                  (fun path snapshot -> Dart.Checkpoint.save ~path ~meta snapshot)
+                  checkpoint
+              in
+              let report, worker_lines =
+                if jobs = 1 then begin
+                  (* Sequential: hand the search the metrics record that
+                     already holds the Lower time, so its phase totals
+                     cover the full pipeline. *)
+                  let ctx =
+                    Dart.Driver.make_ctx ~metrics:prep
+                      ?deadline:(Dart.Driver.deadline_of_options options) ~seed ~max_runs ()
+                  in
+                  ( Dart.Driver.search ?resume:resume_snapshot ?on_checkpoint
+                      ?checkpoint_every ~ctx ~options prog,
+                    None )
+                end
+                else begin
+                  let portfolio =
+                    if portfolio then
+                      [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ]
+                    else []
+                  in
+                  let popts = Dart.Parallel.options ~jobs ~portfolio options in
+                  let r = Dart.Parallel.run ~options:popts prog in
+                  (* Workers never see preparation time: fold it into the
+                     merged metrics (and the trace) here. *)
+                  Dart.Telemetry.add_metrics
+                    ~into:r.Dart.Parallel.merged.Dart.Driver.metrics prep;
+                  if Dart.Telemetry.enabled sink then begin
+                    Dart.Telemetry.emit sink
+                      (Dart.Telemetry.Phase_total
+                         { phase = Dart.Telemetry.Lower;
+                           dur_ns = prep.Dart.Telemetry.lower_ns });
+                    Dart.Telemetry.flush sink
+                  end;
+                  (r.Dart.Parallel.merged, Some r)
+                end
+              in
+              (match worker_lines with
+               | Some r -> print_endline (Dart.Parallel.report_to_string r)
+               | None -> print_endline (Dart.Driver.report_to_string report));
+              print_metrics report.Dart.Driver.metrics;
+              if coverage then print_coverage prog report.Dart.Driver.coverage_sites;
+              List.iter
+                (fun (b : Dart.Driver.bug) ->
+                  Printf.printf "  - %s in %s at %s (run %d)\n"
+                    (Machine.fault_to_string b.bug_fault)
+                    b.bug_site.Machine.site_fn
+                    (Minic.Loc.to_string b.bug_site.Machine.site_loc)
+                    b.bug_run)
+                report.Dart.Driver.bugs;
+              match report.Dart.Driver.verdict with
+              | Dart.Driver.Bug_found _ -> 1
+              | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> 0
+              | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> 3
+            end
+        end
     end
   with
   | Minic.Lexer.Error (loc, msg) | Minic.Parser.Error (loc, msg)
@@ -444,6 +591,7 @@ let run_cover file toplevel depth max_runs seed from_trace annotate lcov_out htm
              --random-testing?); only --timeline reflects its coverage";
         (events, covered)
       | None ->
+        install_signal_handlers ();
         let sink = Dart.Telemetry.ring ~capacity:(1 lsl 20) in
         let options =
           Dart.Driver.Options.make ~seed ~depth ~max_runs ~stop_on_first_bug:false
@@ -495,8 +643,10 @@ let run_term =
   Term.(
     const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
     $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg $ jobs_arg
-    $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ trace_arg $ metrics_arg
-    $ show_interface_arg $ show_driver_arg $ dump_ram_arg $ coverage_arg)
+    $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ time_budget_arg $ solver_timeout_arg
+    $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ faultsim_arg
+    $ faultsim_seed_arg $ trace_arg $ metrics_arg $ show_interface_arg $ show_driver_arg
+    $ dump_ram_arg $ coverage_arg)
 
 let trace_stats_cmd =
   let doc = "summarize a JSONL trace written with --trace" in
@@ -521,18 +671,23 @@ let run_cmd =
 (* Manual subcommand dispatch: Cmd.group would treat the positional
    source FILE of the default command as a (mis-spelled) command name,
    so the plain `dartc FILE …` invocation must bypass it. *)
+
+(* Cmdliner reports its own parse errors (unknown flag, missing FILE)
+   with its default cli_error status; fold those into the documented
+   exit 2 so every usage error looks the same to callers. *)
+let eval ?argv cmd =
+  let code = Cmd.eval' ?argv cmd in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)
+
 let () =
   let argv = Sys.argv in
-  if Array.length argv > 1 && argv.(1) = "trace-stats" then begin
-    let argv =
-      Array.append [| "dartc trace-stats" |] (Array.sub argv 2 (Array.length argv - 2))
-    in
-    exit (Cmd.eval' ~argv trace_stats_cmd)
-  end
-  else if Array.length argv > 1 && argv.(1) = "cover" then begin
-    let argv =
-      Array.append [| "dartc cover" |] (Array.sub argv 2 (Array.length argv - 2))
-    in
-    exit (Cmd.eval' ~argv cover_cmd)
-  end
-  else exit (Cmd.eval' run_cmd)
+  if Array.length argv > 1 && argv.(1) = "trace-stats" then
+    eval
+      ~argv:
+        (Array.append [| "dartc trace-stats" |] (Array.sub argv 2 (Array.length argv - 2)))
+      trace_stats_cmd
+  else if Array.length argv > 1 && argv.(1) = "cover" then
+    eval
+      ~argv:(Array.append [| "dartc cover" |] (Array.sub argv 2 (Array.length argv - 2)))
+      cover_cmd
+  else eval run_cmd

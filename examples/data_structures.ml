@@ -38,7 +38,8 @@ let describe name (report : Dart.Driver.report) =
    | Dart.Driver.Bug_found bug ->
      print_endline "witness inputs (coins fix the list shape, the rest are payloads):";
      List.iter (fun (id, v) -> Printf.printf "  x%d = %d\n" id v) bug.Dart.Driver.bug_inputs
-   | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ());
+   | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+   | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> ());
   print_newline ()
 
 let () =

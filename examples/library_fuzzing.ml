@@ -20,7 +20,8 @@ let () =
          Printf.printf "%-38s CRASH  %s (run %d, line %d)\n" f.gf_name
            (Machine.fault_to_string bug.Dart.Driver.bug_fault)
            bug.Dart.Driver.bug_run bug.Dart.Driver.bug_site.Machine.site_loc.Minic.Loc.line
-       | Dart.Driver.Complete | Dart.Driver.Budget_exhausted ->
+       | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+   | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted ->
          Printf.printf "%-38s ok     (%d runs)\n" f.gf_name report.Dart.Driver.runs))
     funcs;
   Printf.printf "\n%d of %d functions crashed (paper: 65%% of ~600 oSIP functions)\n\n"

@@ -32,7 +32,8 @@ let () =
      print_endline
        "(the method token was synthesized by flipping mc_strncmp's comparisons;\n\
         \ the dialog id by flipping mc_atoi's digit checks)"
-   | Dart.Driver.Complete | Dart.Driver.Budget_exhausted ->
+   | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+   | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted ->
      print_endline "no bug found (unexpected)");
   print_endline "\nSame budget of plain random testing:";
   let r =

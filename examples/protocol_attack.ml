@@ -40,7 +40,8 @@ let () =
    | Dart.Driver.Bug_found bug ->
      print_endline "\nLowe's attack, as discovered:";
      List.iter print_endline (decode_actions bug.Dart.Driver.bug_inputs)
-   | Dart.Driver.Complete | Dart.Driver.Budget_exhausted ->
+   | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+   | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted ->
      print_endline "no attack found (unexpected)");
   (* Lowe's fix closes the protocol: the directed search proves it by
      exhausting every action sequence up to depth 4. *)

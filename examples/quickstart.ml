@@ -41,7 +41,8 @@ let () =
      List.iter
        (fun (id, v) -> Printf.printf "  x%d = %d%s\n" id v (if v = 10 then "   (the solver forced f(x) = x + 10, i.e. x = 10)" else ""))
        bug.Dart.Driver.bug_inputs
-   | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ());
+   | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+   | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> ());
   (* Contrast with plain random testing: 2^-32 chance per run of
      hitting x = 10 after x != y. *)
   print_endline "\n=== Random-testing baseline (10,000 runs) ===";

@@ -1,0 +1,4 @@
+let flag = Atomic.make false
+let request () = Atomic.set flag true
+let requested () = Atomic.get flag
+let reset () = Atomic.set flag false

@@ -1,0 +1,19 @@
+(** Process-wide cooperative cancellation.
+
+    One atomic flag, set from signal handlers (dartc installs
+    SIGINT/SIGTERM handlers that call {!request}) and polled by every
+    search loop at its run boundaries — the same drain discipline as
+    {!Parallel}'s per-run early-cancel atomic, lifted to the whole
+    process. A cancelled search finishes its current instrumented run,
+    then stops with the [Interrupted] verdict and a complete partial
+    report, so traces are flushed and checkpoints written instead of
+    the process dying mid-write. *)
+
+val request : unit -> unit
+(** Ask every running search to stop at its next run boundary.
+    Async-signal-safe: one atomic store. *)
+
+val requested : unit -> bool
+
+val reset : unit -> unit
+(** Clear the flag (tests, and before starting a fresh search). *)

@@ -1,0 +1,51 @@
+(** Versioned on-disk serialization of {!Driver.snapshot}.
+
+    A checkpoint file is a self-describing text format (one record per
+    line, [dart-checkpoint v1] magic) carrying the search meta
+    (seed/depth/strategy/run budget — everything the snapshot's
+    determinism depends on) plus the snapshot itself. Writes are atomic
+    (temp file + rename in the target directory), so a SIGKILL mid-save
+    leaves the previous checkpoint intact; loads validate the magic,
+    the version and every field, and {!check_meta} refuses to resume a
+    snapshot under options it was not taken under — resuming with a
+    different seed or strategy would silently diverge from the
+    interrupted search instead of continuing it. The run budget is
+    recorded but not compared: it bounds the trajectory rather than
+    shaping it, so resuming with a larger [--max-runs] extends an
+    exhausted search.
+
+    The solve cache is deliberately not checkpointed (it is a pure
+    accelerator and can be arbitrarily large). Because the solver
+    prefers current IM values when picking among equally valid models,
+    a warm cache can return a model a fresh solve would not, so a
+    resumed search with caching enabled may take a different — equally
+    valid — trajectory after a restart while still converging to the
+    same coverage. With [--no-cache] (or on restart-free searches)
+    resume is exact: every counter of the resumed run equals the
+    uninterrupted one. *)
+
+type meta = {
+  m_seed : int;
+  m_depth : int;
+  m_max_runs : int;
+  m_strategy : Strategy.t;
+}
+
+val meta_of_options : Driver.options -> meta
+
+val check_meta : expected:meta -> found:meta -> (unit, string) result
+(** [Error] names the first mismatching field (seed, depth or
+    strategy; [m_max_runs] is informational only). *)
+
+val save : path:string -> meta:meta -> Driver.snapshot -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames over [path].
+    @raise Sys_error when the directory is not writable. *)
+
+val load : path:string -> (meta * Driver.snapshot, string) result
+(** [Error] describes the first syntax or schema violation (including a
+    version this build does not understand). *)
+
+val to_string : meta -> Driver.snapshot -> string
+val of_string : string -> (meta * Driver.snapshot, string) result
+(** The codec itself, exposed for tests (and [load]/[save] are
+    [of_string]/[to_string] plus file I/O). *)

@@ -2,6 +2,8 @@ module Options = struct
   type budget = {
     max_runs : int;
     stop_on_first_bug : bool;
+    time_budget_ns : int64 option;
+    solver_deadline_ns : int64 option;
   }
 
   type search = {
@@ -21,25 +23,33 @@ module Options = struct
     accel : accel;
     exec : Concolic.exec_options;
     telemetry : Telemetry.config;
+    fault : Dart_util.Faultsim.t; (* fault injection; Faultsim.off in production *)
   }
 
   let default =
-    { budget = { max_runs = 10_000; stop_on_first_bug = true };
+    { budget =
+        { max_runs = 10_000;
+          stop_on_first_bug = true;
+          time_budget_ns = None;
+          solver_deadline_ns = None };
       search = { seed = 42; depth = 1; strategy = Strategy.Dfs };
       accel = { use_slicing = true; use_cache = true };
       exec = Concolic.default_exec_options;
-      telemetry = Telemetry.default_config }
+      telemetry = Telemetry.default_config;
+      fault = Dart_util.Faultsim.off }
 
   let make ?(seed = default.search.seed) ?(depth = default.search.depth)
       ?(max_runs = default.budget.max_runs) ?(strategy = default.search.strategy)
-      ?(stop_on_first_bug = default.budget.stop_on_first_bug)
-      ?(use_slicing = default.accel.use_slicing) ?(use_cache = default.accel.use_cache)
-      ?(exec = default.exec) ?(telemetry = default.telemetry) () =
-    { budget = { max_runs; stop_on_first_bug };
+      ?(stop_on_first_bug = default.budget.stop_on_first_bug) ?time_budget_ns
+      ?solver_deadline_ns ?(use_slicing = default.accel.use_slicing)
+      ?(use_cache = default.accel.use_cache) ?(exec = default.exec)
+      ?(telemetry = default.telemetry) ?(faultsim = Dart_util.Faultsim.off) () =
+    { budget = { max_runs; stop_on_first_bug; time_budget_ns; solver_deadline_ns };
       search = { seed; depth; strategy };
       accel = { use_slicing; use_cache };
       exec;
-      telemetry }
+      telemetry;
+      fault = faultsim }
 end
 
 type options = Options.t
@@ -57,6 +67,8 @@ type verdict =
   | Bug_found of bug
   | Complete
   | Budget_exhausted
+  | Time_exhausted
+  | Interrupted
 
 type report = {
   verdict : verdict;
@@ -66,11 +78,29 @@ type report = {
   branches_covered : int;
   coverage_sites : (string * int * bool) list;
   paths_explored : int;
+  resource_limited : int;
   all_linear : bool;
   all_locs_definite : bool;
   solver_stats : Solver.stats;
   metrics : Telemetry.metrics;
   bugs : bug list;
+}
+
+type snapshot = {
+  sn_pending_restart : bool;
+  sn_stack : Concolic.branch_record array;
+  sn_im : (int * int * Inputs.kind) list;
+  sn_rng : int64;
+  sn_runs : int;
+  sn_restarts : int;
+  sn_total_steps : int;
+  sn_paths : int;
+  sn_resource_limited : int;
+  sn_all_linear : bool;
+  sn_all_locs_definite : bool;
+  sn_coverage : (string * int * bool) list;
+  sn_stats : (string * int) list;
+  sn_bugs : bug list;
 }
 
 type search_ctx = {
@@ -80,18 +110,25 @@ type search_ctx = {
   sc_cache : Solver.Cache.t;
   sc_metrics : Telemetry.metrics;
   sc_max_runs : int;
+  sc_deadline : int64 option;
   sc_should_stop : unit -> bool;
 }
 
 let make_ctx ?(should_stop = fun () -> false)
-    ?(metrics = Telemetry.create_metrics ()) ~seed ~max_runs () =
+    ?(metrics = Telemetry.create_metrics ()) ?deadline ~seed ~max_runs () =
   { sc_rng = Dart_util.Prng.create seed;
     sc_im = Inputs.create ();
     sc_stats = Solver.create_stats ();
     sc_cache = Solver.Cache.create ();
     sc_metrics = metrics;
     sc_max_runs = max_runs;
+    sc_deadline = deadline;
     sc_should_stop = should_stop }
+
+let deadline_of_options (options : Options.t) =
+  Option.map
+    (fun ns -> Int64.add (Telemetry.now ()) ns)
+    options.Options.budget.Options.time_budget_ns
 
 let prepare ?metrics ?(library_sigs = []) ~toplevel ~depth (ast : Minic.Ast.program) =
   let lower () =
@@ -108,12 +145,14 @@ let outcome_to_string = function
   | Concolic.Run_prediction_failure -> "prediction_failure"
   | Concolic.Run_halted -> "halted"
 
-let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
+let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : options)
+    (prog : Ram.Instr.program) : report =
   let rng = ctx.sc_rng in
   let stats = ctx.sc_stats in
   let im = ctx.sc_im in
   let metrics = ctx.sc_metrics in
   let sink = options.Options.telemetry.Telemetry.sink in
+  let fs = options.Options.fault in
   let tracing = Telemetry.enabled sink in
   let search_start = Telemetry.now () in
   let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
@@ -122,11 +161,57 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
   let restarts = ref 0 in
   let total_steps = ref 0 in
   let paths = ref 0 in
+  let resource_limited = ref 0 in
   let all_linear = ref true in
   let all_locs_definite = ref true in
   let bugs = ref [] in
   let first_bug = ref None in
+  (* Why the search drained, decided by the first [budget_left] poll
+     that said stop; the verdict and the final checkpoint depend on
+     it. *)
+  let stop = ref `Running in
+  let final_snapshot = ref None in
   let entry = Driver_gen.wrapper_name in
+  (* Everything the run boundary determines, as a serializable value:
+     writing this at run boundary b and replaying it later continues
+     the exact sequence of runs an uninterrupted search would have
+     performed (same RNG stream, same IM, same pending stack). *)
+  let take_snapshot ~pending_restart ~stack =
+    { sn_pending_restart = pending_restart;
+      sn_stack = stack;
+      sn_im = Inputs.to_full_alist im;
+      sn_rng = Dart_util.Prng.state rng;
+      sn_runs = !runs;
+      sn_restarts = !restarts;
+      sn_total_steps = !total_steps;
+      sn_paths = !paths;
+      sn_resource_limited = !resource_limited;
+      sn_all_linear = !all_linear;
+      sn_all_locs_definite = !all_locs_definite;
+      sn_coverage =
+        List.sort compare (Hashtbl.fold (fun site () acc -> site :: acc) coverage []);
+      sn_stats = Solver.to_assoc stats;
+      sn_bugs = List.rev !bugs }
+  in
+  (match resume with
+   | None -> ()
+   | Some s ->
+     runs := s.sn_runs;
+     restarts := s.sn_restarts;
+     total_steps := s.sn_total_steps;
+     paths := s.sn_paths;
+     resource_limited := s.sn_resource_limited;
+     all_linear := s.sn_all_linear;
+     all_locs_definite := s.sn_all_locs_definite;
+     Dart_util.Prng.set_state rng s.sn_rng;
+     Inputs.restore im s.sn_im;
+     List.iter (fun site -> Hashtbl.replace coverage site ()) s.sn_coverage;
+     (* ctx stats start zeroed, so adding the checkpointed counters is
+        a restore. *)
+     Solver.add_stats ~into:stats (Solver.of_assoc s.sn_stats);
+     List.iter (fun b -> Hashtbl.replace bug_sites (bug_key b) ()) s.sn_bugs;
+     bugs := List.rev s.sn_bugs;
+     first_bug := (match s.sn_bugs with b :: _ -> Some b | [] -> None));
   let record_run (data : Concolic.run_data) =
     incr runs;
     total_steps := !total_steps + data.Concolic.steps;
@@ -201,18 +286,80 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
     end;
     data
   in
-  (* Run boundary: out of sharded budget, or an external cancellation
-     (another worker found a bug) — in both cases the search drains. *)
-  let budget_left () = !runs < ctx.sc_max_runs && not (ctx.sc_should_stop ()) in
+  (* Run boundary: stop on process-wide interrupt (SIGINT/SIGTERM),
+     global time budget, sharded run budget, or external cancellation
+     (another worker found a bug) — in all cases the search drains
+     cleanly and the first cause that fired names the verdict. *)
+  let budget_left () =
+    match !stop with
+    | `Interrupt | `Time | `Budget | `Cancel -> false
+    | `Running ->
+      if Cancel.requested () then begin
+        stop := `Interrupt;
+        false
+      end
+      else if
+        match ctx.sc_deadline with
+        | None -> false
+        | Some d -> Int64.compare (Telemetry.now ()) d >= 0
+      then begin
+        stop := `Time;
+        false
+      end
+      else if !runs >= ctx.sc_max_runs then begin
+        stop := `Budget;
+        false
+      end
+      else if ctx.sc_should_stop () then begin
+        stop := `Cancel;
+        false
+      end
+      else true
+  in
   (* Inner loop: directed search from a fresh random seed point. Returns
-     [`Bug], [`Exhausted] (directed search over) or [`Restart]. *)
-  let directed_search () =
+     [`Bug], [`Exhausted] (directed search over) or [`Restart].
+     [prev_stack] is threaded so every boundary can snapshot the state
+     the next run would consume. *)
+  let directed_search init_stack =
     let rec loop prev_stack =
-      if not (budget_left ()) then `Budget
+      if not (budget_left ()) then begin
+        final_snapshot := Some (take_snapshot ~pending_restart:false ~stack:prev_stack);
+        `Budget
+      end
       else begin
+        (match on_checkpoint with
+         | Some save when !runs > 0 && !runs mod checkpoint_every = 0 ->
+           save (take_snapshot ~pending_restart:false ~stack:prev_stack);
+           if tracing then Telemetry.emit sink (Telemetry.Checkpoint_saved { run = !runs })
+         | _ -> ());
         let data = instrumented_run prev_stack in
+        let data =
+          (* Injected machine fault: rewrite the finished run's outcome,
+             exercising the classification below without a genuinely
+             non-terminating workload. *)
+          if
+            Dart_util.Faultsim.is_on fs
+            && Dart_util.Faultsim.fire fs Dart_util.Faultsim.Machine_step_limit
+          then
+            { data with
+              Concolic.outcome =
+                Concolic.Run_fault
+                  ( Machine.Step_limit,
+                    { Machine.site_fn = "__faultsim";
+                      site_pc = 0;
+                      site_loc = { Minic.Loc.file = "<faultsim>"; line = 0; col = 0 } } ) }
+          else data
+        in
         record_run data;
         match data.Concolic.outcome with
+        | Concolic.Run_fault ((Machine.Step_limit | Machine.Call_depth), _) ->
+          (* A run that exhausted its step budget or call stack is a
+             resource-limited run, the paper's §3 treatment of
+             non-termination: count it and restart with fresh random
+             inputs — it is not a program bug, and its truncated path
+             must not poison the directed state. *)
+          incr resource_limited;
+          `Restart
         | Concolic.Run_fault (fault, site) ->
           record_bug fault site data;
           if options.Options.budget.Options.stop_on_first_bug then `Bug
@@ -237,6 +384,7 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
         Solve_pc.solve
           ?cache:
             (if options.Options.accel.Options.use_cache then Some ctx.sc_cache else None)
+          ?deadline_ns:options.Options.budget.Options.solver_deadline_ns ~faultsim:fs
           ~slicing:options.Options.accel.Options.use_slicing ~telemetry:sink
           ~sites:data.Concolic.cond_sites ~strategy:options.Options.search.Options.strategy
           ~rng ~stats ~im ~stack:data.Concolic.stack
@@ -249,7 +397,7 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
         if solver_incomplete then all_linear := false;
         `Exhausted
     in
-    loop [||]
+    loop init_stack
   in
   (* Theorem 1(b)'s completeness argument relies on the depth-first
      discipline: flipping a shallow branch discards the pending work
@@ -258,6 +406,9 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
   let may_claim_complete () =
     options.Options.search.Options.strategy = Strategy.Dfs && !all_linear
     && !all_locs_definite
+    (* A resource-limited run was truncated, not explored: its suffix
+       paths are unvisited, so completeness cannot be claimed. *)
+    && !resource_limited = 0
   in
   (* Outer loop (Figure 2): repeat until the directed search terminates
      with completeness flags intact, or the budget runs out. *)
@@ -266,33 +417,56 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
     incr restarts;
     if tracing then Telemetry.emit sink (Telemetry.Restart { restarts = !restarts })
   in
-  let rec outer () =
-    Inputs.clear im;
-    match directed_search () with
+  let rec outer stack =
+    match directed_search stack with
     | `Bug -> ()
     | `Budget -> ()
-    | `Restart ->
-      if budget_left () then begin
-        restart ();
-        outer ()
-      end
-    | `Exhausted ->
-      if may_claim_complete () then complete := true
-      else if budget_left () then begin
-        restart ();
-        outer ()
+    | `Restart -> try_restart ()
+    | `Exhausted -> if may_claim_complete () then complete := true else try_restart ()
+  and try_restart () =
+    if budget_left () then begin
+      restart ();
+      Inputs.clear im;
+      outer [||]
+    end
+    else
+      (* The budget denied the restart itself: remember that the next
+         action on resume is the restart, not a run from this stack. *)
+      final_snapshot := Some (take_snapshot ~pending_restart:true ~stack:[||])
+  in
+  (match resume with
+   | Some s when s.sn_pending_restart -> try_restart ()
+   | Some s ->
+     (* IM and RNG were restored above; re-run from the checkpointed
+        pending stack exactly as the uninterrupted search would have. *)
+     outer s.sn_stack
+   | None ->
+     Inputs.clear im;
+     outer [||]);
+  let verdict =
+    match !first_bug with
+    | Some bug -> Bug_found bug
+    | None ->
+      if !complete then Complete
+      else begin
+        match !stop with
+        | `Interrupt -> Interrupted
+        | `Time -> Time_exhausted
+        | `Running | `Budget | `Cancel -> Budget_exhausted
       end
   in
-  outer ();
+  (* Partial verdicts get a final checkpoint, so an interrupted or
+     timed-out search can be resumed without losing the tail since the
+     last periodic save. *)
+  (match verdict, on_checkpoint, !final_snapshot with
+   | (Budget_exhausted | Time_exhausted | Interrupted), Some save, Some s ->
+     save s;
+     if tracing then Telemetry.emit sink (Telemetry.Checkpoint_saved { run = !runs })
+   | _ -> ());
   if tracing then begin
     Telemetry.emit_phase_totals sink metrics;
     Telemetry.flush sink
   end;
-  let verdict =
-    match !first_bug with
-    | Some bug -> Bug_found bug
-    | None -> if !complete then Complete else Budget_exhausted
-  in
   { verdict;
     runs = !runs;
     restarts = !restarts;
@@ -300,18 +474,21 @@ let search ~ctx ~(options : options) (prog : Ram.Instr.program) : report =
     branches_covered = Hashtbl.length coverage;
     coverage_sites = Hashtbl.fold (fun site () acc -> site :: acc) coverage [];
     paths_explored = !paths;
+    resource_limited = !resource_limited;
     all_linear = !all_linear;
     all_locs_definite = !all_locs_definite;
     solver_stats = stats;
     metrics;
     bugs = List.rev !bugs }
 
-let run ?(options = Options.default) (prog : Ram.Instr.program) : report =
+let run ?resume ?on_checkpoint ?checkpoint_every ?(options = Options.default)
+    (prog : Ram.Instr.program) : report =
   let ctx =
-    make_ctx ~seed:options.Options.search.Options.seed
+    make_ctx ?deadline:(deadline_of_options options)
+      ~seed:options.Options.search.Options.seed
       ~max_runs:options.Options.budget.Options.max_runs ()
   in
-  search ~ctx ~options prog
+  search ?resume ?on_checkpoint ?checkpoint_every ~ctx ~options prog
 
 let test_source ?(options = Options.default) ?(library_sigs = []) ~toplevel src =
   let ast = Minic.Parser.parse_program src in
@@ -321,7 +498,8 @@ let test_source ?(options = Options.default) ?(library_sigs = []) ~toplevel src 
       ~depth:options.Options.search.Options.depth ast
   in
   let ctx =
-    make_ctx ~metrics ~seed:options.Options.search.Options.seed
+    make_ctx ~metrics ?deadline:(deadline_of_options options)
+      ~seed:options.Options.search.Options.seed
       ~max_runs:options.Options.budget.Options.max_runs ()
   in
   search ~ctx ~options prog
@@ -333,6 +511,8 @@ let verdict_to_string = function
       b.bug_site.Machine.site_fn b.bug_site.Machine.site_loc.Minic.Loc.line b.bug_run
   | Complete -> "COMPLETE: all feasible paths explored, no bug"
   | Budget_exhausted -> "BUDGET EXHAUSTED: no bug found within the run budget"
+  | Time_exhausted -> "TIME EXHAUSTED: no bug found within the time budget"
+  | Interrupted -> "INTERRUPTED: search stopped at a run boundary"
 
 let report_to_string r =
   (* Counters go through the abstract-stats assoc view; the key set is
@@ -340,16 +520,29 @@ let report_to_string r =
      error. *)
   let a = Solver.to_assoc r.solver_stats in
   let g k = match List.assoc_opt k a with Some v -> v | None -> 0 in
-  Printf.sprintf
-    "%s\n\
-     runs: %d  restarts: %d  paths: %d  steps: %d  branch-dirs covered: %d\n\
-     all_linear: %b  all_locs_definite: %b\n\
-     solver: %d queries (%d sat, %d unsat, %d unknown), %d fast-path, %d simplex, %d \
-     ne-splits\n\
-     accel: %d cache hits, %d cache misses, %d constraints sliced away\n\
-     distinct bugs: %d"
-    (verdict_to_string r.verdict) r.runs r.restarts r.paths_explored r.total_steps
-    r.branches_covered r.all_linear r.all_locs_definite (g "queries") (g "sat")
-    (g "unsat") (g "unknown") (g "fast_path") (g "simplex_queries") (g "ne_splits")
-    (g "cache_hits") (g "cache_misses") (g "constraints_sliced_away")
-    (List.length r.bugs)
+  let base =
+    Printf.sprintf
+      "%s\n\
+       runs: %d  restarts: %d  paths: %d  steps: %d  branch-dirs covered: %d\n\
+       all_linear: %b  all_locs_definite: %b\n\
+       solver: %d queries (%d sat, %d unsat, %d unknown), %d fast-path, %d simplex, %d \
+       ne-splits\n\
+       accel: %d cache hits, %d cache misses, %d constraints sliced away\n\
+       distinct bugs: %d"
+      (verdict_to_string r.verdict) r.runs r.restarts r.paths_explored r.total_steps
+      r.branches_covered r.all_linear r.all_locs_definite (g "queries") (g "sat")
+      (g "unsat") (g "unknown") (g "fast_path") (g "simplex_queries") (g "ne_splits")
+      (g "cache_hits") (g "cache_misses") (g "constraints_sliced_away")
+      (List.length r.bugs)
+  in
+  (* Resilience counters are printed only when nonzero, keeping default
+     runs byte-identical to builds that predate them. *)
+  let b = Buffer.create (String.length base + 64) in
+  Buffer.add_string b base;
+  if r.resource_limited > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "\nresource-limited runs: %d" r.resource_limited);
+  if g "deadline_overruns" > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "\nsolver deadline overruns: %d" (g "deadline_overruns"));
+  Buffer.contents b

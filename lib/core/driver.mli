@@ -13,6 +13,13 @@ module Options : sig
   type budget = {
     max_runs : int; (* overall budget of instrumented runs *)
     stop_on_first_bug : bool;
+    time_budget_ns : int64 option;
+        (* wall-clock budget for the whole search; [None] = unbounded.
+           Checked at run boundaries: an over-budget search drains with
+           the [Time_exhausted] verdict and a complete partial report *)
+    solver_deadline_ns : int64 option;
+        (* per-solver-query deadline; an overrunning query degrades to
+           [Solver.Unknown] (counted in [Solver.deadline_overruns]) *)
   }
 
   type search = {
@@ -32,11 +39,16 @@ module Options : sig
     accel : accel;
     exec : Concolic.exec_options;
     telemetry : Telemetry.config;
+    fault : Dart_util.Faultsim.t;
+        (* deterministic fault injection ({!Dart_util.Faultsim}); the
+           default [Faultsim.off] costs one pattern match per
+           injection point *)
   }
 
   val default : t
   (** seed 42, depth 1, 10_000 runs, DFS, stop on first bug, both
-      accelerations on, default machine, tracing off. *)
+      accelerations on, default machine, tracing off, no time budget,
+      no solver deadline, fault injection off. *)
 
   val make :
     ?seed:int ->
@@ -44,10 +56,13 @@ module Options : sig
     ?max_runs:int ->
     ?strategy:Strategy.t ->
     ?stop_on_first_bug:bool ->
+    ?time_budget_ns:int64 ->
+    ?solver_deadline_ns:int64 ->
     ?use_slicing:bool ->
     ?use_cache:bool ->
     ?exec:Concolic.exec_options ->
     ?telemetry:Telemetry.config ->
+    ?faultsim:Dart_util.Faultsim.t ->
     unit ->
     t
   (** Smart constructor: every omitted argument takes {!default}'s
@@ -77,6 +92,10 @@ type verdict =
           Theorem 1(b) — every feasible path was exercised, no bug
           exists (within [depth]). *)
   | Budget_exhausted (* max_runs reached, or incompleteness forced restarts *)
+  | Time_exhausted (* the wall-clock budget expired at a run boundary *)
+  | Interrupted
+      (** {!Cancel.request} (SIGINT/SIGTERM in dartc) was observed at a
+          run boundary; the report is complete for the work done. *)
 
 type report = {
   verdict : verdict;
@@ -88,6 +107,11 @@ type report = {
          excluded — consistent with [Coverage.compute] *)
   coverage_sites : (string * int * bool) list; (* the triples themselves *)
   paths_explored : int; (* completed runs, i.e. distinct execution paths *)
+  resource_limited : int;
+      (* runs that died on [Step_limit] or [Call_depth]: counted as
+         possibly-non-terminating executions (paper §3), each triggering
+         a fresh random restart, never reported as bugs. Nonzero voids
+         the [Complete] claim. *)
   all_linear : bool;
   all_locs_definite : bool;
   solver_stats : Solver.stats;
@@ -98,6 +122,31 @@ type report = {
   bugs : bug list; (* every distinct bug site seen (>= 1 when Bug_found) *)
 }
 
+type snapshot = {
+  sn_pending_restart : bool;
+      (* the budget denied a restart: on resume, perform the restart
+         (and its telemetry event) before the first run *)
+  sn_stack : Concolic.branch_record array; (* pending stack for the next run *)
+  sn_im : (int * int * Inputs.kind) list; (* full input vector, id-sorted *)
+  sn_rng : int64; (* PRNG state — the whole randomness stream *)
+  sn_runs : int;
+  sn_restarts : int;
+  sn_total_steps : int;
+  sn_paths : int;
+  sn_resource_limited : int;
+  sn_all_linear : bool;
+  sn_all_locs_definite : bool;
+  sn_coverage : (string * int * bool) list; (* sorted, deterministic *)
+  sn_stats : (string * int) list; (* Solver.to_assoc view *)
+  sn_bugs : bug list; (* chronological *)
+}
+(** A run-boundary checkpoint of everything {!search} mutates. The run
+    boundary fully determines the continuation: resuming from a
+    snapshot replays the exact run sequence the uninterrupted search
+    would have performed (same PRNG stream, same IM, same pending
+    stack), so the final coverage is identical. Serialized by
+    {!Checkpoint}. *)
+
 type search_ctx = {
   sc_rng : Dart_util.Prng.t; (* private randomness stream *)
   sc_im : Inputs.t; (* private input vector *)
@@ -107,6 +156,9 @@ type search_ctx = {
          and misses are deterministic per worker) *)
   sc_metrics : Telemetry.metrics; (* private phase timers *)
   sc_max_runs : int; (* this search's share of the run budget *)
+  sc_deadline : int64 option;
+      (* absolute monotonic deadline ({!Telemetry.now} scale); checked
+         at run boundaries, [None] = no time budget *)
   sc_should_stop : unit -> bool;
       (* polled at every run boundary; [true] drains the search (used
          for cross-worker cancellation — see {!Parallel}) *)
@@ -118,6 +170,7 @@ type search_ctx = {
 val make_ctx :
   ?should_stop:(unit -> bool) ->
   ?metrics:Telemetry.metrics ->
+  ?deadline:int64 ->
   seed:int ->
   max_runs:int ->
   unit ->
@@ -125,7 +178,13 @@ val make_ctx :
 (** Fresh context: new PRNG from [seed], empty input vector, zeroed
     solver stats. [should_stop] defaults to never; [metrics] defaults
     to a fresh record (pass one to fold preparation time measured by
-    {!prepare} into the search's report). *)
+    {!prepare} into the search's report); [deadline] defaults to
+    unbounded. *)
+
+val deadline_of_options : options -> int64 option
+(** The absolute monotonic deadline [now + time_budget_ns], or [None]
+    when the options carry no time budget. Compute it once and share it
+    across worker contexts so every worker stops at the same instant. *)
 
 val prepare :
   ?metrics:Telemetry.metrics ->
@@ -138,16 +197,37 @@ val prepare :
     entry point is {!Driver_gen.wrapper_name}. When [metrics] is given,
     the elapsed wall clock is attributed to its [Lower] phase. *)
 
-val search : ctx:search_ctx -> options:options -> Ram.Instr.program -> report
+val search :
+  ?resume:snapshot ->
+  ?on_checkpoint:(snapshot -> unit) ->
+  ?checkpoint_every:int ->
+  ctx:search_ctx ->
+  options:options ->
+  Ram.Instr.program ->
+  report
 (** One directed search driven entirely by [ctx]'s mutable state:
     [options.search.seed] and [options.budget.max_runs] are ignored in
     favour of the context's PRNG and budget cell. {!run} is [search]
     over a fresh context; {!Parallel.run} calls it once per worker
     domain. Events flow into [options.telemetry.sink]; with the null
-    sink the instrumentation allocates nothing. *)
+    sink the instrumentation allocates nothing.
 
-val run : ?options:options -> Ram.Instr.program -> report
-(** Run DART on a prepared program. *)
+    [resume] restores a {!snapshot} into [ctx] (which must be fresh)
+    and continues exactly where it was taken. [on_checkpoint] is called
+    with a consistent snapshot every [checkpoint_every] runs (default
+    256) and once more at the end when the verdict is partial
+    ([Budget_exhausted], [Time_exhausted] or [Interrupted]); it is
+    never called after [Complete] or a stop-on-first-bug verdict. *)
+
+val run :
+  ?resume:snapshot ->
+  ?on_checkpoint:(snapshot -> unit) ->
+  ?checkpoint_every:int ->
+  ?options:options ->
+  Ram.Instr.program ->
+  report
+(** Run DART on a prepared program (fresh context honouring the
+    options' seed, budget and time budget). *)
 
 val test_source :
   ?options:options ->

@@ -46,3 +46,35 @@ let value_of t id = Hashtbl.find_opt t.values id
 let to_alist t =
   Hashtbl.fold (fun id v acc -> (id, v) :: acc) t.values []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let kind_tag = function
+  | Kint -> "int"
+  | Kchar -> "char"
+  | Kcoin -> "coin"
+
+let kind_of_tag = function
+  | "int" -> Some Kint
+  | "char" -> Some Kchar
+  | "coin" -> Some Kcoin
+  | _ -> None
+
+(* Checkpoint views: the kind table matters too — [kind_of] drives the
+   solver's domain constraints, so a resumed IM without kinds would
+   solve chars over the full 32-bit range. Inputs whose kind was
+   recorded but whose value was since dropped do not occur (get always
+   writes both), so pairing by id over [values] is complete. *)
+let to_full_alist t =
+  Hashtbl.fold
+    (fun id v acc ->
+      let kind = Option.value ~default:Kint (Hashtbl.find_opt t.kinds id) in
+      (id, v, kind) :: acc)
+    t.values []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let restore t entries =
+  clear t;
+  List.iter
+    (fun (id, v, kind) ->
+      Hashtbl.replace t.values id v;
+      Hashtbl.replace t.kinds id kind)
+    entries

@@ -31,3 +31,16 @@ val value_of : t -> int -> int option
 
 val to_alist : t -> (int * int) list
 (** All recorded inputs, sorted by id (the bug-witness vector). *)
+
+val kind_tag : kind -> string
+(** Stable name ([int]/[char]/[coin]) for the checkpoint codec. *)
+
+val kind_of_tag : string -> kind option
+
+val to_full_alist : t -> (int * int * kind) list
+(** All recorded inputs with their kinds, sorted by id — the
+    checkpointable image of IM. *)
+
+val restore : t -> (int * int * kind) list -> unit
+(** Replace the whole vector with a checkpointed image (values and
+    kinds), clearing anything recorded before. *)

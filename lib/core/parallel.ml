@@ -25,10 +25,18 @@ type worker_report = {
   w_report : Driver.report;
 }
 
+type crash = {
+  c_worker : int;
+  c_seed : int;
+  c_reason : string;
+  c_respawned : bool;
+}
+
 type report = {
   jobs : int;
   merged : Driver.report;
   workers : worker_report list;
+  crashes : crash list;
 }
 
 let effective_jobs jobs =
@@ -101,9 +109,13 @@ let merge (reports : Driver.report list) : Driver.report =
     | [] ->
       (* One worker finishing a DFS search with completeness flags
          intact proves no bug exists at this depth, whatever the other
-         budget shares managed. *)
-      if List.exists (fun (r : Driver.report) -> r.Driver.verdict = Driver.Complete) reports
-      then Driver.Complete
+         budget shares managed. Otherwise the most informative partial
+         cause wins: an interrupt or an expired time budget explains
+         the early stop better than "budget exhausted". *)
+      let any v = List.exists (fun (r : Driver.report) -> r.Driver.verdict = v) reports in
+      if any Driver.Complete then Driver.Complete
+      else if any Driver.Interrupted then Driver.Interrupted
+      else if any Driver.Time_exhausted then Driver.Time_exhausted
       else Driver.Budget_exhausted
   in
   (* Phase timings are CPU-time-like under parallelism: the sum over
@@ -119,72 +131,186 @@ let merge (reports : Driver.report list) : Driver.report =
     branches_covered = Hashtbl.length coverage;
     coverage_sites;
     paths_explored = sum (fun r -> r.Driver.paths_explored);
+    resource_limited = sum (fun r -> r.Driver.resource_limited);
     all_linear = forall (fun r -> r.Driver.all_linear);
     all_locs_definite = forall (fun r -> r.Driver.all_locs_definite);
     solver_stats = sum_stats (List.map (fun r -> r.Driver.solver_stats) reports);
     metrics;
     bugs }
 
+(* Merged stand-in when every worker (and its respawn) died: no
+   coverage, no completeness claim, budget spent without an answer. *)
+let empty_report () =
+  { Driver.verdict = Driver.Budget_exhausted;
+    runs = 0;
+    restarts = 0;
+    total_steps = 0;
+    branches_covered = 0;
+    coverage_sites = [];
+    paths_explored = 0;
+    resource_limited = 0;
+    all_linear = false;
+    all_locs_definite = false;
+    solver_stats = Solver.create_stats ();
+    metrics = Telemetry.create_metrics ();
+    bugs = [] }
+
 let run ?(options = options O.default) (prog : Ram.Instr.program) : report =
   let t = options in
   let n = effective_jobs t.jobs in
-  let seeds = worker_seeds ~base_seed:t.base.O.search.O.seed n in
+  (* Seeds [0, n): primary workers; seeds [n, 2n): the respawn stream,
+     so a supervisor restart is as deterministic as the first spawn. *)
+  let seeds = worker_seeds ~base_seed:t.base.O.search.O.seed (2 * n) in
   let shares = budget_shares ~total:t.base.O.budget.O.max_runs n in
   let stop_on_first_bug = t.base.O.budget.O.stop_on_first_bug in
   let base_sink = t.base.O.telemetry.Telemetry.sink in
   let tracing = Telemetry.enabled base_sink in
+  let fs = t.base.O.fault in
+  let deadline = Driver.deadline_of_options t.base in
   let cancel = Atomic.make false in
   let should_stop =
     if stop_on_first_bug && n > 1 then fun () -> Atomic.get cancel
     else fun () -> false
   in
-  let worker i sink () =
-    let strategy = worker_strategy t i in
-    let ctx = Driver.make_ctx ~should_stop ~seed:seeds.(i) ~max_runs:shares.(i) () in
+  (* A worker body never lets an exception reach [Domain.join]: it
+     returns [Error reason] instead, so the supervisor always joins
+     every domain, replays the surviving rings and flushes the sink. *)
+  let worker ~slot ~seed sink () =
+    let strategy = worker_strategy t slot in
+    let should_stop =
+      (* Crash injection rides the run-boundary poll: the injected
+         exception surfaces mid-search exactly where a real defect in
+         the search loop would. *)
+      if Dart_util.Faultsim.is_on fs then (fun () ->
+        if Dart_util.Faultsim.fire ~key:slot fs Dart_util.Faultsim.Worker_crash then
+          Dart_util.Faultsim.inject_crash Dart_util.Faultsim.Worker_crash
+        else should_stop ())
+      else should_stop
+    in
+    let ctx = Driver.make_ctx ~should_stop ?deadline ~seed ~max_runs:shares.(slot) () in
     let options =
       { t.base with
         O.search = { t.base.O.search with O.strategy };
         O.telemetry = { t.base.O.telemetry with Telemetry.sink } }
     in
-    let r = Driver.search ~ctx ~options prog in
-    (* First finder flags the others; they drain at their next run
-       boundary (the [should_stop] poll in [Driver.search]). *)
-    if stop_on_first_bug && r.Driver.bugs <> [] then Atomic.set cancel true;
-    { w_id = i; w_seed = seeds.(i); w_strategy = strategy; w_report = r }
+    match Driver.search ~ctx ~options prog with
+    | r ->
+      (* First finder flags the others; they drain at their next run
+         boundary (the [should_stop] poll in [Driver.search]). *)
+      if stop_on_first_bug && r.Driver.bugs <> [] then Atomic.set cancel true;
+      Ok { w_id = slot; w_seed = seed; w_strategy = strategy; w_report = r }
+    | exception e -> Error (Printexc.to_string e)
   in
   if n = 1 then begin
     (* Single worker: no merge pass and the main sink is handed straight
        to the search, so report and trace — field order of
        coverage_sites included — are identical to [Driver.run]. *)
-    let w = worker 0 base_sink () in
-    { jobs = 1; merged = w.w_report; workers = [ w ] }
+    match worker ~slot:0 ~seed:seeds.(0) base_sink () with
+    | Ok w -> { jobs = 1; merged = w.w_report; workers = [ w ]; crashes = [] }
+    | Error reason ->
+      let crash1 =
+        { c_worker = 0; c_seed = seeds.(0); c_reason = reason; c_respawned = true }
+      in
+      if tracing then begin
+        Telemetry.emit base_sink
+          (Telemetry.Worker_crash { worker = 0; reason; respawned = true });
+        Telemetry.emit base_sink (Telemetry.Worker_spawn { worker = 0; seed = seeds.(1) })
+      end;
+      (match worker ~slot:0 ~seed:seeds.(1) base_sink () with
+       | Ok w -> { jobs = 1; merged = w.w_report; workers = [ w ]; crashes = [ crash1 ] }
+       | Error reason2 ->
+         if tracing then begin
+           Telemetry.emit base_sink
+             (Telemetry.Worker_crash { worker = 0; reason = reason2; respawned = false });
+           Telemetry.flush base_sink
+         end;
+         { jobs = 1;
+           merged = empty_report ();
+           workers = [];
+           crashes =
+             [ crash1;
+               { c_worker = 0; c_seed = seeds.(1); c_reason = reason2; c_respawned = false }
+             ] })
   end
   else begin
     (* Each worker traces into a private ring: domains never contend on
        the main sink, and replaying the rings in worker order at join
        makes the merged trace deterministic. *)
-    let wsinks =
-      Array.init n (fun _ ->
-          if tracing then
-            Telemetry.ring ~capacity:t.base.O.telemetry.Telemetry.worker_buffer
-          else Telemetry.null)
+    let ring () =
+      if tracing then Telemetry.ring ~capacity:t.base.O.telemetry.Telemetry.worker_buffer
+      else Telemetry.null
     in
+    let wsinks = Array.init n (fun _ -> ring ()) in
     if tracing then
       Array.iteri
         (fun i seed ->
-          Telemetry.emit base_sink (Telemetry.Worker_spawn { worker = i; seed }))
+          if i < n then
+            Telemetry.emit base_sink (Telemetry.Worker_spawn { worker = i; seed }))
         seeds;
-    let domains = Array.init n (fun i -> Domain.spawn (worker i wsinks.(i))) in
-    let workers = Array.to_list (Array.map Domain.join domains) in
+    let domains =
+      Array.init n (fun i -> Domain.spawn (worker ~slot:i ~seed:seeds.(i) wsinks.(i)))
+    in
+    let primary = Array.map Domain.join domains in
+    (* Supervision pass: every crashed slot is respawned exactly once,
+       with a fresh derived seed, a fresh ring and the slot's full
+       budget share — the crashed attempt's runs died with its domain,
+       so the share is re-run rather than lost. *)
+    let rsinks = Array.make n Telemetry.null in
+    let respawns =
+      Array.init n (fun i ->
+          match primary.(i) with
+          | Ok _ -> None
+          | Error _ ->
+            rsinks.(i) <- ring ();
+            Some (Domain.spawn (worker ~slot:i ~seed:seeds.(n + i) rsinks.(i))))
+    in
+    let respawns = Array.map (Option.map Domain.join) respawns in
     let t0 = Telemetry.now () in
-    if tracing then
-      List.iter
-        (fun w ->
-          Telemetry.replay wsinks.(w.w_id) ~into:base_sink;
-          Telemetry.emit base_sink
-            (Telemetry.Worker_drain { worker = w.w_id; runs = w.w_report.Driver.runs }))
-        workers;
-    let merged = merge (List.map (fun w -> w.w_report) workers) in
+    let workers = ref [] in
+    let crashes = ref [] in
+    let drain i (w : worker_report) sink =
+      if tracing then begin
+        Telemetry.replay sink ~into:base_sink;
+        Telemetry.emit base_sink
+          (Telemetry.Worker_drain { worker = i; runs = w.w_report.Driver.runs })
+      end;
+      workers := w :: !workers
+    in
+    Array.iteri
+      (fun i result ->
+        match result with
+        | Ok w -> drain i w wsinks.(i)
+        | Error reason ->
+          crashes :=
+            { c_worker = i; c_seed = seeds.(i); c_reason = reason; c_respawned = true }
+            :: !crashes;
+          if tracing then begin
+            Telemetry.emit base_sink
+              (Telemetry.Worker_crash { worker = i; reason; respawned = true });
+            Telemetry.emit base_sink
+              (Telemetry.Worker_spawn { worker = i; seed = seeds.(n + i) })
+          end;
+          (match respawns.(i) with
+           | Some (Ok w) -> drain i w rsinks.(i)
+           | Some (Error reason2) ->
+             crashes :=
+               { c_worker = i;
+                 c_seed = seeds.(n + i);
+                 c_reason = reason2;
+                 c_respawned = false }
+               :: !crashes;
+             if tracing then
+               Telemetry.emit base_sink
+                 (Telemetry.Worker_crash { worker = i; reason = reason2; respawned = false })
+           | None -> assert false))
+      primary;
+    let workers = List.rev !workers in
+    let crashes = List.rev !crashes in
+    let merged =
+      match List.map (fun w -> w.w_report) workers with
+      | [] -> empty_report ()
+      | reports -> merge reports
+    in
     let merge_ns = Int64.sub (Telemetry.now ()) t0 in
     Telemetry.add_phase merged.Driver.metrics Telemetry.Merge merge_ns;
     if tracing then begin
@@ -192,7 +318,7 @@ let run ?(options = options O.default) (prog : Ram.Instr.program) : report =
         (Telemetry.Phase_total { phase = Telemetry.Merge; dur_ns = merge_ns });
       Telemetry.flush base_sink
     end;
-    { jobs = n; merged; workers }
+    { jobs = n; merged; workers; crashes }
   end
 
 let report_to_string r =
@@ -208,7 +334,17 @@ let report_to_string r =
            (match w.w_report.Driver.verdict with
             | Driver.Bug_found _ -> "bug"
             | Driver.Complete -> "complete"
-            | Driver.Budget_exhausted -> "budget")
+            | Driver.Budget_exhausted -> "budget"
+            | Driver.Time_exhausted -> "time"
+            | Driver.Interrupted -> "interrupted")
            w.w_report.Driver.runs w.w_report.Driver.paths_explored))
     r.workers;
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  worker %d crashed [seed %d]: %s%s" c.c_worker c.c_seed
+           c.c_reason
+           (if c.c_respawned then "; respawned with a fresh seed, budget re-run"
+            else "; not respawned, budget share lost")))
+    r.crashes;
   Buffer.contents buf

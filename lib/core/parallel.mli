@@ -47,10 +47,22 @@ type worker_report = {
   w_report : Driver.report;
 }
 
+type crash = {
+  c_worker : int; (* worker slot that died *)
+  c_seed : int; (* the seed of the attempt that crashed *)
+  c_reason : string; (* printed exception *)
+  c_respawned : bool;
+      (* [true]: the supervisor restarted the slot once with a fresh
+         derived seed and its full budget share; [false]: the respawn
+         itself crashed and the share was abandoned *)
+}
+
 type report = {
   jobs : int; (* actual worker count after resolving [jobs = 0] *)
   merged : Driver.report;
-  workers : worker_report list; (* in worker-id order *)
+  workers : worker_report list;
+      (* surviving workers (respawns included), in worker-id order *)
+  crashes : crash list; (* in worker-id order; [] on a healthy run *)
 }
 
 val worker_seeds : base_seed:int -> int -> int array
@@ -68,15 +80,27 @@ val merge : Driver.report list -> Driver.report
     and phase metrics summed (so merged timings read as CPU time, not
     wall clock), completeness flags conjoined. The verdict is
     [Bug_found] if any worker found a bug, else [Complete] if any
-    worker's DFS search finished exhaustively, else
-    [Budget_exhausted].
+    worker's DFS search finished exhaustively, else the most
+    informative partial cause across workers ([Interrupted], then
+    [Time_exhausted], then [Budget_exhausted]).
     @raise Invalid_argument on the empty list. *)
 
 val run : ?options:options -> Ram.Instr.program -> report
 (** Run the parallel search on a prepared program (entry point
     {!Driver_gen.wrapper_name}). With [stop_on_first_bug], the first
     worker to find a bug flags a shared atomic and the others drain at
-    their next run boundary.
+    their next run boundary. [base.budget.time_budget_ns] is turned
+    into one absolute deadline shared by every worker.
+
+    Crash supervision: a worker whose search raises never takes the
+    join down — the failure is recorded as a {!crash} (and a
+    [Telemetry.Worker_crash] event), every domain is still joined, the
+    surviving workers' rings are replayed and the sink flushed. Each
+    crashed slot is respawned exactly once with a deterministically
+    derived fresh seed and the slot's full budget share; if the respawn
+    crashes too, the share is abandoned and the merge proceeds over the
+    survivors (an all-crashed run merges to an empty
+    [Budget_exhausted] report).
     @raise Invalid_argument if [jobs < 0]. *)
 
 val report_to_string : report -> string

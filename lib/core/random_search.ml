@@ -1,28 +1,41 @@
 type report = {
-  verdict : [ `Bug_found of Driver.bug | `No_bug ];
+  verdict : [ `Bug_found of Driver.bug | `No_bug | `Time_exhausted | `Interrupted ];
   runs : int;
   total_steps : int;
   branches_covered : int;
+  resource_limited : int;
   coverage_sites : (string * int * bool) list;
 }
 
-let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options)
+let run ?(seed = 42) ?(max_runs = 10_000) ?deadline ?(exec = Concolic.default_exec_options)
     ?(telemetry = Telemetry.null) ?metrics prog =
   let exec = { exec with Concolic.symbolic = false } in
   let rng = Dart_util.Prng.create seed in
   let im = Inputs.create () in
   let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
   let total_steps = ref 0 in
+  let resource_limited = ref 0 in
   let entry = Driver_gen.wrapper_name in
   let tracing = Telemetry.enabled telemetry in
   let search_start = Telemetry.now () in
+  let finish verdict runs =
+    { verdict;
+      runs;
+      total_steps = !total_steps;
+      branches_covered = Hashtbl.length coverage;
+      resource_limited = !resource_limited;
+      coverage_sites = Hashtbl.fold (fun site () acc -> site :: acc) coverage [] }
+  in
   let rec loop run_index =
-    if run_index > max_runs then
-      { verdict = `No_bug;
-        runs = max_runs;
-        total_steps = !total_steps;
-        branches_covered = Hashtbl.length coverage;
-        coverage_sites = Hashtbl.fold (fun site () acc -> site :: acc) coverage [] }
+    (* Same run-boundary stop discipline as [Driver.search]: interrupt
+       first, then the wall-clock budget, then the run budget. *)
+    if Cancel.requested () then finish `Interrupted (run_index - 1)
+    else if
+      match deadline with
+      | None -> false
+      | Some d -> Int64.compare (Telemetry.now ()) d >= 0
+    then finish `Time_exhausted (run_index - 1)
+    else if run_index > max_runs then finish `No_bug max_runs
     else begin
       Inputs.clear im; (* fresh random inputs every run *)
       if tracing then Telemetry.emit telemetry (Telemetry.Run_start { run = run_index });
@@ -57,6 +70,11 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
                covered = Hashtbl.length coverage;
                elapsed_ns = Int64.sub (Telemetry.now ()) search_start });
       match data.Concolic.outcome with
+      | Concolic.Run_fault ((Machine.Step_limit | Machine.Call_depth), _) ->
+        (* Resource-limited run (possible non-termination): not a bug;
+           the next run's fresh random inputs are the restart. *)
+        incr resource_limited;
+        loop (run_index + 1)
       | Concolic.Run_fault (fault, site) ->
         if tracing then
           Telemetry.emit telemetry
@@ -71,11 +89,7 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
             bug_run = run_index;
             bug_inputs = Inputs.to_alist im }
         in
-        { verdict = `Bug_found bug;
-          runs = run_index;
-          total_steps = !total_steps;
-          branches_covered = Hashtbl.length coverage;
-          coverage_sites = Hashtbl.fold (fun site () acc -> site :: acc) coverage [] }
+        finish (`Bug_found bug) run_index
       | Concolic.Run_prediction_failure ->
         (* Impossible with an empty prediction stack. *)
         assert false
@@ -84,11 +98,11 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?(exec = Concolic.default_exec_options
   in
   loop 1
 
-let test_source ?seed ?max_runs ?(depth = 1) ?(library_sigs = []) ?telemetry ?metrics
-    ~toplevel src =
+let test_source ?seed ?max_runs ?deadline ?(depth = 1) ?(library_sigs = []) ?telemetry
+    ?metrics ~toplevel src =
   let ast = Minic.Parser.parse_program src in
   let prog = Driver.prepare ?metrics ~library_sigs ~toplevel ~depth ast in
-  run ?seed ?max_runs ?telemetry ?metrics prog
+  run ?seed ?max_runs ?deadline ?telemetry ?metrics prog
 
 let report_to_string r =
   let v =
@@ -99,6 +113,13 @@ let report_to_string r =
         b.Driver.bug_site.Machine.site_fn
         b.Driver.bug_site.Machine.site_loc.Minic.Loc.line b.Driver.bug_run
     | `No_bug -> "NO BUG within budget"
+    | `Time_exhausted -> "TIME EXHAUSTED: no bug found within the time budget"
+    | `Interrupted -> "INTERRUPTED: search stopped at a run boundary"
   in
-  Printf.sprintf "%s\nruns: %d  steps: %d  branch-dirs covered: %d" v r.runs r.total_steps
-    r.branches_covered
+  let base =
+    Printf.sprintf "%s\nruns: %d  steps: %d  branch-dirs covered: %d" v r.runs
+      r.total_steps r.branches_covered
+  in
+  if r.resource_limited > 0 then
+    base ^ Printf.sprintf "\nresource-limited runs: %d" r.resource_limited
+  else base

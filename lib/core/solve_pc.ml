@@ -74,11 +74,29 @@ let slice ~pivot ~prefix =
     in
     (pivot :: kept, List.length dropped)
 
-let solve ?cache ?(slicing = true) ?(telemetry = Telemetry.null) ?(sites = [||]) ~strategy
-    ~rng ~stats ~im ~stack ~path_constraint () =
+let solve ?cache ?(slicing = true) ?deadline_ns
+    ?(faultsim = Dart_util.Faultsim.off) ?(telemetry = Telemetry.null)
+    ?(sites = [||]) ~strategy ~rng ~stats ~im ~stack ~path_constraint () =
   let n = Array.length stack in
   assert (Array.length path_constraint = n);
   let tracing = Telemetry.enabled telemetry in
+  (* Per-query deadline predicate, built fresh at each real solver call
+     (cache hits never consume deadline budget or injection shots). An
+     injected overrun is a predicate that is constantly true: it rides
+     the same degradation path as a genuine timeout, so the test
+     exercises exactly the production behaviour. *)
+  let solver_deadline () =
+    if
+      Dart_util.Faultsim.is_on faultsim
+      && Dart_util.Faultsim.fire faultsim Dart_util.Faultsim.Solver_deadline
+    then Some (fun () -> true)
+    else
+      match deadline_ns with
+      | None -> None
+      | Some ns ->
+        let dl = Int64.add (Telemetry.now ()) ns in
+        Some (fun () -> Int64.compare (Telemetry.now ()) dl >= 0)
+  in
   let site_of j =
     if j >= 0 && j < Array.length sites then sites.(j) else ("?", j)
   in
@@ -97,7 +115,7 @@ let solve ?cache ?(slicing = true) ?(telemetry = Telemetry.null) ?(sites = [||])
     let t0 = if tracing then Telemetry.now () else 0L in
     let result, cache_hit =
       match cache with
-      | None -> (Solver.solve ~stats ~prefer cs, false)
+      | None -> (Solver.solve ~stats ~prefer ?deadline:(solver_deadline ()) cs, false)
       | Some cache ->
         let key = Solver.Cache.canonical cs in
         (match Solver.Cache.find cache key with
@@ -109,7 +127,7 @@ let solve ?cache ?(slicing = true) ?(telemetry = Telemetry.null) ?(sites = [||])
            (Solver.Unsat, true)
          | None ->
            Solver.record_cache_miss stats;
-           let r = Solver.solve ~stats ~prefer cs in
+           let r = Solver.solve ~stats ~prefer ?deadline:(solver_deadline ()) cs in
            (match r with
             | Solver.Sat model -> Solver.Cache.add cache key (Solver.Cache.Sat model)
             | Solver.Unsat -> Solver.Cache.add cache key Solver.Cache.Unsat

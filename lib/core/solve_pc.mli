@@ -17,6 +17,14 @@
       cache ({!Driver.search_ctx} does) — sharing one across domains
       would make hit sequences racy.
 
+    [deadline_ns] bounds each real solver call (cache hits are free):
+    a query still running after that many nanoseconds degrades to
+    [Solver.Unknown] — counted in [Solver.deadline_overruns], never
+    cached, and treated like any other unknown (the branch stays
+    unexpanded but retriable, completeness is voided). [faultsim] can
+    inject such an overrun deterministically ({!Dart_util.Faultsim}
+    point [Solver_deadline]).
+
     When [telemetry] is an enabled sink, every pivot-solve attempt
     emits a {!Telemetry.Solve_query} event (result, duration, cache
     hit, sliced-away count) attributed to the flipped branch's site
@@ -50,6 +58,8 @@ val slice :
 val solve :
   ?cache:Solver.Cache.t ->
   ?slicing:bool ->
+  ?deadline_ns:int64 ->
+  ?faultsim:Dart_util.Faultsim.t ->
   ?telemetry:Telemetry.sink ->
   ?sites:(string * int) array ->
   strategy:Strategy.t ->

@@ -57,6 +57,8 @@ type event =
   | Bug_found of { fn : string; pc : int; fault : string; run : int }
   | Worker_spawn of { worker : int; seed : int }
   | Worker_drain of { worker : int; runs : int }
+  | Worker_crash of { worker : int; reason : string; respawned : bool }
+  | Checkpoint_saved of { run : int }
   | Phase_total of { phase : phase; dur_ns : int64 }
   | Cover_point of { run : int; covered : int; elapsed_ns : int64 }
 
@@ -163,6 +165,14 @@ let event_to_json ev =
      tag "worker_drain";
      int "worker" worker;
      int "runs" runs
+   | Worker_crash { worker; reason; respawned } ->
+     tag "worker_crash";
+     int "worker" worker;
+     str "reason" reason;
+     bool "respawned" respawned
+   | Checkpoint_saved { run } ->
+     tag "checkpoint";
+     int "run" run
    | Phase_total { phase; dur_ns } ->
      tag "phase";
      str "phase" (phase_to_string phase);
@@ -336,6 +346,10 @@ let event_of_json line =
         Bug_found { fn = str "fn"; pc = int "pc"; fault = str "fault"; run = int "run" }
       | "worker_spawn" -> Worker_spawn { worker = int "worker"; seed = int "seed" }
       | "worker_drain" -> Worker_drain { worker = int "worker"; runs = int "runs" }
+      | "worker_crash" ->
+        Worker_crash
+          { worker = int "worker"; reason = str "reason"; respawned = bool "respawned" }
+      | "checkpoint" -> Checkpoint_saved { run = int "run" }
       | "phase" ->
         let phase =
           match phase_of_string (str "phase") with
@@ -489,6 +503,7 @@ type summary = {
   restarts : int;
   bugs : int;
   workers : int;
+  crashes : int;
   phase_ns : (phase * int64) list;
   sites : ((string * int) * site_agg) list;
   timeline : cover_point list;
@@ -510,6 +525,7 @@ let summarize evs =
   let sat = ref 0 and unsat = ref 0 and unknown = ref 0 in
   let solve_ns = ref 0L and exec_ns = ref 0L in
   let inputs = ref 0 and restarts = ref 0 and bugs = ref 0 and workers = ref 0 in
+  let crashes = ref 0 in
   let phase_tbl : (phase, int64) Hashtbl.t = Hashtbl.create 4 in
   let site_tbl : (string * int, site_agg) Hashtbl.t = Hashtbl.create 32 in
   let dir_tbl : (string * int, bool * bool) Hashtbl.t = Hashtbl.create 32 in
@@ -553,6 +569,8 @@ let summarize evs =
       | Bug_found _ -> incr bugs
       | Worker_spawn _ -> incr workers
       | Worker_drain _ -> ()
+      | Worker_crash _ -> incr crashes
+      | Checkpoint_saved _ -> ()
       | Phase_total { phase; dur_ns } ->
         let prev = Option.value ~default:0L (Hashtbl.find_opt phase_tbl phase) in
         Hashtbl.replace phase_tbl phase (Int64.add prev dur_ns)
@@ -588,6 +606,7 @@ let summarize evs =
     restarts = !restarts;
     bugs = !bugs;
     workers = !workers;
+    crashes = !crashes;
     phase_ns;
     sites;
     timeline = List.rev !points;
@@ -649,6 +668,10 @@ let summary_to_string s =
         inputs updated, %d restarts, %d bugs, %d workers)\n"
        s.total_events s.runs s.branches s.driver_branches s.solves s.inputs_updated
        s.restarts s.bugs s.workers);
+  (* Crash count only appears when something actually crashed, keeping
+     crash-free trace summaries byte-identical to earlier builds. *)
+  if s.crashes > 0 then
+    Buffer.add_string buf (Printf.sprintf "worker crashes: %d\n" s.crashes);
   Buffer.add_string buf
     (Printf.sprintf "solver: %d real queries + %d cache hits (%d sat, %d unsat, %d unknown)\n"
        (s.solves - s.solve_hits) s.solve_hits s.solve_sat s.solve_unsat s.solve_unknown);

@@ -55,6 +55,13 @@ type event =
   | Bug_found of { fn : string; pc : int; fault : string; run : int }
   | Worker_spawn of { worker : int; seed : int }
   | Worker_drain of { worker : int; runs : int }
+  | Worker_crash of { worker : int; reason : string; respawned : bool }
+      (* a parallel worker's search raised: [reason] is the printed
+         exception, [respawned] whether the supervisor restarted it
+         with a fresh seed (at most once per worker slot) *)
+  | Checkpoint_saved of { run : int }
+      (* a search snapshot was handed to the checkpoint writer after
+         that many runs *)
   | Phase_total of { phase : phase; dur_ns : int64 }
       (* summary record flushed at the end of a search / merge *)
   | Cover_point of { run : int; covered : int; elapsed_ns : int64 }
@@ -103,7 +110,7 @@ val event_to_json : event -> string
 (** One flat JSON object, no trailing newline. Schema (the [ev] field
     selects the variant): [run_start], [run_end], [branch], [solve],
     [input], [restart], [bug], [worker_spawn], [worker_drain],
-    [phase], [cover]. *)
+    [worker_crash], [checkpoint], [phase], [cover]. *)
 
 val event_of_json : string -> (event, string) result
 (** Inverse of {!event_to_json}; [Error] explains the first schema
@@ -171,6 +178,7 @@ type summary = {
   restarts : int;
   bugs : int;
   workers : int; (* Worker_spawn events *)
+  crashes : int; (* Worker_crash events *)
   phase_ns : (phase * int64) list; (* summed Phase_total, all four phases *)
   sites : ((string * int) * site_agg) list; (* sorted by s_ns descending *)
   timeline : cover_point list; (* Cover_point events, trace order *)

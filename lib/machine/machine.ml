@@ -22,6 +22,32 @@ let fault_to_string = function
   | Missing_return -> "missing return value"
   | Bad_free -> "invalid free"
 
+(* Short machine-readable names: the checkpoint codec needs a stable
+   round-trippable spelling, which the human-facing strings above are
+   not. *)
+let fault_tag = function
+  | Abort -> "abort"
+  | Null_deref -> "null_deref"
+  | Invalid_deref -> "invalid_deref"
+  | Uninitialized_read -> "uninit_read"
+  | Div_by_zero -> "div_by_zero"
+  | Step_limit -> "step_limit"
+  | Call_depth -> "call_depth"
+  | Missing_return -> "missing_return"
+  | Bad_free -> "bad_free"
+
+let fault_of_tag = function
+  | "abort" -> Some Abort
+  | "null_deref" -> Some Null_deref
+  | "invalid_deref" -> Some Invalid_deref
+  | "uninit_read" -> Some Uninitialized_read
+  | "div_by_zero" -> Some Div_by_zero
+  | "step_limit" -> Some Step_limit
+  | "call_depth" -> Some Call_depth
+  | "missing_return" -> Some Missing_return
+  | "bad_free" -> Some Bad_free
+  | _ -> None
+
 type site = { site_fn : string; site_pc : int; site_loc : Minic.Loc.t }
 
 type outcome =

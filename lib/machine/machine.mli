@@ -24,6 +24,13 @@ type fault =
 
 val fault_to_string : fault -> string
 
+val fault_tag : fault -> string
+(** Short stable machine-readable name ([abort], [null_deref], ...),
+    round-trippable through {!fault_of_tag}; used by the checkpoint
+    codec. *)
+
+val fault_of_tag : string -> fault option
+
 type site = { site_fn : string; site_pc : int; site_loc : Minic.Loc.t }
 
 type outcome =

@@ -11,10 +11,14 @@ type result =
   | Unsat
   | Unknown
 
-let solve ?(node_limit = 400) ~(intervals : Intervals.t) ~les ~vars () =
+let solve ?(node_limit = 400) ?(deadline = fun () -> false) ~(intervals : Intervals.t)
+    ~les ~vars () =
   let budget = ref node_limit in
   let rec bb (box : Intervals.t) =
-    if !budget <= 0 then Unknown
+    (* The deadline is the per-query wall-clock guard: checked once per
+       node, the same granularity as the node budget, so an overrun
+       costs at most one more simplex call. *)
+    if !budget <= 0 || deadline () then Unknown
     else begin
       decr budget;
       if not (Intervals.consistent box) then Unsat

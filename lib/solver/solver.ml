@@ -21,11 +21,13 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable constraints_sliced_away : int;
+  mutable deadline_overruns : int;
 }
 
 let create_stats () =
   { queries = 0; sat = 0; unsat = 0; unknown = 0; fast_path = 0; simplex_queries = 0;
-    ne_splits = 0; cache_hits = 0; cache_misses = 0; constraints_sliced_away = 0 }
+    ne_splits = 0; cache_hits = 0; cache_misses = 0; constraints_sliced_away = 0;
+    deadline_overruns = 0 }
 
 (* The record stays private to this module: outside consumers go
    through the accessors / [to_assoc], so widening the record (as the
@@ -41,13 +43,15 @@ let ne_splits s = s.ne_splits
 let cache_hits s = s.cache_hits
 let cache_misses s = s.cache_misses
 let constraints_sliced_away s = s.constraints_sliced_away
+let deadline_overruns s = s.deadline_overruns
 
 let to_assoc s =
   [ ("queries", s.queries); ("sat", s.sat); ("unsat", s.unsat); ("unknown", s.unknown);
     ("fast_path", s.fast_path); ("simplex_queries", s.simplex_queries);
     ("ne_splits", s.ne_splits); ("cache_hits", s.cache_hits);
     ("cache_misses", s.cache_misses);
-    ("constraints_sliced_away", s.constraints_sliced_away) ]
+    ("constraints_sliced_away", s.constraints_sliced_away);
+    ("deadline_overruns", s.deadline_overruns) ]
 
 let of_assoc alist =
   let s = create_stats () in
@@ -64,6 +68,7 @@ let of_assoc alist =
       | "cache_hits" -> s.cache_hits <- v
       | "cache_misses" -> s.cache_misses <- v
       | "constraints_sliced_away" -> s.constraints_sliced_away <- v
+      | "deadline_overruns" -> s.deadline_overruns <- v
       | k -> invalid_arg (Printf.sprintf "Solver.of_assoc: unknown counter %S" k))
     alist;
   s
@@ -78,7 +83,8 @@ let add_stats ~into w =
   into.ne_splits <- into.ne_splits + w.ne_splits;
   into.cache_hits <- into.cache_hits + w.cache_hits;
   into.cache_misses <- into.cache_misses + w.cache_misses;
-  into.constraints_sliced_away <- into.constraints_sliced_away + w.constraints_sliced_away
+  into.constraints_sliced_away <- into.constraints_sliced_away + w.constraints_sliced_away;
+  into.deadline_overruns <- into.deadline_overruns + w.deadline_overruns
 
 let record_cache_hit s = s.cache_hits <- s.cache_hits + 1
 let record_cache_miss s = s.cache_misses <- s.cache_misses + 1
@@ -132,8 +138,17 @@ let univariate_forbidden nes =
 
 let max_ne_split_depth = 24
 
-let solve ?(stats = dummy_stats) ?(prefer = fun _ -> None) ?(use_simplex = true) cs =
+let solve ?(stats = dummy_stats) ?(prefer = fun _ -> None) ?(use_simplex = true)
+    ?(deadline = fun () -> false) cs =
   stats.queries <- stats.queries + 1;
+  let overran = ref false in
+  let expired () =
+    if deadline () then begin
+      overran := true;
+      true
+    end
+    else false
+  in
   let all_vars =
     let tbl = Hashtbl.create 16 in
     List.iter (fun c -> List.iter (fun v -> Hashtbl.replace tbl v ()) (Constr.vars c)) cs;
@@ -141,6 +156,11 @@ let solve ?(stats = dummy_stats) ?(prefer = fun _ -> None) ?(use_simplex = true)
   in
   let pref v = match prefer v with Some z -> z | None -> Zint.zero in
   let rec attempt depth cs =
+    (* One deadline poll per (sub-)query: ne-splits recurse through
+       here, so a deep split tree cannot outlive its budget either. *)
+    if expired () then Unknown
+    else attempt_checked depth cs
+  and attempt_checked depth cs =
     let p = Problem.of_constrs cs in
     match Problem.tighten p with
     | None -> Unsat
@@ -226,7 +246,10 @@ let solve ?(stats = dummy_stats) ?(prefer = fun _ -> None) ?(use_simplex = true)
              else if not use_simplex then `Unknown
              else begin
                stats.simplex_queries <- stats.simplex_queries + 1;
-               match Branch_bound.solve ~intervals:box ~les:multi_les ~vars:les_vars () with
+               match
+                 Branch_bound.solve ~deadline:expired ~intervals:box ~les:multi_les
+                   ~vars:les_vars ()
+               with
                | Branch_bound.Unsat -> `Unsat
                | Branch_bound.Unknown -> `Unknown
                | Branch_bound.Sat model ->
@@ -306,6 +329,7 @@ let solve ?(stats = dummy_stats) ?(prefer = fun _ -> None) ?(use_simplex = true)
          end)
   in
   let r = attempt 0 cs in
+  if !overran then stats.deadline_overruns <- stats.deadline_overruns + 1;
   (match r with
    | Sat model ->
      if check_model cs model then stats.sat <- stats.sat + 1

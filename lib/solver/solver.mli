@@ -67,6 +67,10 @@ val constraints_sliced_away : stats -> int
 (** Prefix constraints dropped by independence slicing before the query
     reached the solver. *)
 
+val deadline_overruns : stats -> int
+(** Queries aborted to [Unknown] because their per-query deadline
+    expired (see [solve]'s [deadline]). *)
+
 val to_assoc : stats -> (string * int) list
 (** Every counter as [(name, value)], stable declaration order; the
     single source of truth for report printing, bench JSON and merge
@@ -89,6 +93,7 @@ val solve :
   ?stats:stats ->
   ?prefer:(Symbolic.Linexpr.var -> Zarith_lite.Zint.t option) ->
   ?use_simplex:bool ->
+  ?deadline:(unit -> bool) ->
   Symbolic.Constr.t list ->
   result
 (** [solve cs] finds an integer model of the conjunction [cs].
@@ -96,7 +101,11 @@ val solve :
     directed search passes the previous run's inputs, matching the
     paper's [IM + IM'] update). [use_simplex:false] disables the
     simplex/branch-and-bound stage (ablation A2): multivariate systems
-    then come back [Unknown]. *)
+    then come back [Unknown]. [deadline] is polled at every sub-query
+    and branch-and-bound node; once it returns [true] the query
+    degrades to [Unknown] (counted in {!deadline_overruns}) instead of
+    running unbounded simplex work — callers already treat [Unknown]
+    conservatively, so an overrun can never unsoundly prune a path. *)
 
 val check_model : Symbolic.Constr.t list -> (Symbolic.Linexpr.var * Zarith_lite.Zint.t) list -> bool
 (** [check_model cs model] verifies that [model] satisfies [cs]. *)

@@ -1,0 +1,148 @@
+(* Deterministic fault injection. See faultsim.mli for the contract;
+   the implementation is a tiny rule table behind a mutex. The disabled
+   plan is the [Off] constructor, so the production probe
+   ([fire _ Off = false]) is one branch and no allocation. *)
+
+type point =
+  | Solver_deadline
+  | Worker_crash
+  | Machine_step_limit
+
+let point_to_string = function
+  | Solver_deadline -> "solver_deadline"
+  | Worker_crash -> "worker_crash"
+  | Machine_step_limit -> "machine_step_limit"
+
+let point_of_string = function
+  | "solver_deadline" -> Some Solver_deadline
+  | "worker_crash" -> Some Worker_crash
+  | "machine_step_limit" -> Some Machine_step_limit
+  | _ -> None
+
+type rule = {
+  r_point : point;
+  r_key : int option; (* None matches any probe key *)
+  r_nth : int; (* fire on this occurrence (1-based) *)
+  mutable r_seen : int; (* occurrences counted so far *)
+  mutable r_fired : bool; (* armed rules fire exactly once *)
+}
+
+type t =
+  | Off
+  | On of {
+      rules : rule list;
+      lock : Mutex.t; (* probes may come from several domains *)
+    }
+
+let off = Off
+
+let is_on = function
+  | Off -> false
+  | On _ -> true
+
+let make rules =
+  let rules =
+    List.map
+      (fun (p, key, nth) ->
+        if nth < 1 then invalid_arg "Faultsim.make: occurrence must be >= 1";
+        { r_point = p; r_key = key; r_nth = nth; r_seen = 0; r_fired = false })
+      rules
+  in
+  On { rules; lock = Mutex.create () }
+
+let fire ?key t point =
+  match t with
+  | Off -> false
+  | On { rules; lock } ->
+    Mutex.lock lock;
+    (* Every matching rule counts the occurrence (no short-circuit), so
+       several rules on one point each see the full probe stream. *)
+    let hit =
+      List.fold_left
+        (fun hit r ->
+          if
+            r.r_point = point
+            && (match (r.r_key, key) with
+                | None, _ -> true
+                | Some k, Some k' -> k = k'
+                | Some _, None -> false)
+          then begin
+            r.r_seen <- r.r_seen + 1;
+            if (not r.r_fired) && r.r_seen = r.r_nth then begin
+              r.r_fired <- true;
+              true
+            end
+            else hit
+          end
+          else hit)
+        false rules
+    in
+    Mutex.unlock lock;
+    hit
+
+(* ---- spec parsing ----------------------------------------------------------- *)
+
+(* [:?] occurrences come from a splitmix64 stream over the seed, so a
+   spec + seed pair names one deterministic injection schedule. *)
+let of_spec ?(seed = 0) spec =
+  let rng = Prng.create seed in
+  let parse_entry entry =
+    let entry = String.trim entry in
+    let name, rest =
+      match String.index_opt entry '@' with
+      | Some i ->
+        (String.sub entry 0 i, `Keyed (String.sub entry (i + 1) (String.length entry - i - 1)))
+      | None ->
+        (match String.index_opt entry ':' with
+         | Some i ->
+           (String.sub entry 0 i, `Nth (String.sub entry (i + 1) (String.length entry - i - 1)))
+         | None -> (entry, `Plain))
+    in
+    let parse_nth s =
+      if s = "?" then Ok (Prng.int_range rng 1 8)
+      else
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | _ -> Error (Printf.sprintf "bad occurrence %S (positive integer or ?)" s)
+    in
+    match point_of_string name with
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown injection point %S (solver_deadline|worker_crash|machine_step_limit)"
+           name)
+    | Some p ->
+      (match rest with
+       | `Plain -> Ok (p, None, 1)
+       | `Nth s -> Result.map (fun n -> (p, None, n)) (parse_nth s)
+       | `Keyed s ->
+         let key_s, nth_s =
+           match String.index_opt s ':' with
+           | Some i ->
+             (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+           | None -> (s, None)
+         in
+         (match int_of_string_opt key_s with
+          | None -> Error (Printf.sprintf "bad probe key %S (integer)" key_s)
+          | Some k ->
+            (match nth_s with
+             | None -> Ok (p, Some k, 1)
+             | Some s -> Result.map (fun n -> (p, Some k, n)) (parse_nth s))))
+  in
+  if String.trim spec = "" then Error "empty faultsim spec"
+  else begin
+    let entries = String.split_on_char ',' spec in
+    let rec go acc = function
+      | [] -> Ok (make (List.rev acc))
+      | e :: rest ->
+        (match parse_entry e with
+         | Ok r -> go (r :: acc) rest
+         | Error _ as e -> e)
+    in
+    go [] entries
+  end
+
+exception Injected of string
+
+let inject_crash point =
+  raise (Injected (Printf.sprintf "faultsim: injected %s" (point_to_string point)))

@@ -15,5 +15,6 @@ let () =
       ("strategy", Test_strategy.suite);
       ("accel", Test_accel.suite);
       ("parallel", Test_parallel.suite);
+      ("resilience", Test_resilience.suite);
       ("workloads", Test_workloads.suite);
       ("progen", Test_progen.suite) ]

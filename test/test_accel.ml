@@ -116,6 +116,8 @@ let fingerprint (r : Dart.Driver.report) =
     | Dart.Driver.Bug_found _ -> "bug"
     | Dart.Driver.Complete -> "complete"
     | Dart.Driver.Budget_exhausted -> "budget"
+    | Dart.Driver.Time_exhausted -> "time"
+    | Dart.Driver.Interrupted -> "interrupted"
   in
   ( verdict,
     List.map Dart.Driver.bug_key r.Dart.Driver.bugs,

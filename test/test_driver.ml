@@ -14,6 +14,8 @@ let expect_bug name (r : Dart.Driver.report) =
   | Dart.Driver.Bug_found _ -> ()
   | Dart.Driver.Complete -> Alcotest.failf "%s: expected bug, got Complete" name
   | Dart.Driver.Budget_exhausted -> Alcotest.failf "%s: expected bug, got budget" name
+  | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted ->
+    Alcotest.failf "%s: expected bug, got a partial verdict" name
 
 let expect_complete name (r : Dart.Driver.report) =
   match r.Dart.Driver.verdict with
@@ -23,12 +25,15 @@ let expect_complete name (r : Dart.Driver.report) =
       (Machine.fault_to_string b.Dart.Driver.bug_fault)
       b.Dart.Driver.bug_site.Machine.site_fn
   | Dart.Driver.Budget_exhausted -> Alcotest.failf "%s: expected Complete, got budget" name
+  | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted ->
+    Alcotest.failf "%s: expected Complete, got a partial verdict" name
 
 let expect_no_bug name (r : Dart.Driver.report) =
   match r.Dart.Driver.verdict with
   | Dart.Driver.Bug_found b ->
     Alcotest.failf "%s: unexpected bug %s" name (Machine.fault_to_string b.Dart.Driver.bug_fault)
-  | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ()
+  | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+  | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> ()
 
 let test_section_2_1 () =
   let r = dart Workloads.Paper_examples.section_2_1 in
@@ -133,7 +138,8 @@ let test_strategies () =
             Workloads.Paper_examples.section_2_4).Dart.Driver.verdict
    with
    | Dart.Driver.Complete -> Alcotest.fail "BFS must not claim completeness"
-   | Dart.Driver.Bug_found _ | Dart.Driver.Budget_exhausted -> ())
+   | Dart.Driver.Bug_found _ | Dart.Driver.Budget_exhausted
+   | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> ())
 
 let test_library_black_box () =
   (* lib_hash is executed concretely; the y == 42 bug behind it is
@@ -184,7 +190,8 @@ let test_random_search_finds_easy_bug () =
   in
   match r.Dart.Random_search.verdict with
   | `Bug_found _ -> ()
-  | `No_bug -> Alcotest.fail "random search should find x > 0"
+  | `No_bug | `Time_exhausted | `Interrupted ->
+    Alcotest.fail "random search should find x > 0"
 
 let test_determinism () =
   let run () = dart ~depth:2 Workloads.Paper_examples.ac_controller in

@@ -27,6 +27,7 @@ let fake_report ?(verdict = Dart.Driver.Budget_exhausted) ?(runs = 10) ?(restart
     branches_covered = List.length coverage;
     coverage_sites = coverage;
     paths_explored = paths;
+    resource_limited = 0;
     all_linear;
     all_locs_definite;
     solver_stats = stats;
@@ -95,6 +96,8 @@ let test_merge_verdict () =
       | Dart.Driver.Bug_found _ -> "bug"
       | Dart.Driver.Complete -> "complete"
       | Dart.Driver.Budget_exhausted -> "budget"
+      | Dart.Driver.Time_exhausted -> "time"
+      | Dart.Driver.Interrupted -> "interrupted"
     in
     Alcotest.(check string) name expected got
   in
@@ -165,6 +168,8 @@ let test_jobs4_same_bug_set () =
         | Dart.Driver.Bug_found _ -> "bug"
         | Dart.Driver.Complete -> "complete"
         | Dart.Driver.Budget_exhausted -> "budget"
+        | Dart.Driver.Time_exhausted -> "time"
+        | Dart.Driver.Interrupted -> "interrupted"
       in
       Alcotest.(check string) "same verdict" (tag r1) (tag r4);
       Alcotest.(check bool) "same deduped bug set" true
@@ -252,7 +257,8 @@ let test_random_budget_boundary () =
   let r = Dart.Random_search.run ~seed:3 ~max_runs:1 prog in
   (match r.Dart.Random_search.verdict with
    | `Bug_found b -> Alcotest.(check int) "found on run 1" 1 b.Dart.Driver.bug_run
-   | `No_bug -> Alcotest.fail "expected the unconditional abort");
+   | `No_bug | `Time_exhausted | `Interrupted ->
+     Alcotest.fail "expected the unconditional abort");
   Alcotest.(check int) "runs = 1" 1 r.Dart.Random_search.runs
 
 let suite =

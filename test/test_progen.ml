@@ -146,7 +146,8 @@ let test_witness_replay_soundness () =
        | Dart.Concolic.Run_halted ->
          Alcotest.failf "seed %d: witness does not reproduce the bug" seed
        | Dart.Concolic.Run_prediction_failure -> assert false)
-    | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> ()
+    | Dart.Driver.Complete | Dart.Driver.Budget_exhausted
+    | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> ()
   done;
   (* The abort-injection probability makes bugs common; make sure the
      property was actually exercised. *)

@@ -1,0 +1,391 @@
+(* Resilient supervision: the fault-injection harness itself, deadline
+   and interrupt verdicts, resource-limit classification, solver-Unknown
+   degradation, checkpoint/resume determinism, and crash isolation in
+   the parallel orchestrator. Every failure here is injected
+   deterministically via Dart_util.Faultsim — no timing dependence. *)
+
+module Faultsim = Dart_util.Faultsim
+
+let prepare ?(depth = 1) (src, toplevel) =
+  Dart.Driver.prepare ~toplevel ~depth (Minic.Parser.parse_program src)
+
+(* A bugless workload with enough branches (and enough restarts, from
+   its prediction failures under depth > 1) that a few hundred runs
+   exercise the full run-boundary machinery without terminating. *)
+let churn_src =
+  ( "int acc;\n\
+     void step(int a, int b, int c) {\n\
+    \  if (a > b) { acc = acc + 1; } else { acc = acc - 1; }\n\
+    \  if (b > c) { acc = acc + 2; } else { acc = acc - 2; }\n\
+    \  if (c > a) { acc = acc + 3; } else { acc = acc - 3; }\n\
+    \  if (a + b > c) { acc = acc + 4; } else { acc = acc - 4; }\n\
+    \  if (b + c > a) { acc = acc + 5; } else { acc = acc - 5; }\n\
+     }",
+    "step" )
+
+let abort_src = ("void f(int x) { if (x == 5) abort(); }", "f")
+
+(* ---- faultsim -------------------------------------------------------------- *)
+
+let test_faultsim_off () =
+  Alcotest.(check bool) "off is off" false (Faultsim.is_on Faultsim.off);
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "off never fires" false
+      (Faultsim.fire Faultsim.off Faultsim.Solver_deadline)
+  done
+
+let test_faultsim_one_shot () =
+  let fs = Faultsim.make [ (Faultsim.Solver_deadline, None, 3) ] in
+  Alcotest.(check bool) "armed plan is on" true (Faultsim.is_on fs);
+  let fired = List.init 5 (fun _ -> Faultsim.fire fs Faultsim.Solver_deadline) in
+  Alcotest.(check (list bool)) "fires exactly on the 3rd occurrence, once"
+    [ false; false; true; false; false ] fired
+
+let test_faultsim_key_narrowing () =
+  let fs = Faultsim.make [ (Faultsim.Worker_crash, Some 2, 1) ] in
+  Alcotest.(check bool) "other key never fires" false
+    (Faultsim.fire ~key:1 fs Faultsim.Worker_crash);
+  Alcotest.(check bool) "other point never fires" false
+    (Faultsim.fire ~key:2 fs Faultsim.Solver_deadline);
+  Alcotest.(check bool) "matching key fires" true
+    (Faultsim.fire ~key:2 fs Faultsim.Worker_crash);
+  Alcotest.(check bool) "only once" false (Faultsim.fire ~key:2 fs Faultsim.Worker_crash)
+
+let test_faultsim_spec () =
+  (match Faultsim.of_spec "solver_deadline:2,worker_crash@1" with
+   | Error e -> Alcotest.failf "spec rejected: %s" e
+   | Ok fs ->
+     Alcotest.(check bool) "first occurrence misses" false
+       (Faultsim.fire fs Faultsim.Solver_deadline);
+     Alcotest.(check bool) "second fires" true (Faultsim.fire fs Faultsim.Solver_deadline);
+     Alcotest.(check bool) "worker rule defaults to nth=1" true
+       (Faultsim.fire ~key:1 fs Faultsim.Worker_crash));
+  (match Faultsim.of_spec "no_such_point" with
+   | Ok _ -> Alcotest.fail "unknown point accepted"
+   | Error _ -> ());
+  (match Faultsim.of_spec "solver_deadline:0" with
+   | Ok _ -> Alcotest.fail "nth=0 accepted"
+   | Error _ -> ());
+  (* [:?] draws the occurrence from the seed: equal seeds agree. *)
+  let nth_fired seed =
+    match Faultsim.of_spec ~seed "machine_step_limit:?" with
+    | Error e -> Alcotest.failf "seeded spec rejected: %s" e
+    | Ok fs ->
+      let n = ref 0 in
+      while not (Faultsim.fire fs Faultsim.Machine_step_limit) && !n < 100 do
+        incr n
+      done;
+      !n
+  in
+  Alcotest.(check int) "seeded draw is deterministic" (nth_fired 11) (nth_fired 11);
+  Alcotest.(check bool) "seeded draw is in 1..8" true (nth_fired 11 < 8)
+
+(* ---- deadlines and interrupts ---------------------------------------------- *)
+
+let test_time_budget () =
+  let prog = prepare ~depth:6 churn_src in
+  let options =
+    Dart.Driver.Options.make ~depth:6 ~max_runs:10_000_000 ~stop_on_first_bug:false
+      ~time_budget_ns:5_000_000L (* 5ms: far too little for 2^30 paths *) ()
+  in
+  let r = Dart.Driver.run ~options prog in
+  (match r.Dart.Driver.verdict with
+   | Dart.Driver.Time_exhausted -> ()
+   | _ -> Alcotest.fail "expected Time_exhausted");
+  Alcotest.(check bool) "partial report: some runs happened" true (r.Dart.Driver.runs > 0);
+  Alcotest.(check bool) "budget untouched" true (r.Dart.Driver.runs < 10_000_000)
+
+let test_interrupt_verdicts () =
+  let prog = prepare abort_src in
+  Fun.protect ~finally:Dart.Cancel.reset (fun () ->
+      Dart.Cancel.request ();
+      let r =
+        Dart.Driver.run ~options:(Dart.Driver.Options.make ~max_runs:100 ()) prog
+      in
+      (match r.Dart.Driver.verdict with
+       | Dart.Driver.Interrupted -> ()
+       | _ -> Alcotest.fail "directed: expected Interrupted");
+      Alcotest.(check int) "directed: stopped before the first run" 0 r.Dart.Driver.runs;
+      match (Dart.Random_search.run ~seed:1 ~max_runs:100 prog).Dart.Random_search.verdict with
+      | `Interrupted -> ()
+      | _ -> Alcotest.fail "random: expected `Interrupted")
+
+let test_random_deadline () =
+  let prog = prepare abort_src in
+  let expired = Int64.sub (Dart.Telemetry.now ()) 1L in
+  match
+    (Dart.Random_search.run ~seed:1 ~max_runs:100 ~deadline:expired prog)
+      .Dart.Random_search.verdict
+  with
+  | `Time_exhausted -> ()
+  | _ -> Alcotest.fail "expected `Time_exhausted on an expired deadline"
+
+(* ---- resource-limit classification ----------------------------------------- *)
+
+let test_step_limit_is_not_a_bug () =
+  let prog = prepare Workloads.Paper_examples.ac_controller in
+  let options =
+    Dart.Driver.Options.make ~depth:1 ~max_runs:50 ~stop_on_first_bug:false
+      ~faultsim:(Faultsim.make [ (Faultsim.Machine_step_limit, None, 1) ])
+      ()
+  in
+  let r = Dart.Driver.run ~options prog in
+  Alcotest.(check int) "one resource-limited run" 1 r.Dart.Driver.resource_limited;
+  Alcotest.(check int) "not recorded as a bug" 0 (List.length r.Dart.Driver.bugs);
+  (* The truncated run's suffix paths were never visited, so the search
+     must keep restarting instead of claiming completeness. *)
+  (match r.Dart.Driver.verdict with
+   | Dart.Driver.Budget_exhausted -> ()
+   | Dart.Driver.Complete -> Alcotest.fail "claimed completeness after a truncated run"
+   | _ -> Alcotest.fail "expected Budget_exhausted");
+  Alcotest.(check int) "budget fully used by restarts" 50 r.Dart.Driver.runs;
+  Alcotest.(check bool) "the restart machinery ran" true (r.Dart.Driver.restarts > 0)
+
+(* ---- solver deadline degradation ------------------------------------------- *)
+
+let test_forced_unknown_is_retriable () =
+  let prog = prepare abort_src in
+  let sink = Dart.Telemetry.ring ~capacity:4096 in
+  let options =
+    Dart.Driver.Options.make ~seed:3 ~max_runs:100 ~use_cache:true
+      ~faultsim:(Faultsim.make [ (Faultsim.Solver_deadline, None, 1) ])
+      ~telemetry:(Dart.Telemetry.with_sink sink) ()
+  in
+  let r = Dart.Driver.run ~options prog in
+  (* The first solve of x = 5 was forced Unknown. Were Unknown cached,
+     every later attempt at the same canonical query would hit the
+     poisoned entry and the bug would be unreachable. *)
+  (match r.Dart.Driver.verdict with
+   | Dart.Driver.Bug_found _ -> ()
+   | _ -> Alcotest.fail "bug not found: the forced Unknown poisoned the search");
+  Alcotest.(check int) "exactly one unknown" 1
+    (Solver.unknown_count r.Dart.Driver.solver_stats);
+  Alcotest.(check int) "counted as a deadline overrun" 1
+    (Solver.deadline_overruns r.Dart.Driver.solver_stats);
+  Alcotest.(check bool) "branch retried: later queries hit the solver" true
+    (Solver.queries r.Dart.Driver.solver_stats > 1);
+  let unknowns =
+    List.filter
+      (function
+        | Dart.Telemetry.Solve_query { result = Dart.Telemetry.R_unknown; _ } -> true
+        | _ -> false)
+      (Dart.Telemetry.events sink)
+  in
+  Alcotest.(check int) "R_unknown recorded in telemetry" 1 (List.length unknowns)
+
+(* ---- checkpoint codec ------------------------------------------------------ *)
+
+let with_snapshot f =
+  (* A real mid-flight snapshot, from the first periodic checkpoint of
+     a churning search. *)
+  let prog = prepare ~depth:3 churn_src in
+  let options =
+    Dart.Driver.Options.make ~seed:7 ~depth:3 ~max_runs:400 ~stop_on_first_bug:false
+      ~use_cache:false ()
+  in
+  let snaps = ref [] in
+  let full =
+    Dart.Driver.run ~on_checkpoint:(fun s -> snaps := s :: !snaps) ~checkpoint_every:100
+      ~options prog
+  in
+  match List.rev !snaps with
+  | [] -> Alcotest.fail "no checkpoint was taken"
+  | first :: _ -> f ~options ~prog ~full ~snapshot:first
+
+let test_checkpoint_roundtrip () =
+  with_snapshot (fun ~options ~prog:_ ~full:_ ~snapshot ->
+      let meta = Dart.Checkpoint.meta_of_options options in
+      let roundtrip s =
+        match Dart.Checkpoint.of_string (Dart.Checkpoint.to_string meta s) with
+        | Error e -> Alcotest.failf "roundtrip failed: %s" e
+        | Ok (m, s') ->
+          Alcotest.(check bool) "meta survives" true (m = meta);
+          Alcotest.(check bool) "snapshot survives" true (s = s')
+      in
+      roundtrip snapshot;
+      roundtrip { snapshot with Dart.Driver.sn_pending_restart = true };
+      let text = Dart.Checkpoint.to_string meta snapshot in
+      (match Dart.Checkpoint.of_string "" with
+       | Ok _ -> Alcotest.fail "empty checkpoint accepted"
+       | Error _ -> ());
+      (match Dart.Checkpoint.of_string ("not-a-checkpoint\n" ^ text) with
+       | Ok _ -> Alcotest.fail "bad magic accepted"
+       | Error _ -> ());
+      (* Truncation (e.g. a partial write with no trailing [end]) is a
+         hard error, never a silently shorter snapshot. *)
+      (match
+         Dart.Checkpoint.of_string (String.concat "\n" (List.filteri (fun i _ -> i < 5)
+           (String.split_on_char '\n' text)))
+       with
+       | Ok _ -> Alcotest.fail "truncated checkpoint accepted"
+       | Error _ -> ()))
+
+let test_checkpoint_meta_guard () =
+  let meta m_seed m_strategy =
+    { Dart.Checkpoint.m_seed; m_depth = 1; m_max_runs = 100; m_strategy }
+  in
+  let expected = meta 42 Dart.Strategy.Dfs in
+  (match Dart.Checkpoint.check_meta ~expected ~found:(meta 43 Dart.Strategy.Dfs) with
+   | Ok () -> Alcotest.fail "seed mismatch accepted"
+   | Error e -> Alcotest.(check bool) "error names the seed" true
+                  (Str_contains.contains e "--seed"));
+  (match Dart.Checkpoint.check_meta ~expected ~found:(meta 42 Dart.Strategy.Bfs) with
+   | Ok () -> Alcotest.fail "strategy mismatch accepted"
+   | Error _ -> ());
+  (* The run budget bounds the trajectory, it does not shape it:
+     resuming under a larger budget extends the search. *)
+  match
+    Dart.Checkpoint.check_meta ~expected
+      ~found:{ expected with Dart.Checkpoint.m_max_runs = 10 }
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "budget difference rejected: %s" e
+
+let test_checkpoint_file_atomicity () =
+  with_snapshot (fun ~options ~prog:_ ~full:_ ~snapshot ->
+      let meta = Dart.Checkpoint.meta_of_options options in
+      let path = Filename.temp_file "dart_ck" ".dart" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Dart.Checkpoint.save ~path ~meta snapshot;
+          Alcotest.(check bool) "no temp file left behind" false
+            (Sys.file_exists (path ^ ".tmp"));
+          match Dart.Checkpoint.load ~path with
+          | Error e -> Alcotest.failf "load failed: %s" e
+          | Ok (m, s) ->
+            Alcotest.(check bool) "file roundtrip" true (m = meta && s = snapshot)))
+
+(* ---- resume determinism ---------------------------------------------------- *)
+
+let norm (r : Dart.Driver.report) =
+  ( r.Dart.Driver.verdict,
+    r.Dart.Driver.runs,
+    r.Dart.Driver.restarts,
+    r.Dart.Driver.total_steps,
+    r.Dart.Driver.paths_explored,
+    r.Dart.Driver.resource_limited,
+    List.sort compare r.Dart.Driver.coverage_sites,
+    Solver.to_assoc r.Dart.Driver.solver_stats,
+    r.Dart.Driver.bugs )
+
+let test_resume_reaches_same_state () =
+  with_snapshot (fun ~options ~prog ~full ~snapshot ->
+      Alcotest.(check bool) "snapshot is mid-flight" true
+        (snapshot.Dart.Driver.sn_runs < full.Dart.Driver.runs);
+      let resumed = Dart.Driver.run ~resume:snapshot ~options prog in
+      (* Without the solve cache the replay is exact: every counter of
+         the resumed search equals the uninterrupted one, not just the
+         final coverage. *)
+      Alcotest.(check bool) "resumed report identical" true (norm full = norm resumed))
+
+let test_resume_through_serialization () =
+  with_snapshot (fun ~options ~prog ~full ~snapshot ->
+      let meta = Dart.Checkpoint.meta_of_options options in
+      match Dart.Checkpoint.of_string (Dart.Checkpoint.to_string meta snapshot) with
+      | Error e -> Alcotest.failf "codec failed: %s" e
+      | Ok (_, s) ->
+        let resumed = Dart.Driver.run ~resume:s ~options prog in
+        Alcotest.(check bool) "identical after a disk roundtrip" true
+          (norm full = norm resumed))
+
+(* ---- crash isolation ------------------------------------------------------- *)
+
+let crash_run ~jobs ~spec =
+  let prog = prepare Workloads.Paper_examples.ac_controller in
+  let sink = Dart.Telemetry.ring ~capacity:4096 in
+  let fs =
+    match Faultsim.of_spec spec with
+    | Ok fs -> fs
+    | Error e -> Alcotest.failf "bad spec %s: %s" spec e
+  in
+  let base =
+    Dart.Driver.Options.make ~depth:1 ~stop_on_first_bug:false ~faultsim:fs
+      ~telemetry:(Dart.Telemetry.with_sink sink) ()
+  in
+  let r = Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs base) prog in
+  let crash_events =
+    List.filter_map
+      (function
+        | Dart.Telemetry.Worker_crash { worker; respawned; _ } -> Some (worker, respawned)
+        | _ -> None)
+      (Dart.Telemetry.events sink)
+  in
+  (r, crash_events)
+
+let test_crash_isolation () =
+  let r, crash_events = crash_run ~jobs:4 ~spec:"worker_crash@1" in
+  (match r.Dart.Parallel.crashes with
+   | [ c ] ->
+     Alcotest.(check int) "worker 1 crashed" 1 c.Dart.Parallel.c_worker;
+     Alcotest.(check bool) "respawned" true c.Dart.Parallel.c_respawned;
+     Alcotest.(check bool) "injected exception named" true
+       (Str_contains.contains c.Dart.Parallel.c_reason "worker_crash")
+   | l -> Alcotest.failf "expected exactly one crash record, got %d" (List.length l));
+  Alcotest.(check int) "exactly one Worker_crash event" 1 (List.length crash_events);
+  Alcotest.(check int) "all four slots reported" 4 (List.length r.Dart.Parallel.workers);
+  (* The survivors (and the respawn, re-running the dead slot's share)
+     still explore everything: the crash costs work, not results. *)
+  match r.Dart.Parallel.merged.Dart.Driver.verdict with
+  | Dart.Driver.Complete -> ()
+  | _ -> Alcotest.fail "expected Complete from the surviving workers"
+
+let test_crash_without_respawn () =
+  (* The respawn crashes too (same slot key, second occurrence): the
+     slot's budget share is lost but the merge still joins the three
+     survivors. *)
+  let r, crash_events = crash_run ~jobs:4 ~spec:"worker_crash@2:1,worker_crash@2:2" in
+  (match r.Dart.Parallel.crashes with
+   | [ c1; c2 ] ->
+     Alcotest.(check bool) "first crash respawned" true c1.Dart.Parallel.c_respawned;
+     Alcotest.(check bool) "second crash is final" false c2.Dart.Parallel.c_respawned;
+     Alcotest.(check bool) "fresh seed for the respawn" true
+       (c1.Dart.Parallel.c_seed <> c2.Dart.Parallel.c_seed)
+   | l -> Alcotest.failf "expected two crash records, got %d" (List.length l));
+  Alcotest.(check int) "two Worker_crash events" 2 (List.length crash_events);
+  Alcotest.(check int) "three survivors" 3 (List.length r.Dart.Parallel.workers);
+  match r.Dart.Parallel.merged.Dart.Driver.verdict with
+  | Dart.Driver.Complete -> ()
+  | _ -> Alcotest.fail "expected Complete from the surviving workers"
+
+let test_crash_single_worker () =
+  let r, crash_events = crash_run ~jobs:1 ~spec:"worker_crash@0" in
+  (match r.Dart.Parallel.crashes with
+   | [ c ] -> Alcotest.(check bool) "respawned" true c.Dart.Parallel.c_respawned
+   | l -> Alcotest.failf "expected one crash record, got %d" (List.length l));
+  Alcotest.(check int) "one Worker_crash event" 1 (List.length crash_events);
+  match r.Dart.Parallel.merged.Dart.Driver.verdict with
+  | Dart.Driver.Complete -> ()
+  | _ -> Alcotest.fail "expected Complete from the respawned worker"
+
+(* ---- telemetry codec for the new events ------------------------------------ *)
+
+let test_new_event_codec () =
+  List.iter
+    (fun e ->
+      match Dart.Telemetry.event_of_json (Dart.Telemetry.event_to_json e) with
+      | Ok e' -> Alcotest.(check bool) "json roundtrip" true (e = e')
+      | Error msg -> Alcotest.failf "codec failed: %s" msg)
+    [ Dart.Telemetry.Worker_crash { worker = 2; reason = "it \"died\"\nbadly"; respawned = true };
+      Dart.Telemetry.Worker_crash { worker = 0; reason = ""; respawned = false };
+      Dart.Telemetry.Checkpoint_saved { run = 512 } ]
+
+let suite =
+  [ Alcotest.test_case "faultsim: off is free" `Quick test_faultsim_off;
+    Alcotest.test_case "faultsim: one-shot nth" `Quick test_faultsim_one_shot;
+    Alcotest.test_case "faultsim: key narrowing" `Quick test_faultsim_key_narrowing;
+    Alcotest.test_case "faultsim: spec parsing" `Quick test_faultsim_spec;
+    Alcotest.test_case "time budget verdict" `Quick test_time_budget;
+    Alcotest.test_case "interrupt verdicts" `Quick test_interrupt_verdicts;
+    Alcotest.test_case "random search deadline" `Quick test_random_deadline;
+    Alcotest.test_case "step limit is not a bug" `Quick test_step_limit_is_not_a_bug;
+    Alcotest.test_case "forced Unknown is retriable" `Quick test_forced_unknown_is_retriable;
+    Alcotest.test_case "checkpoint codec roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint meta guard" `Quick test_checkpoint_meta_guard;
+    Alcotest.test_case "checkpoint file atomicity" `Quick test_checkpoint_file_atomicity;
+    Alcotest.test_case "resume reaches same state" `Quick test_resume_reaches_same_state;
+    Alcotest.test_case "resume through serialization" `Quick test_resume_through_serialization;
+    Alcotest.test_case "crash isolation at jobs=4" `Quick test_crash_isolation;
+    Alcotest.test_case "crash without respawn" `Quick test_crash_without_respawn;
+    Alcotest.test_case "crash at jobs=1" `Quick test_crash_single_worker;
+    Alcotest.test_case "new event json codec" `Quick test_new_event_codec ]

@@ -144,7 +144,9 @@ let test_char_box_reaches_solver () =
   (match r.Dart.Driver.verdict with
    | Dart.Driver.Complete -> ()
    | Dart.Driver.Bug_found _ -> Alcotest.fail "char box violated: found impossible bug"
-   | Dart.Driver.Budget_exhausted -> Alcotest.fail "char box missing: search churned");
+   | Dart.Driver.Budget_exhausted -> Alcotest.fail "char box missing: search churned"
+   | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted ->
+     Alcotest.fail "no deadline or interrupt was configured");
   (* The satisfiable edge of the box is still reachable. *)
   let r =
     Dart.Driver.test_source
