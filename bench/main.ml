@@ -759,6 +759,87 @@ let timing_benches () =
       else Printf.printf "  %-55s %10.0f ns/op\n" name t)
     rows
 
+(* ---- E15: compiled execution engine ---------------------------------------- *)
+
+(* Our extension (ROADMAP item 2): the RAM machine compiled once to
+   cached closures versus the tree-walking interpreter. Concrete runs
+   (symbolic off) isolate machine throughput — the execute phase the
+   directed search repeats thousands of times; the identity rows check
+   that the end-to-end report does not change by a byte when the
+   engine switches. *)
+let experiment_exec_throughput () =
+  header "E15: compiled execution engine (interpreter vs compiled closures)";
+  (* One exec = machine load + concrete run — the unit the search's
+     execute phase repeats thousands of times. The two engines run in
+     interleaved batches (best of several rounds each) so CPU frequency
+     drift hits both equally, and every batch re-seeds the same PRNG so
+     both see identical external-input streams. *)
+  let speed ~id ~desc ~depth ~toplevel src =
+    let prog = Dart.Driver.prepare ~toplevel ~depth (Minic.Parser.parse_program src) in
+    Machine.precompile prog;
+    let entry = Dart.Driver_gen.wrapper_name in
+    let iters = if !quick then 300 else 2_000 in
+    let batch compile =
+      let rng = Dart_util.Prng.create 42 in
+      let listener =
+        { Machine.null_listener with
+          Machine.on_external =
+            (fun m _ ~dst ->
+              match dst with
+              | Some d -> Machine.write_word m d (Dart_util.Prng.int_range rng (-100) 100)
+              | None -> ()) }
+      in
+      let (), secs =
+        time_it (fun () ->
+            for _ = 1 to iters do
+              let m = Machine.load ~compile prog in
+              ignore (Machine.run ~listener m ~entry)
+            done)
+      in
+      secs
+    in
+    (* Warm both paths (one-time compile, allocator state) off the clock. *)
+    ignore (batch true);
+    ignore (batch false);
+    let bc = ref infinity and bi = ref infinity in
+    for _ = 1 to 5 do
+      bc := min !bc (batch true);
+      bi := min !bi (batch false)
+    done;
+    let compiled = float_of_int iters /. !bc in
+    let interp = float_of_int iters /. !bi in
+    row ~id ~desc ~paper:"n/a (our extension; target >= 5x)"
+      ~measured:
+        (Printf.sprintf "interp %.0f execs/sec, compiled %.0f execs/sec, %.1fx" interp
+           compiled (compiled /. interp))
+  in
+  let ac_src, ac_top = Workloads.Paper_examples.ac_controller in
+  speed ~id:"e15-ns-depth4" ~desc:"NS protocol depth 4, concrete execs/sec" ~depth:4
+    ~toplevel:Workloads.Needham_schroeder.possibilistic_toplevel
+    (Workloads.Needham_schroeder.possibilistic ~fix:`None);
+  speed ~id:"e15-ac-depth4" ~desc:"AC controller depth 4, concrete execs/sec" ~depth:4
+    ~toplevel:ac_top ac_src;
+  speed ~id:"e15-osip-depth4" ~desc:"oSIP message parse depth 4, concrete execs/sec" ~depth:4
+    ~toplevel:Workloads.Osip_sim.parser_toplevel Workloads.Osip_sim.parser_vulnerable;
+  let identity ~id ~desc ~depth ~max_runs ~toplevel src =
+    let report compile =
+      let exec = { Dart.Concolic.default_exec_options with compile } in
+      let options = Dart.Driver.Options.make ~depth ~max_runs ~exec () in
+      Dart.Driver.report_to_string (Dart.Driver.test_source ~options ~toplevel src)
+    in
+    row ~id ~desc ~paper:"byte-identical required"
+      ~measured:(if report true = report false then "identical" else "MISMATCH")
+  in
+  identity ~id:"e15-id-ac" ~desc:"report identity: AC controller" ~depth:2 ~max_runs:2_000
+    ~toplevel:ac_top ac_src;
+  identity ~id:"e15-id-ns" ~desc:"report identity: NS protocol" ~depth:2 ~max_runs:2_000
+    ~toplevel:Workloads.Needham_schroeder.possibilistic_toplevel
+    (Workloads.Needham_schroeder.possibilistic ~fix:`None);
+  identity ~id:"e15-id-osip" ~desc:"report identity: oSIP parser" ~depth:1 ~max_runs:2_000
+    ~toplevel:Workloads.Osip_sim.parser_toplevel Workloads.Osip_sim.parser_vulnerable;
+  identity ~id:"e15-id-sip" ~desc:"report identity: SIP parser" ~depth:1 ~max_runs:2_000
+    ~toplevel:Workloads.Sip_parser.toplevel Workloads.Sip_parser.vulnerable
+
 (* ---- main ----------------------------------------------------------------------- *)
 
 let experiments =
@@ -772,6 +853,7 @@ let experiments =
     ("e12", experiment_jobs_scaling);
     ("e13", experiment_accel_ablation);
     ("e14", experiment_coverage_trajectory);
+    ("e15", experiment_exec_throughput);
     ("a1", experiment_strategy_ablation);
     ("a2", experiment_solver_ablation);
     ("a3", experiment_packet_construction);

@@ -89,6 +89,14 @@ let no_slicing_arg =
           "Ablation: disable independence slicing (send the whole constraint prefix to the \
            solver instead of the flipped branch's dependency closure).")
 
+let no_compile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-compile" ]
+        ~doc:
+          "Ablation: execute RAM code on the tree-walking interpreter instead of the \
+           compiled closure engine. Reports are byte-identical; only throughput changes.")
+
 let random_mode_arg =
   Arg.(
     value & flag
@@ -272,7 +280,7 @@ let install_signal_handlers () =
   try Sys.set_signal Sys.sigterm handle with Invalid_argument _ | Sys_error _ -> ()
 
 let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
-    jobs portfolio no_cache no_slicing time_budget solver_timeout checkpoint
+    jobs portfolio no_cache no_slicing no_compile time_budget solver_timeout checkpoint
     checkpoint_every resume faultsim faultsim_seed trace metrics_flag show_interface
     show_driver dump_ram coverage =
   try
@@ -320,7 +328,9 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
             in
             if random_mode then begin
               let exec =
-                { Dart.Concolic.default_exec_options with symbolic_pointers = symbolic_ptrs }
+                { Dart.Concolic.default_exec_options with
+                  symbolic_pointers = symbolic_ptrs;
+                  compile = not no_compile }
               in
               let deadline =
                 Option.map
@@ -353,7 +363,8 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
                   ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout)
                   ~exec:
                     { Dart.Concolic.default_exec_options with
-                      symbolic_pointers = symbolic_ptrs }
+                      symbolic_pointers = symbolic_ptrs;
+                      compile = not no_compile }
                   ~telemetry:(Dart.Telemetry.with_sink sink) ~faultsim:fs ()
               in
               let meta = Dart.Checkpoint.meta_of_options options in
@@ -643,7 +654,8 @@ let run_term =
   Term.(
     const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
     $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg $ jobs_arg
-    $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ time_budget_arg $ solver_timeout_arg
+    $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ no_compile_arg $ time_budget_arg
+    $ solver_timeout_arg
     $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ faultsim_arg
     $ faultsim_seed_arg $ trace_arg $ metrics_arg $ show_interface_arg $ show_driver_arg
     $ dump_ram_arg $ coverage_arg)

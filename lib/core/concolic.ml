@@ -30,6 +30,7 @@ type exec_options = {
   symbolic_pointers : bool;
   max_ptr_depth : int;
   symbolic : bool;
+  compile : bool;
 }
 
 let default_exec_options =
@@ -37,7 +38,8 @@ let default_exec_options =
     library = [];
     symbolic_pointers = false;
     max_ptr_depth = 16;
-    symbolic = true }
+    symbolic = true;
+    compile = true }
 
 exception Prediction_failure_exn
 
@@ -258,7 +260,9 @@ and rand_init_pointer ctx m ~addr ~pointee ~depth =
 (* ---- the instrumented run (Figure 3) ---------------------------------------- *)
 
 let run_once ~opts ~rng ~im ~prev_stack ~entry (prog : Ram.Instr.program) : run_data =
-  let m = Machine.load ~config:opts.machine_config ~library:opts.library prog in
+  let m =
+    Machine.load ~config:opts.machine_config ~library:opts.library ~compile:opts.compile prog
+  in
   let ctx =
     { opts;
       rng;

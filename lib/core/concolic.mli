@@ -48,6 +48,9 @@ type exec_options = {
          directable branch instead of pure randomness *)
   max_ptr_depth : int; (* cap on recursive data-structure depth *)
   symbolic : bool; (* false = plain random testing execution *)
+  compile : bool;
+      (* true (default) = run the machine's compiled closure engine;
+         false = tree-walking interpreter (ablation, [--no-compile]) *)
 }
 
 val default_exec_options : exec_options

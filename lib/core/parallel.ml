@@ -158,6 +158,10 @@ let empty_report () =
 let run ?(options = options O.default) (prog : Ram.Instr.program) : report =
   let t = options in
   let n = effective_jobs t.jobs in
+  (* Compile once before spawning: workers on other domains then find
+     the shared read-only compiled program in the cache instead of
+     racing to build their own. *)
+  if t.base.O.exec.Concolic.compile then Machine.precompile prog;
   (* Seeds [0, n): primary workers; seeds [n, 2n): the respawn stream,
      so a supervisor restart is as deterministic as the first spawn. *)
   let seeds = worker_seeds ~base_seed:t.base.O.search.O.seed (2 * n) in

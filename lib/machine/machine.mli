@@ -79,12 +79,30 @@ type library_impl = t -> int list -> int
 val load :
   ?config:config ->
   ?library:(string * library_impl) list ->
+  ?compile:bool ->
   Ram.Instr.program ->
   t
 (** Build a fresh machine: globals initialized (externs left
     undefined), strings interned. [library] supplies host
     implementations for {!Minic.Tast.Clibrary} calls; a library call
-    with no implementation raises [Invalid_argument]. *)
+    with no implementation raises [Invalid_argument].
+
+    [compile] (default [true]) selects the compiled execution engine:
+    the program is translated once into OCaml closures (constants
+    folded, global and string addresses resolved, straight-line runs
+    fused) and cached per [Instr.program] value, shared read-only
+    across machines and domains. Observable behaviour — outcomes, step
+    counts, branch order, listener callbacks — is identical to the
+    tree-walking interpreter selected by [~compile:false]. *)
+
+val precompile : Ram.Instr.program -> unit
+(** Populate the shared compile cache for [prog] ahead of time, so
+    e.g. parallel workers spawned afterwards all reuse one compiled
+    form instead of racing to build it. Loading a machine with
+    [compile:true] does this implicitly. *)
+
+val is_compiled : t -> bool
+(** Whether this machine runs the compiled engine. *)
 
 val program : t -> Ram.Instr.program
 
@@ -114,6 +132,11 @@ val alloc_heap : t -> int -> int
 
 val malloc_block_size : t -> int -> int option
 (** Size of the live malloc/heap block starting at the given address. *)
+
+val memory_snapshot : t -> (int * int option) list
+(** All mapped cells as a sorted [(address, value)] list, [None] for
+    allocated-but-undefined cells; lets differential tests compare the
+    final memory of two runs cell by cell. *)
 
 val eval_concrete : t -> base:int -> Ram.Instr.rexpr -> int
 (** Evaluate an expression concretely (paper's [evaluate_concrete]).

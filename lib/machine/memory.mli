@@ -11,13 +11,43 @@ type read_error =
   | Unmapped
   | Undefined
 
+exception Unmapped_exn
+exception Undefined_exn
+exception Null_exn
+
+(* Address-space bases shared with [Machine.layout]; the flat
+   representation decodes addresses against them. *)
+val globals_base : int
+val heap_base : int
+val stack_base : int
+
 val create : unit -> t
+(** Hashtbl-backed store: any address, no layout assumptions. The
+    interpreter's representation. *)
+
+val create_flat : unit -> t
+(** Region-decoded store backed by flat growable arrays over the
+    [globals/heap/stack] bases — the compiled engine's representation.
+    Semantics (mapped/undefined/defined, faults, snapshots) are
+    identical to {!create}; only the cost model differs. *)
+
+val clone : t -> t
+(** Deep copy. For a flat store this is a handful of array copies, so a
+    pre-seeded initial image can be stamped out per load. *)
 
 val alloc : t -> addr:int -> size:int -> unit
 (** Mark [size] cells starting at [addr] as allocated and undefined. *)
 
 val dealloc : t -> addr:int -> size:int -> unit
 (** Unmap cells, so later access faults (dangling pointers). *)
+
+val alloc_stack : t -> addr:int -> size:int -> unit
+(** As {!alloc}, specialized for frame ranges at [>= stack_base]; the
+    machine's per-call path. Falls back to {!alloc} when the range is
+    not entirely in the stack region's window. *)
+
+val dealloc_stack : t -> addr:int -> size:int -> unit
+(** As {!dealloc}, the inverse of {!alloc_stack}. *)
 
 val is_mapped : t -> int -> bool
 
@@ -30,6 +60,53 @@ val write : t -> int -> int -> (unit, read_error) result
 val write_init : t -> int -> int -> unit
 (** Allocate-and-write in one step (used for loading globals, strings,
     and machine-internal cells). *)
+
+val read_exn : t -> int -> int
+(** As {!read}, but raising [Unmapped_exn]/[Undefined_exn] instead of
+    allocating a [result] — the compiled engine's hot path. Addresses in
+    the null page [0, globals_base) raise [Null_exn] before any lookup,
+    mirroring the interpreter's checked accessors, so callers need no
+    null test of their own. *)
+
+val write_exn : t -> int -> int -> unit
+(** As {!write}, but raising [Unmapped_exn] (or [Null_exn]) on
+    failure. *)
+
+(** Region-specialized variants of the raising accessors, for callers
+    that know the address's region at compile time: [..._local_...]
+    for frame slots ([>= stack_base]), [..._static_...] for globals and
+    strings ([globals_base, heap_base)). Behaviour is identical to
+    {!read_exn}/{!write_exn}; only the decode work differs. *)
+
+val read_local_exn : t -> int -> int
+
+val write_local_exn : t -> int -> int -> unit
+
+type region
+(** Handle on a store's stack region. Region records are stable for the
+    store's lifetime (growth swaps their backing array, never the
+    record), so a handle obtained once at machine-load time stays
+    valid. *)
+
+val stack_region : t -> region
+(** The store's stack region; for a Hashtbl store, an empty region
+    whose accesses all fall back to the generic (and correct)
+    accessors. *)
+
+val stack_read_exn : t -> region -> int -> int
+(** [stack_read_exn t r a] = [read_local_exn t a] with [r] =
+    [stack_region t]: same semantics, one less pointer chase on the hit
+    path. *)
+
+val stack_write_exn : t -> region -> int -> int -> unit
+
+val read_static_exn : t -> int -> int
+
+val write_static_exn : t -> int -> int -> unit
+
+val to_alist : t -> (int * int option) list
+(** All mapped cells, sorted by address; [None] marks
+    allocated-but-undefined cells. *)
 
 val defined_count : t -> int
 (** Number of cells currently holding a defined value (statistics). *)

@@ -1,0 +1,55 @@
+(* Differential harness: execute a program under both the tree-walking
+   interpreter and the compiled closure engine and require identical
+   observable behaviour — outcome, step count, branch trace, and the
+   full final memory. [Test_machine] routes every program it runs
+   through here, so each machine-semantics fixture doubles as a
+   compiler-correctness fixture. *)
+
+type observation = {
+  outcome : string;
+  steps : int;
+  branch_count : int;
+  branches : (string * int * bool) list; (* chronological (fn, pc, taken) *)
+  memory : (int * int option) list;
+}
+
+let outcome_to_string = function
+  | Machine.Halted -> "halted"
+  | Machine.Faulted (f, s) ->
+    Printf.sprintf "fault %s at %s:%d" (Machine.fault_to_string f) s.Machine.site_fn
+      s.Machine.site_pc
+
+let observe ~compile ?config ?library ?args prog ~entry =
+  let m = Machine.load ?config ?library ~compile prog in
+  let branches = ref [] in
+  let listener =
+    { Machine.null_listener with
+      Machine.on_branch =
+        (fun _ ~cond:_ ~base:_ ~taken ~site ->
+          branches := (site.Machine.site_fn, site.Machine.site_pc, taken) :: !branches) }
+  in
+  let outcome = Machine.run ?args ~listener m ~entry in
+  ( { outcome = outcome_to_string outcome;
+      steps = Machine.steps m;
+      branch_count = Machine.branch_count m;
+      branches = List.rev !branches;
+      memory = Machine.memory_snapshot m },
+    outcome,
+    m )
+
+let check_equal (interp : observation) (compiled : observation) =
+  Alcotest.(check string) "outcome (interp vs compiled)" interp.outcome compiled.outcome;
+  Alcotest.(check int) "step count" interp.steps compiled.steps;
+  Alcotest.(check int) "branch count" interp.branch_count compiled.branch_count;
+  Alcotest.(check (list (triple string int bool))) "branch trace" interp.branches
+    compiled.branches;
+  Alcotest.(check bool) "final memory" true (interp.memory = compiled.memory)
+
+(* Run under both engines, check them against each other, and return
+   the compiled run's outcome and machine (so callers can inspect
+   memory exactly as they would after a plain [Machine.run]). *)
+let run ?config ?library ?args prog ~entry =
+  let interp, _, _ = observe ~compile:false ?config ?library ?args prog ~entry in
+  let compiled, outcome, m = observe ~compile:true ?config ?library ?args prog ~entry in
+  check_equal interp compiled;
+  (outcome, m)

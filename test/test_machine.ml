@@ -1,23 +1,23 @@
 (* Concrete execution: semantics of the RAM machine, every fault kind,
-   the alloca failure model, and recursion. *)
+   the alloca failure model, and recursion. Every program goes through
+   [Diff_engines.run], which executes it under both the interpreter and
+   the compiled engine and asserts identical observable behaviour. *)
 
 let run ?config ?(args = []) src ~entry =
   let prog = Ram.Lower.lower_source src in
-  let m = Machine.load ?config prog in
-  (Machine.run ~args m ~entry, m)
+  Diff_engines.run ?config ~args prog ~entry
 
 (* Run [entry] with [args] and return the value left in a global named
    "result". *)
 let run_result ?config ?(args = []) src ~entry =
   let src = "int result = 0;\n" ^ src in
   let prog = Ram.Lower.lower_source src in
-  let m = Machine.load ?config prog in
-  match Machine.run ~args m ~entry with
-  | Machine.Halted ->
+  match Diff_engines.run ?config ~args prog ~entry with
+  | Machine.Halted, m ->
     (match Machine.read_word m (Machine.global_addr m "result") with
      | Ok v -> v
      | Error _ -> Alcotest.fail "result unreadable")
-  | Machine.Faulted (f, site) ->
+  | Machine.Faulted (f, site), _ ->
     Alcotest.failf "unexpected fault: %s at %s" (Machine.fault_to_string f)
       site.Machine.site_fn
 
@@ -317,12 +317,9 @@ let test_library_call () =
   in
   let tp = Minic.Typecheck.check ~library:[ lib_sig ] ast in
   let prog = Ram.Lower.lower_program tp in
-  let m =
-    Machine.load
-      ~library:[ ("lib_inc", fun _ args -> match args with [ x ] -> x + 1 | _ -> 0) ]
-      prog
-  in
-  (match Machine.run ~args:[ 41 ] m ~entry:"f" with
+  let library = [ ("lib_inc", fun _ args -> match args with [ x ] -> x + 1 | _ -> 0) ] in
+  let outcome, m = Diff_engines.run ~library ~args:[ 41 ] prog ~entry:"f" in
+  (match outcome with
    | Machine.Halted -> ()
    | Machine.Faulted _ -> Alcotest.fail "library call faulted");
   (match Machine.read_word m (Machine.global_addr m "result") with

@@ -67,6 +67,19 @@ let test_word32_bits () =
   Alcotest.(check int) "shr arithmetic" (-1) (Word32.shift_right (-2) 1);
   Alcotest.(check int) "shift masked" 2 (Word32.shift_left 1 33)
 
+(* Shift counts are masked to their low five bits ([k land 31], as on
+   x86): the machine's expression compiler folds constant shifts, so
+   these lock the masking semantics it must reproduce. *)
+let test_word32_shift_edges () =
+  Alcotest.(check int) "shl by 32 is shl by 0" 5 (Word32.shift_left 5 32);
+  Alcotest.(check int) "shl by 33 is shl by 1" 10 (Word32.shift_left 5 33);
+  Alcotest.(check int) "shl by 63 is shl by 31" Word32.min_value (Word32.shift_left 1 63);
+  Alcotest.(check int) "shl by -1 is shl by 31" Word32.min_value (Word32.shift_left 1 (-1));
+  Alcotest.(check int) "shr by 32 is shr by 0" (-7) (Word32.shift_right (-7) 32);
+  Alcotest.(check int) "shr by 36 is shr by 4" 1 (Word32.shift_right 16 36);
+  Alcotest.(check int) "shr by -28 is shr by 4" (-1) (Word32.shift_right (-16) (-28));
+  Alcotest.(check int) "shr keeps sign at 31" (-1) (Word32.shift_right Word32.min_value 31)
+
 let test_word32_zint () =
   let open Zarith_lite in
   Alcotest.(check int) "roundtrip" 12345 (Word32.of_zint_trunc (Word32.to_zint 12345));
@@ -99,5 +112,6 @@ let suite =
     Alcotest.test_case "word32 wraparound" `Quick test_word32_wrap;
     Alcotest.test_case "word32 division" `Quick test_word32_div;
     Alcotest.test_case "word32 bit ops" `Quick test_word32_bits;
+    Alcotest.test_case "word32 shift edge cases" `Quick test_word32_shift_edges;
     Alcotest.test_case "word32 zint bridge" `Quick test_word32_zint ]
   @ properties
