@@ -467,6 +467,7 @@ let experiment_jobs_scaling () =
   let base = Dart.Driver.Options.make ~max_runs:budget () in
   let t1 = ref 1.0 in
   let bugs_at_1 = ref [] in
+  let speedups = ref [] in
   List.iter
     (fun jobs ->
       let r, s =
@@ -477,6 +478,7 @@ let experiment_jobs_scaling () =
         t1 := s;
         bugs_at_1 := List.map Dart.Driver.bug_key m.Dart.Driver.bugs
       end;
+      speedups := (jobs, !t1 /. s) :: !speedups;
       let same_bugs = List.map Dart.Driver.bug_key m.Dart.Driver.bugs = !bugs_at_1 in
       row
         ~id:(Printf.sprintf "jobs-%d" jobs)
@@ -485,9 +487,19 @@ let experiment_jobs_scaling () =
              m.Dart.Driver.runs jobs)
         ~paper:"n/a (our extension)"
         ~measured:
-          (Printf.sprintf "%.2fs (%.2fx vs jobs=1), bug set identical: %b" s (!t1 /. s)
-             same_bugs))
-    [ 1; 2; 4 ]
+          (Printf.sprintf
+             "%.2fs (%.2fx vs jobs=1), bug set identical: %b, global hits %d (%d from \
+              peers)"
+             s (!t1 /. s) same_bugs
+             (Solver.cache_hits m.Dart.Driver.solver_stats)
+             (Solver.shared_hits m.Dart.Driver.solver_stats)))
+    [ 1; 2; 4 ];
+  let speedup j = try List.assoc j !speedups with Not_found -> 0.0 in
+  row ~id:"jobs-scaling" ~desc:"speedup monotonicity across worker counts"
+    ~paper:"n/a (target: jobs=4 >= jobs=2)"
+    ~measured:
+      (Printf.sprintf "jobs=2 %.2fx, jobs=4 %.2fx, monotone: %b" (speedup 2) (speedup 4)
+         (speedup 4 >= speedup 2))
 
 (* ---- E13: constraint slicing + solve cache ------------------------------------- *)
 
@@ -538,6 +550,8 @@ let experiment_accel_ablation () =
       ~measured:
         (String.concat ", "
            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (Solver.to_assoc sa)
+            @ [ Printf.sprintf "incremental_hits=%d" (Solver.incremental_hits sa);
+                Printf.sprintf "pops_saved=%d" (Solver.pops_saved sa) ]
             @ List.map
                 (fun (k, v) -> Printf.sprintf "%s=%.3f" k v)
                 (Dart.Telemetry.metrics_to_assoc accel.Dart.Driver.metrics)))
@@ -554,6 +568,51 @@ let experiment_accel_ablation () =
       ~max_runs:50_000 ~toplevel:Workloads.Needham_schroeder.possibilistic_toplevel ns_src
   end
   else print_endline "(NS depth 3 skipped in --quick mode)"
+
+(* ---- E16: shared cross-worker solve store -------------------------------------- *)
+
+(* Jobs scaling with globally counted cache hits: the shared store lets
+   any worker answer any worker's query, so the merged hit counter is a
+   fleet-wide number instead of a sum of private hoards, and the pooled
+   run budget keeps every worker busy until the whole pool drains. The
+   ablation (--no-shared-cache) must agree on verdict and bug set at
+   every job count — the store is an acceleration, not a search change. *)
+let experiment_shared_store () =
+  header "E16: shared cross-worker solve store (pooled budget, global hit accounting)";
+  let ac_src, ac_top = Workloads.Paper_examples.ac_controller in
+  let prog =
+    Dart.Driver.prepare ~toplevel:ac_top ~depth:3 (Minic.Parser.parse_program ac_src)
+  in
+  let budget = if !quick then 400 else 2_000 in
+  let run ~jobs ~use_shared_cache =
+    let base =
+      Dart.Driver.Options.make ~depth:3 ~max_runs:budget ~stop_on_first_bug:false
+        ~use_shared_cache ()
+    in
+    time_it (fun () -> Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs base) prog)
+  in
+  let bug_keys (r : Dart.Parallel.report) =
+    List.sort_uniq compare
+      (List.map Dart.Driver.bug_key r.Dart.Parallel.merged.Dart.Driver.bugs)
+  in
+  List.iter
+    (fun jobs ->
+      let on, t_on = run ~jobs ~use_shared_cache:true in
+      let off, t_off = run ~jobs ~use_shared_cache:false in
+      let s_on = on.Dart.Parallel.merged.Dart.Driver.solver_stats in
+      let s_off = off.Dart.Parallel.merged.Dart.Driver.solver_stats in
+      row
+        ~id:(Printf.sprintf "e16-jobs-%d" jobs)
+        ~desc:(Printf.sprintf "AC controller depth 3, %d pooled runs, %d workers" budget jobs)
+        ~paper:"n/a (our extension; exactness required)"
+        ~measured:
+          (Printf.sprintf
+             "shared: %d queries, %d hits (%d from peers), %.2fs; private: %d queries, %d \
+              hits, %.2fs; same bugs: %b"
+             (Solver.queries s_on) (Solver.cache_hits s_on) (Solver.shared_hits s_on) t_on
+             (Solver.queries s_off) (Solver.cache_hits s_off) t_off
+             (bug_keys on = bug_keys off)))
+    [ 1; 2; 4 ]
 
 (* ---- E14: coverage over time (directed vs random) ------------------------------ *)
 
@@ -854,6 +913,7 @@ let experiments =
     ("e13", experiment_accel_ablation);
     ("e14", experiment_coverage_trajectory);
     ("e15", experiment_exec_throughput);
+    ("e16", experiment_shared_store);
     ("a1", experiment_strategy_ablation);
     ("a2", experiment_solver_ablation);
     ("a3", experiment_packet_construction);

@@ -79,7 +79,25 @@ let no_cache_arg =
   Arg.(
     value & flag
     & info [ "no-cache" ]
-        ~doc:"Ablation: disable the per-worker solve cache (every query hits the solver).")
+        ~doc:"Ablation: disable the solve cache (every query hits the solver; \
+              also disables the shared cross-worker store, which reuses its entries).")
+
+let no_incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Ablation: disable push/pop incremental solving (every query rebuilds the solver \
+           pipeline from scratch). Results are identical; only solve time changes.")
+
+let no_shared_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-shared-cache" ]
+        ~doc:
+          "Ablation: with --jobs > 1, give every worker a private solve cache and a fixed \
+           budget shard instead of the shared cross-worker store and pooled budget. No \
+           effect at --jobs 1.")
 
 let no_slicing_arg =
   Arg.(
@@ -215,7 +233,8 @@ let usage_error msg =
    whose predicate fires wins, its message goes out with exit 2. Add
    new conflicts here, not as ad-hoc if/else chains in the driver. *)
 let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
-    ~time_budget ~solver_timeout ~checkpoint ~checkpoint_every ~resume ~faultsim =
+    ~no_incremental ~no_shared_cache ~time_budget ~solver_timeout ~checkpoint
+    ~checkpoint_every ~resume ~faultsim =
   let table =
     [ (jobs < 0, "--jobs must be >= 0");
       ( portfolio && strategy <> None,
@@ -232,6 +251,8 @@ let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_sli
       (random_mode && jobs <> 1, "--jobs is not supported with --random-testing");
       ( random_mode && (no_cache || no_slicing),
         "--no-cache/--no-slicing have no effect with --random-testing" );
+      ( random_mode && (no_incremental || no_shared_cache),
+        "--no-incremental/--no-shared-cache have no effect with --random-testing" );
       ( (match time_budget with Some s -> s <= 0.0 | None -> false),
         "--time-budget must be positive" );
       ( (match solver_timeout with Some ms -> ms <= 0.0 | None -> false),
@@ -280,9 +301,9 @@ let install_signal_handlers () =
   try Sys.set_signal Sys.sigterm handle with Invalid_argument _ | Sys_error _ -> ()
 
 let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
-    jobs portfolio no_cache no_slicing no_compile time_budget solver_timeout checkpoint
-    checkpoint_every resume faultsim faultsim_seed trace metrics_flag show_interface
-    show_driver dump_ram coverage =
+    jobs portfolio no_cache no_slicing no_incremental no_shared_cache no_compile
+    time_budget solver_timeout checkpoint checkpoint_every resume faultsim faultsim_seed
+    trace metrics_flag show_interface show_driver dump_ram coverage =
   try
     let src = read_file file in
     let ast = Minic.Parser.parse_program ~file src in
@@ -298,7 +319,8 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
     else begin
       match
         validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
-          ~time_budget ~solver_timeout ~checkpoint ~checkpoint_every ~resume ~faultsim
+          ~no_incremental ~no_shared_cache ~time_budget ~solver_timeout ~checkpoint
+          ~checkpoint_every ~resume ~faultsim
       with
       | Some msg -> usage_error msg
       | None ->
@@ -358,7 +380,8 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
                 Dart.Driver.Options.make ~seed ~depth ~max_runs
                   ~strategy:(Option.value ~default:Dart.Strategy.Dfs strategy)
                   ~stop_on_first_bug:(not all_bugs) ~use_cache:(not no_cache)
-                  ~use_slicing:(not no_slicing)
+                  ~use_slicing:(not no_slicing) ~use_incremental:(not no_incremental)
+                  ~use_shared_cache:(not no_shared_cache)
                   ?time_budget_ns:(Option.map ns_of_seconds time_budget)
                   ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout)
                   ~exec:
@@ -394,7 +417,8 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
                      cover the full pipeline. *)
                   let ctx =
                     Dart.Driver.make_ctx ~metrics:prep
-                      ?deadline:(Dart.Driver.deadline_of_options options) ~seed ~max_runs ()
+                      ?deadline:(Dart.Driver.deadline_of_options options)
+                      ~incremental:(not no_incremental) ~seed ~max_runs ()
                   in
                   ( Dart.Driver.search ?resume:resume_snapshot ?on_checkpoint
                       ?checkpoint_every ~ctx ~options prog,
@@ -426,6 +450,16 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
                | Some r -> print_endline (Dart.Parallel.report_to_string r)
                | None -> print_endline (Dart.Driver.report_to_string report));
               print_metrics report.Dart.Driver.metrics;
+              (* Incremental/shared-store counters ride with --metrics:
+                 the plain report stays byte-identical across the
+                 --no-incremental/--no-shared-cache ablations. *)
+              if metrics_flag then begin
+                let st = report.Dart.Driver.solver_stats in
+                Printf.printf
+                  "incremental: %d prepared-state hits, %d pops saved, %d shared-store hits\n"
+                  (Solver.incremental_hits st) (Solver.pops_saved st)
+                  (Solver.shared_hits st)
+              end;
               if coverage then print_coverage prog report.Dart.Driver.coverage_sites;
               List.iter
                 (fun (b : Dart.Driver.bug) ->
@@ -654,8 +688,8 @@ let run_term =
   Term.(
     const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
     $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg $ jobs_arg
-    $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ no_compile_arg $ time_budget_arg
-    $ solver_timeout_arg
+    $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ no_incremental_arg
+    $ no_shared_cache_arg $ no_compile_arg $ time_budget_arg $ solver_timeout_arg
     $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ faultsim_arg
     $ faultsim_seed_arg $ trace_arg $ metrics_arg $ show_interface_arg $ show_driver_arg
     $ dump_ram_arg $ coverage_arg)

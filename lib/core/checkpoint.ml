@@ -5,13 +5,15 @@
    and diffs meaningfully in CI artifacts. *)
 
 let magic = "dart-checkpoint"
-let version = 1
+let version = 2
 
 type meta = {
   m_seed : int;
   m_depth : int;
   m_max_runs : int;
   m_strategy : Strategy.t;
+  m_incremental : bool;
+  m_shared_cache : bool;
 }
 
 module O = Driver.Options
@@ -20,10 +22,13 @@ let meta_of_options (options : Driver.options) =
   { m_seed = options.O.search.O.seed;
     m_depth = options.O.search.O.depth;
     m_max_runs = options.O.budget.O.max_runs;
-    m_strategy = options.O.search.O.strategy }
+    m_strategy = options.O.search.O.strategy;
+    m_incremental = options.O.accel.O.use_incremental;
+    m_shared_cache = options.O.accel.O.use_shared_cache }
 
 let check_meta ~expected ~found =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let onoff b = if b then "on" else "off" in
   if found.m_seed <> expected.m_seed then
     fail "checkpoint was taken with --seed %d, not %d" found.m_seed expected.m_seed
   else if found.m_depth <> expected.m_depth then
@@ -32,6 +37,14 @@ let check_meta ~expected ~found =
     fail "checkpoint was taken with --strategy %s, not %s"
       (Strategy.to_string found.m_strategy)
       (Strategy.to_string expected.m_strategy)
+  else if found.m_incremental <> expected.m_incremental then
+    fail "checkpoint was taken with incremental solving %s, not %s"
+      (onoff found.m_incremental)
+      (onoff expected.m_incremental)
+  else if found.m_shared_cache <> expected.m_shared_cache then
+    fail "checkpoint was taken with the shared solve store %s, not %s"
+      (onoff found.m_shared_cache)
+      (onoff expected.m_shared_cache)
   else Ok ()
 
 (* Strings (function names, file paths) are %-escaped so every record
@@ -72,9 +85,11 @@ let to_string (meta : meta) (s : Driver.snapshot) =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   line "%s v%d" magic version;
-  line "meta seed=%d depth=%d max_runs=%d strategy=%s" meta.m_seed meta.m_depth
-    meta.m_max_runs
-    (Strategy.to_string meta.m_strategy);
+  line "meta seed=%d depth=%d max_runs=%d strategy=%s incremental=%s shared_cache=%s"
+    meta.m_seed meta.m_depth meta.m_max_runs
+    (Strategy.to_string meta.m_strategy)
+    (bool_tag meta.m_incremental)
+    (bool_tag meta.m_shared_cache);
   line "pending_restart %s" (bool_tag s.Driver.sn_pending_restart);
   line "rng %Ld" s.Driver.sn_rng;
   line "counters runs=%d restarts=%d total_steps=%d paths=%d resource_limited=%d"
@@ -162,7 +177,7 @@ let of_string text =
      | _ -> raise (Bad "not a dart checkpoint file"));
     let meta =
       match tokens (next "meta") with
-      | [ "meta"; seed; depth; max_runs; strategy ] ->
+      | [ "meta"; seed; depth; max_runs; strategy; incremental; shared_cache ] ->
         let strategy_name = kv "meta" "strategy" strategy in
         let m_strategy =
           match Strategy.of_string strategy_name with
@@ -172,7 +187,9 @@ let of_string text =
         { m_seed = int_tok "meta" (kv "meta" "seed" seed);
           m_depth = int_tok "meta" (kv "meta" "depth" depth);
           m_max_runs = int_tok "meta" (kv "meta" "max_runs" max_runs);
-          m_strategy }
+          m_strategy;
+          m_incremental = bool_tok "meta" (kv "meta" "incremental" incremental);
+          m_shared_cache = bool_tok "meta" (kv "meta" "shared_cache" shared_cache) }
       | _ -> raise (Bad "expected \"meta\" record")
     in
     let sn_pending_restart =

@@ -15,6 +15,8 @@ module Options = struct
   type accel = {
     use_slicing : bool;
     use_cache : bool;
+    use_incremental : bool;
+    use_shared_cache : bool;
   }
 
   type t = {
@@ -33,7 +35,11 @@ module Options = struct
           time_budget_ns = None;
           solver_deadline_ns = None };
       search = { seed = 42; depth = 1; strategy = Strategy.Dfs };
-      accel = { use_slicing = true; use_cache = true };
+      accel =
+        { use_slicing = true;
+          use_cache = true;
+          use_incremental = true;
+          use_shared_cache = true };
       exec = Concolic.default_exec_options;
       telemetry = Telemetry.default_config;
       fault = Dart_util.Faultsim.off }
@@ -42,11 +48,13 @@ module Options = struct
       ?(max_runs = default.budget.max_runs) ?(strategy = default.search.strategy)
       ?(stop_on_first_bug = default.budget.stop_on_first_bug) ?time_budget_ns
       ?solver_deadline_ns ?(use_slicing = default.accel.use_slicing)
-      ?(use_cache = default.accel.use_cache) ?(exec = default.exec)
+      ?(use_cache = default.accel.use_cache)
+      ?(use_incremental = default.accel.use_incremental)
+      ?(use_shared_cache = default.accel.use_shared_cache) ?(exec = default.exec)
       ?(telemetry = default.telemetry) ?(faultsim = Dart_util.Faultsim.off) () =
     { budget = { max_runs; stop_on_first_bug; time_budget_ns; solver_deadline_ns };
       search = { seed; depth; strategy };
-      accel = { use_slicing; use_cache };
+      accel = { use_slicing; use_cache; use_incremental; use_shared_cache };
       exec;
       telemetry;
       fault = faultsim }
@@ -103,25 +111,54 @@ type snapshot = {
   sn_bugs : bug list;
 }
 
+(* A worker's claim on the run budget: either a fixed private share
+   (the classic budget sharding, and the only shape a solo search
+   uses) or a reservation against a pool shared by every worker of a
+   parallel search. Pooled workers claim runs one at a time with a CAS
+   decrement, so a worker that drains its subtree early leaves the
+   rest of the budget to its peers instead of stranding its shard. *)
+type run_budget =
+  | Fixed_budget of int
+  | Pooled_budget of pooled_budget
+
+and pooled_budget = { pb_pool : int Atomic.t; mutable pb_claimed : int }
+
+let pooled_budget pool = Pooled_budget { pb_pool = pool; pb_claimed = 0 }
+
+let rec claim_run pb =
+  let avail = Atomic.get pb.pb_pool in
+  if avail <= 0 then false
+  else if Atomic.compare_and_set pb.pb_pool avail (avail - 1) then begin
+    pb.pb_claimed <- pb.pb_claimed + 1;
+    true
+  end
+  else claim_run pb
+
 type search_ctx = {
   sc_rng : Dart_util.Prng.t;
   sc_im : Inputs.t;
   sc_stats : Solver.stats;
   sc_cache : Solver.Cache.t;
+  sc_store : (Solver.Store.t * int) option;
+  sc_incr : Solver.Incr.t option;
   sc_metrics : Telemetry.metrics;
-  sc_max_runs : int;
+  sc_budget : run_budget;
   sc_deadline : int64 option;
   sc_should_stop : unit -> bool;
 }
 
 let make_ctx ?(should_stop = fun () -> false)
-    ?(metrics = Telemetry.create_metrics ()) ?deadline ~seed ~max_runs () =
+    ?(metrics = Telemetry.create_metrics ()) ?deadline ?pool ?store
+    ?(incremental = true) ~seed ~max_runs () =
   { sc_rng = Dart_util.Prng.create seed;
     sc_im = Inputs.create ();
     sc_stats = Solver.create_stats ();
     sc_cache = Solver.Cache.create ();
+    sc_store = store;
+    sc_incr = (if incremental then Some (Solver.Incr.create ()) else None);
     sc_metrics = metrics;
-    sc_max_runs = max_runs;
+    sc_budget =
+      (match pool with Some p -> pooled_budget p | None -> Fixed_budget max_runs);
     sc_deadline = deadline;
     sc_should_stop = should_stop }
 
@@ -306,7 +343,19 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
         stop := `Time;
         false
       end
-      else if !runs >= ctx.sc_max_runs then begin
+      else if
+        match ctx.sc_budget with
+        | Fixed_budget m -> !runs >= m
+        | Pooled_budget pb ->
+          (* Claim until we hold a reservation for the next run or the
+             shared pool runs dry. *)
+          let rec need () =
+            if !runs < pb.pb_claimed then false
+            else if claim_run pb then need ()
+            else true
+          in
+          need ()
+      then begin
         stop := `Budget;
         false
       end
@@ -383,7 +432,11 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
       let next =
         Solve_pc.solve
           ?cache:
-            (if options.Options.accel.Options.use_cache then Some ctx.sc_cache else None)
+            (if options.Options.accel.Options.use_cache && Option.is_none ctx.sc_store then
+               Some ctx.sc_cache
+             else None)
+          ?store:(if options.Options.accel.Options.use_cache then ctx.sc_store else None)
+          ?incr:ctx.sc_incr
           ?deadline_ns:options.Options.budget.Options.solver_deadline_ns ~faultsim:fs
           ~slicing:options.Options.accel.Options.use_slicing ~telemetry:sink
           ~sites:data.Concolic.cond_sites ~strategy:options.Options.search.Options.strategy
@@ -485,6 +538,7 @@ let run ?resume ?on_checkpoint ?checkpoint_every ?(options = Options.default)
     (prog : Ram.Instr.program) : report =
   let ctx =
     make_ctx ?deadline:(deadline_of_options options)
+      ~incremental:options.Options.accel.Options.use_incremental
       ~seed:options.Options.search.Options.seed
       ~max_runs:options.Options.budget.Options.max_runs ()
   in
@@ -499,6 +553,7 @@ let test_source ?(options = Options.default) ?(library_sigs = []) ~toplevel src 
   in
   let ctx =
     make_ctx ~metrics ?deadline:(deadline_of_options options)
+      ~incremental:options.Options.accel.Options.use_incremental
       ~seed:options.Options.search.Options.seed
       ~max_runs:options.Options.budget.Options.max_runs ()
   in

@@ -30,7 +30,15 @@ module Options : sig
 
   type accel = {
     use_slicing : bool; (* independence slicing of path constraints (default on) *)
-    use_cache : bool; (* per-worker solve cache (default on) *)
+    use_cache : bool; (* solve caching (default on) *)
+    use_incremental : bool;
+        (* push/pop incremental solving through a per-worker
+           {!Solver.Incr} context (default on; results identical) *)
+    use_shared_cache : bool;
+        (* with jobs > 1: one cross-worker {!Solver.Store} plus a
+           pooled run budget instead of private caches and budget
+           shards (default on; no effect at jobs = 1 or with
+           [use_cache] off) *)
   }
 
   type t = {
@@ -60,6 +68,8 @@ module Options : sig
     ?solver_deadline_ns:int64 ->
     ?use_slicing:bool ->
     ?use_cache:bool ->
+    ?use_incremental:bool ->
+    ?use_shared_cache:bool ->
     ?exec:Concolic.exec_options ->
     ?telemetry:Telemetry.config ->
     ?faultsim:Dart_util.Faultsim.t ->
@@ -147,6 +157,18 @@ type snapshot = {
     stack), so the final coverage is identical. Serialized by
     {!Checkpoint}. *)
 
+(** A worker's claim on the run budget: a fixed private share, or a
+    CAS-claimed reservation against a pool shared by all workers of a
+    parallel search (a worker that exhausts its subtree early leaves
+    the remaining budget to its peers). *)
+type run_budget =
+  | Fixed_budget of int
+  | Pooled_budget of pooled_budget
+
+and pooled_budget = { pb_pool : int Atomic.t; mutable pb_claimed : int }
+
+val pooled_budget : int Atomic.t -> run_budget
+
 type search_ctx = {
   sc_rng : Dart_util.Prng.t; (* private randomness stream *)
   sc_im : Inputs.t; (* private input vector *)
@@ -154,8 +176,13 @@ type search_ctx = {
   sc_cache : Solver.Cache.t;
       (* private solve cache (shared-nothing across domains, so hits
          and misses are deterministic per worker) *)
+  sc_store : (Solver.Store.t * int) option;
+      (* shared cross-worker solve store and this worker's id; when
+         present (and caching is on) it replaces [sc_cache] *)
+  sc_incr : Solver.Incr.t option;
+      (* per-worker incremental solving context (never shared) *)
   sc_metrics : Telemetry.metrics; (* private phase timers *)
-  sc_max_runs : int; (* this search's share of the run budget *)
+  sc_budget : run_budget; (* this search's claim on the run budget *)
   sc_deadline : int64 option;
       (* absolute monotonic deadline ({!Telemetry.now} scale); checked
          at run boundaries, [None] = no time budget *)
@@ -165,12 +192,16 @@ type search_ctx = {
 }
 (** Everything mutable a single directed search touches, made explicit
     so independent searches can run concurrently on separate domains
-    without sharing state. *)
+    without sharing state (the shared store and pooled budget are the
+    two deliberate, lock-free exceptions). *)
 
 val make_ctx :
   ?should_stop:(unit -> bool) ->
   ?metrics:Telemetry.metrics ->
   ?deadline:int64 ->
+  ?pool:int Atomic.t ->
+  ?store:Solver.Store.t * int ->
+  ?incremental:bool ->
   seed:int ->
   max_runs:int ->
   unit ->
@@ -179,7 +210,9 @@ val make_ctx :
     solver stats. [should_stop] defaults to never; [metrics] defaults
     to a fresh record (pass one to fold preparation time measured by
     {!prepare} into the search's report); [deadline] defaults to
-    unbounded. *)
+    unbounded. [pool] switches the budget from a fixed [max_runs] share
+    to a shared pool; [store] attaches the cross-worker solve store;
+    [incremental] (default true) controls the push/pop context. *)
 
 val deadline_of_options : options -> int64 option
 (** The absolute monotonic deadline [now + time_budget_ns], or [None]

@@ -176,6 +176,20 @@ let run ?(options = options O.default) (prog : Ram.Instr.program) : report =
     if stop_on_first_bug && n > 1 then fun () -> Atomic.get cancel
     else fun () -> false
   in
+  (* Cross-worker sharing (default on, [--no-shared-cache] restores the
+     shared-nothing layout): one lock-free solve store answers every
+     worker's queries and claims frontier branches, and the run budget
+     becomes a single CAS-claimed pool instead of static per-worker
+     shards — a worker that drains its subtree early hands its leftover
+     budget to the others. A single worker keeps the private-cache
+     fixed-share path, which stays byte-identical to [Driver.run]. *)
+  let shared_on =
+    n > 1 && t.base.O.accel.O.use_shared_cache && t.base.O.accel.O.use_cache
+  in
+  let store = if shared_on then Some (Solver.Store.create ()) else None in
+  let pool =
+    if shared_on then Some (Atomic.make t.base.O.budget.O.max_runs) else None
+  in
   (* A worker body never lets an exception reach [Domain.join]: it
      returns [Error reason] instead, so the supervisor always joins
      every domain, replays the surviving rings and flushes the sink. *)
@@ -191,7 +205,11 @@ let run ?(options = options O.default) (prog : Ram.Instr.program) : report =
         else should_stop ())
       else should_stop
     in
-    let ctx = Driver.make_ctx ~should_stop ?deadline ~seed ~max_runs:shares.(slot) () in
+    let ctx =
+      Driver.make_ctx ~should_stop ?deadline ?pool
+        ?store:(Option.map (fun st -> (st, slot)) store)
+        ~incremental:t.base.O.accel.O.use_incremental ~seed ~max_runs:shares.(slot) ()
+    in
     let options =
       { t.base with
         O.search = { t.base.O.search with O.strategy };

@@ -74,7 +74,7 @@ let slice ~pivot ~prefix =
     in
     (pivot :: kept, List.length dropped)
 
-let solve ?cache ?(slicing = true) ?deadline_ns
+let solve ?cache ?store ?incr ?(slicing = true) ?deadline_ns
     ?(faultsim = Dart_util.Faultsim.off) ?(telemetry = Telemetry.null)
     ?(sites = [||]) ~strategy ~rng ~stats ~im ~stack ~path_constraint () =
   let n = Array.length stack in
@@ -109,14 +109,44 @@ let solve ?cache ?(slicing = true) ?deadline_ns
   let solver_incomplete = ref false in
   (* One pivot-solve attempt. [j] is the flipped branch (for trace
      attribution), [sliced] how many prefix constraints independence
-     slicing already dropped from [cs]. *)
-  let solve_query ~j ~sliced cs =
+     slicing already dropped; [cs] is [pivot :: kept @ domains]. *)
+  let solve_query ~j ~sliced ~pivot ~kept ~domains cs =
     let prefer v = Option.map Zint.of_int (Inputs.value_of im v) in
     let t0 = if tracing then Telemetry.now () else 0L in
+    (* The real solver call, through the incremental context when one
+       is attached (results are identical; the context only reuses
+       prepared pipeline stages across the shared prefix). *)
+    let run_solver () =
+      match incr with
+      | Some ictx ->
+        Solver.Incr.solve ictx ~stats ~prefer ?deadline:(solver_deadline ()) ~pivot
+          ~prefix:kept ~domains ()
+      | None -> Solver.solve ~stats ~prefer ?deadline:(solver_deadline ()) cs
+    in
     let result, cache_hit =
-      match cache with
-      | None -> (Solver.solve ~stats ~prefer ?deadline:(solver_deadline ()) cs, false)
-      | Some cache ->
+      match (store, cache) with
+      | Some (st, worker), _ ->
+        (* Shared cross-worker store: a hit may have been published by
+           any worker; a miss doubles as a frontier claim. *)
+        let keyed = Solver.Cache.canonical cs in
+        (match Solver.Store.acquire st ~worker keyed with
+         | Solver.Store.Hit (v, publisher) ->
+           Solver.record_cache_hit stats;
+           if publisher <> worker then Solver.record_shared_hit stats;
+           ((match v with
+             | Solver.Cache.Sat model -> Solver.Sat model
+             | Solver.Cache.Unsat -> Solver.Unsat),
+            true)
+         | Solver.Store.Claimed | Solver.Store.Busy _ ->
+           Solver.record_cache_miss stats;
+           let r = run_solver () in
+           (match r with
+            | Solver.Sat model ->
+              Solver.Store.publish st ~worker keyed (Solver.Cache.Sat model)
+            | Solver.Unsat -> Solver.Store.publish st ~worker keyed Solver.Cache.Unsat
+            | Solver.Unknown -> ());
+           (r, false))
+      | None, Some cache ->
         let key = Solver.Cache.canonical cs in
         (match Solver.Cache.find cache key with
          | Some (Solver.Cache.Sat model) ->
@@ -127,12 +157,13 @@ let solve ?cache ?(slicing = true) ?deadline_ns
            (Solver.Unsat, true)
          | None ->
            Solver.record_cache_miss stats;
-           let r = Solver.solve ~stats ~prefer ?deadline:(solver_deadline ()) cs in
+           let r = run_solver () in
            (match r with
             | Solver.Sat model -> Solver.Cache.add cache key (Solver.Cache.Sat model)
             | Solver.Unsat -> Solver.Cache.add cache key Solver.Cache.Unsat
             | Solver.Unknown -> ());
            (r, false))
+      | None, None -> (run_solver (), false)
     in
     if tracing then begin
       let fn, pc = site_of j in
@@ -163,14 +194,15 @@ let solve ?cache ?(slicing = true) ?deadline_ns
       let prefix =
         List.filter_map (fun h -> path_constraint.(h)) (List.init j Fun.id)
       in
-      let base_cs, sliced =
+      let kept, sliced =
         if slicing then begin
-          let kept, dropped = slice ~pivot ~prefix in
+          let kept_with_pivot, dropped = slice ~pivot ~prefix in
           Solver.record_sliced stats dropped;
-          (kept, dropped)
+          (List.tl kept_with_pivot, dropped)
         end
-        else (pivot :: prefix, 0)
+        else (prefix, 0)
       in
+      let base_cs = pivot :: kept in
       let vars =
         let tbl = Hashtbl.create 16 in
         List.iter
@@ -178,8 +210,9 @@ let solve ?cache ?(slicing = true) ?deadline_ns
           base_cs;
         Hashtbl.fold (fun v () acc -> v :: acc) tbl []
       in
-      let cs = base_cs @ domain_constraints im vars in
-      (match solve_query ~j ~sliced cs with
+      let domains = domain_constraints im vars in
+      let cs = base_cs @ domains in
+      (match solve_query ~j ~sliced ~pivot ~kept ~domains cs with
        | Solver.Sat model ->
          (* IM + IM': overwrite solved inputs, keep the rest (with
             slicing, inputs outside the pivot's component are never in

@@ -7,15 +7,24 @@
     stack for the next run is returned; on UNSAT the search backtracks
     to an earlier pending branch.
 
-    Two accelerations on the paper's Figure 5 (both exact):
+    Accelerations on the paper's Figure 5 (all exact):
     - {b independence slicing} ([slicing], default on): only the
       pivot's variable-connected component of the constraint prefix is
       sent to the solver; unrelated components stay satisfied by the
       current IM, preserving the IM + IM' update semantics.
     - {b solve caching} ([cache]): Sat models and Unsat verdicts are
-      memoised per canonical constraint set. Pass each worker its own
-      cache ({!Driver.search_ctx} does) — sharing one across domains
-      would make hit sequences racy.
+      memoised per canonical constraint set in a private per-worker
+      table; a worker's hit sequence depends only on its own queries.
+    - {b shared solve store} ([store], a {!Solver.Store.t} plus this
+      worker's id): the cross-worker alternative to [cache] — verdicts
+      published by any worker answer every worker's queries, and a
+      miss doubles as a claim on that frontier branch. Pass [store]
+      or [cache], not both (store wins if both are given).
+    - {b incremental solving} ([incr]): real solver calls go through a
+      {!Solver.Incr} push/pop context that keeps the shared constraint
+      prefix asserted and memoises prepared pipeline states; results
+      are identical to one-shot solving by construction. One context
+      per worker — contexts never cross domains.
 
     [deadline_ns] bounds each real solver call (cache hits are free):
     a query still running after that many nanoseconds degrades to
@@ -57,6 +66,8 @@ val slice :
 
 val solve :
   ?cache:Solver.Cache.t ->
+  ?store:Solver.Store.t * int ->
+  ?incr:Solver.Incr.t ->
   ?slicing:bool ->
   ?deadline_ns:int64 ->
   ?faultsim:Dart_util.Faultsim.t ->

@@ -44,38 +44,44 @@ let word_max = Zint.of_int Dart_util.Word32.max_value
 let coeff_gcd e =
   List.fold_left (fun g (_, c) -> Zint.gcd g c) Zint.zero (Linexpr.terms e)
 
-(** Integer tightening: divide every atom by the gcd of its variable
-    coefficients. An equality [g*t + c = 0] with [g] not dividing [c]
-    is unsatisfiable; an inequality [g*t + c <= 0] tightens to
-    [t - floor(-c/g) <= 0]. Returns [None] on direct unsat. *)
+let divide_terms g e =
+  List.fold_left
+    (fun acc (v, c) -> Linexpr.add acc (Linexpr.scale (Zint.div c g) (Linexpr.var v)))
+    Linexpr.zero (Linexpr.terms e)
+
+(** Per-atom integer tightening: divide the atom by the gcd of its
+    variable coefficients. An equality [g*t + c = 0] with [g] not
+    dividing [c] is unsatisfiable ([None]); an inequality
+    [g*t + c <= 0] tightens to [t - floor(-c/g) <= 0]. Exposed
+    atom-wise so the incremental assertion stack and the cache's key
+    canonicalization normalize exactly like {!tighten}. *)
+let tighten_eq_atom e =
+  let g = coeff_gcd e in
+  if Zint.is_zero g || Zint.is_one g then Some e
+  else begin
+    let c = Linexpr.constant_part e in
+    if not (Zint.is_zero (Zint.rem c g)) then None
+    else Some (Linexpr.add_const (Zint.div c g) (divide_terms g e))
+  end
+
+let tighten_le_atom e =
+  let g = coeff_gcd e in
+  if Zint.is_zero g || Zint.is_one g then e
+  else begin
+    let c = Linexpr.constant_part e in
+    (* g*t <= -c  <=>  t <= floor(-c / g) *)
+    let bound = Zint.fdiv (Zint.neg c) g in
+    Linexpr.add_const (Zint.neg bound) (divide_terms g e)
+  end
+
+(** Integer tightening of every atom; returns [None] on direct unsat. *)
 let tighten p =
   let exception Unsat_exn in
-  let divide_terms g e =
-    List.fold_left
-      (fun acc (v, c) -> Linexpr.add acc (Linexpr.scale (Zint.div c g) (Linexpr.var v)))
-      Linexpr.zero (Linexpr.terms e)
-  in
   let tighten_eq e =
-    let g = coeff_gcd e in
-    if Zint.is_zero g || Zint.is_one g then e
-    else begin
-      let c = Linexpr.constant_part e in
-      if not (Zint.is_zero (Zint.rem c g)) then raise Unsat_exn;
-      Linexpr.add_const (Zint.div c g) (divide_terms g e)
-    end
-  in
-  let tighten_le e =
-    let g = coeff_gcd e in
-    if Zint.is_zero g || Zint.is_one g then e
-    else begin
-      let c = Linexpr.constant_part e in
-      (* g*t <= -c  <=>  t <= floor(-c / g) *)
-      let bound = Zint.fdiv (Zint.neg c) g in
-      Linexpr.add_const (Zint.neg bound) (divide_terms g e)
-    end
+    match tighten_eq_atom e with Some e' -> e' | None -> raise Unsat_exn
   in
   match
-    { eqs = List.map tighten_eq p.eqs; les = List.map tighten_le p.les; nes = p.nes }
+    { eqs = List.map tighten_eq p.eqs; les = List.map tighten_le_atom p.les; nes = p.nes }
   with
   | p' -> Some p'
   | exception Unsat_exn -> None

@@ -13,7 +13,8 @@ module Cache : sig
   (** Per-worker memoisation of solver verdicts, keyed on the canonical
       form of a constraint set. Never shared across domains: each
       worker's hit/miss sequence depends only on its own queries, which
-      keeps parallel search deterministic. *)
+      keeps parallel search deterministic. The cross-worker variant is
+      {!Store}. *)
 
   type verdict =
     | Sat of (Symbolic.Linexpr.var * Zarith_lite.Zint.t) list
@@ -26,16 +27,76 @@ module Cache : sig
     val hash : t -> int
   end
 
+  type keyed = {
+    key : Key.t;
+    back : Symbolic.Linexpr.var array; (* canonical index -> original variable *)
+    fwd : (Symbolic.Linexpr.var, int) Hashtbl.t; (* original variable -> index *)
+  }
+  (** A canonical key together with the variable renaming that produced
+      it, needed to map stored models back to the query's variables. *)
+
   type t
 
   val create : unit -> t
 
-  val canonical : Symbolic.Constr.t list -> Key.t
-  (** Order-insensitive, duplicate-free key of a conjunction. *)
+  val canonical : Symbolic.Constr.t list -> keyed
+  (** Canonical key of a conjunction: insensitive to atom order,
+      duplicates, scaling, sign and strict/non-strict spelling
+      (normalized like [Problem.tighten]) and to variable naming
+      (renamed to first-occurrence indices), so re-issues of one filter
+      shape across runs and input generations share an entry. Every
+      rewrite preserves the solution set, so cached models remain valid
+      for any spelling. *)
 
-  val find : t -> Key.t -> verdict option
-  val add : t -> Key.t -> verdict -> unit
+  val find : t -> keyed -> verdict option
+  (** Stored verdict, with Sat models mapped back to the query's own
+      variables. Model variables that only occurred in vacuously-true
+      atoms are omitted (they are unconstrained). *)
+
+  val add : t -> keyed -> verdict -> unit
   val length : t -> int
+
+  (**/**)
+
+  val to_canonical : keyed -> verdict -> verdict
+  val of_canonical : keyed -> verdict -> verdict
+end
+
+module Store : sig
+  (** Lock-free cross-worker solve store: one instance is shared by all
+      worker domains of a parallel search, replacing the per-worker
+      {!Cache} when shared caching is on. Verdicts are published under
+      {!Cache.canonical} keys; acquiring an unsolved key installs an
+      in-flight claim on that branch of the shared frontier, so workers
+      steal solved branches instead of re-deriving them. Cells move
+      [In_flight -> Done] exactly once (first publisher wins) and are
+      never removed. With a single worker the acquire/publish protocol
+      is observationally identical to [Cache.find]/[Cache.add]. *)
+
+  type t
+
+  val create : ?size_bits:int -> unit -> t
+
+  type outcome =
+    | Hit of Cache.verdict * int
+        (** Solved already: verdict mapped to the query's variables,
+            plus the publishing worker's id. *)
+    | Claimed  (** We hold the claim slot now: solve, then {!publish}. *)
+    | Busy of int
+        (** Another worker holds the claim; solve locally, never block
+            (the depth-first discipline cannot wait on a peer). *)
+
+  val acquire : t -> worker:int -> Cache.keyed -> outcome
+
+  val publish : t -> worker:int -> Cache.keyed -> Cache.verdict -> unit
+  (** Publish a Sat/Unsat verdict (never call with Unknown — leave the
+      claim in flight so the key stays retriable). *)
+
+  val length : t -> int
+  (** Total cells (claims + solved). *)
+
+  val solved : t -> int
+  (** Published verdicts only. *)
 end
 
 type result =
@@ -71,10 +132,27 @@ val deadline_overruns : stats -> int
 (** Queries aborted to [Unknown] because their per-query deadline
     expired (see [solve]'s [deadline]). *)
 
+val incremental_hits : stats -> int
+(** Prepared-state reuses inside an incremental context: queries whose
+    tightened problem was already eliminated/absorbed and skipped
+    straight to the per-query stages. *)
+
+val pops_saved : stats -> int
+(** Assertion-stack levels retained across consecutive incremental
+    queries (prefix atoms not re-normalized). *)
+
+val shared_hits : stats -> int
+(** Cache hits answered by an entry another worker published in the
+    shared {!Store} (a subset of {!cache_hits}). *)
+
 val to_assoc : stats -> (string * int) list
-(** Every counter as [(name, value)], stable declaration order; the
-    single source of truth for report printing, bench JSON and merge
-    code, so a new counter shows up everywhere at once. *)
+(** Every report-visible counter as [(name, value)], stable declaration
+    order; the single source of truth for report printing, bench JSON
+    and merge code, so a new counter shows up everywhere at once. The
+    acceleration meters ({!incremental_hits}, {!pops_saved},
+    {!shared_hits}) are deliberately excluded: they measure work
+    avoided, which resumed or replayed searches legitimately repeat
+    differently, so they must not feed resume-identity comparisons. *)
 
 val of_assoc : (string * int) list -> stats
 (** Inverse of {!to_assoc}; missing keys default to 0, unknown keys are
@@ -88,6 +166,7 @@ val add_stats : into:stats -> stats -> unit
 val record_cache_hit : stats -> unit
 val record_cache_miss : stats -> unit
 val record_sliced : stats -> int -> unit
+val record_shared_hit : stats -> unit
 
 val solve :
   ?stats:stats ->
@@ -106,6 +185,52 @@ val solve :
     degrades to [Unknown] (counted in {!deadline_overruns}) instead of
     running unbounded simplex work — callers already treat [Unknown]
     conservatively, so an overrun can never unsoundly prune a path. *)
+
+module Incr : sig
+  (** Incremental push/pop solving. A context keeps an assertion stack
+      over the query's shared prefix plus a memo of prepared solver
+      states (Gaussian elimination, interval absorption, learned
+      disequality tables, completed branch-and-bound verdicts) keyed on
+      the exact normalized constraint lists. {!solve} pops only the
+      stack suffix that differs from the previous query and pushes the
+      new atoms; results are identical to the one-shot {!val:solve} by
+      construction, because both routes run the same core on the same
+      lists — the context only skips recomputing stages whose inputs
+      are unchanged. Nothing derived from an aborted (deadline-overrun)
+      computation is ever retained, so a timeout cannot leak stale
+      state into the next query. One context per worker: contexts are
+      not thread-safe and never cross domains. *)
+
+  type t
+
+  val create : unit -> t
+
+  val solve :
+    t ->
+    ?stats:stats ->
+    ?prefer:(Symbolic.Linexpr.var -> Zarith_lite.Zint.t option) ->
+    ?use_simplex:bool ->
+    ?deadline:(unit -> bool) ->
+    pivot:Symbolic.Constr.t ->
+    prefix:Symbolic.Constr.t list ->
+    domains:Symbolic.Constr.t list ->
+    unit ->
+    result
+  (** Solve [pivot :: prefix @ domains] — the negated branch pivot, the
+      kept path-constraint prefix, and the input-domain bounds — with
+      the prefix asserted through the stack. Equivalent to
+      [solve (pivot :: prefix @ domains)]. *)
+
+  val depth : t -> int
+  (** Current assertion-stack depth. *)
+
+  val prepared_count : t -> int
+  (** Memoised prepared states (diagnostics). *)
+
+  val reset : t -> unit
+  (** Drop the assertion stack (the prepared memo survives: its entries
+      are keyed structurally and remain valid). *)
+end
 
 val check_model : Symbolic.Constr.t list -> (Symbolic.Linexpr.var * Zarith_lite.Zint.t) list -> bool
 (** [check_model cs model] verifies that [model] satisfies [cs]. *)

@@ -1,0 +1,198 @@
+(* Differential harness for incremental solving: drive one persistent
+   Solver.Incr context and fresh from-scratch solves through the same
+   query script and require identical observable results — verdict and
+   model alike. Mirrors diff_engines.ml, which plays the same game for
+   the two execution engines: the incremental context claims to be an
+   optimisation, so any divergence is a bug in it. *)
+
+open Zarith_lite
+open Symbolic
+
+let z = Zint.of_int
+
+let mk c0 terms =
+  List.fold_left
+    (fun acc (x, c) -> Linexpr.add acc (Linexpr.scale (z c) (Linexpr.var x)))
+    (Linexpr.of_int c0) terms
+
+type query = {
+  q_pivot : Constr.t;
+  q_prefix : Constr.t list; (* outermost-first, like the kept PC prefix *)
+  q_domains : Constr.t list;
+}
+
+type observation = { verdict : string; model : (Linexpr.var * Zint.t) list }
+
+let observe = function
+  | Solver.Sat model -> { verdict = "sat"; model }
+  | Solver.Unsat -> { verdict = "unsat"; model = [] }
+  | Solver.Unknown -> { verdict = "unknown"; model = [] }
+
+(* The IM-preference the directed search always passes: under-constrained
+   variables must come back at their preferred values on both routes. *)
+let im = [ (0, 1); (1, 5); (2, -3); (3, 7) ]
+let prefer v = Option.map z (List.assoc_opt v im)
+
+let run_incr ictx q =
+  observe
+    (Solver.Incr.solve ictx ~prefer ~pivot:q.q_pivot ~prefix:q.q_prefix
+       ~domains:q.q_domains ())
+
+let run_fresh q = observe (Solver.solve ~prefer (q.q_pivot :: (q.q_prefix @ q.q_domains)))
+
+(* Play a script through one persistent context and through one-shot
+   solves; [true] iff every query agrees exactly. *)
+let script_agrees queries =
+  let ictx = Solver.Incr.create () in
+  List.for_all
+    (fun q ->
+      let i = run_incr ictx q and f = run_fresh q in
+      i.verdict = f.verdict && i.model = f.model)
+    queries
+
+let check_script queries =
+  let ictx = Solver.Incr.create () in
+  List.iteri
+    (fun i q ->
+      let inc = run_incr ictx q and f = run_fresh q in
+      Alcotest.(check string) (Printf.sprintf "query %d verdict" i) f.verdict inc.verdict;
+      Alcotest.(check bool) (Printf.sprintf "query %d model" i) true (f.model = inc.model))
+    queries
+
+let le e = Constr.make e Constr.Le0
+let eq e = Constr.make e Constr.Eq0
+let ne e = Constr.make e Constr.Ne0
+let range v lo hi = [ le (mk lo [ (v, -1) ]); le (mk (-hi) [ (v, 1) ]) ]
+
+(* ---- deterministic scripts --------------------------------------------------- *)
+
+(* DFS descent: the prefix grows one level per query, exactly the
+   pattern Solve_pc produces, so pops_saved accrues while results stay
+   pinned to the from-scratch route. *)
+let test_dfs_descent () =
+  let lvl k = le (mk (-k) [ (0, 1); (1, 1) ]) in
+  let prefixes = List.init 5 (fun n -> List.init n lvl) in
+  check_script
+    (List.map
+       (fun p ->
+         { q_pivot = eq (mk (-2) [ (0, 1) ]); q_prefix = p; q_domains = range 1 0 255 })
+       prefixes)
+
+(* Backtracking: shared prefixes interleaved with full retractions and
+   re-descents along a different branch. *)
+let test_backtracking () =
+  let a = le (mk (-10) [ (0, 1) ]) in
+  let b = eq (mk (-4) [ (1, 1) ]) in
+  let b' = ne (mk (-4) [ (1, 1) ]) in
+  check_script
+    [ { q_pivot = eq (mk (-3) [ (0, 1) ]); q_prefix = [ a; b ]; q_domains = [] };
+      { q_pivot = eq (mk (-5) [ (0, 1) ]); q_prefix = [ a; b ]; q_domains = [] };
+      { q_pivot = eq (mk (-5) [ (0, 1) ]); q_prefix = [ a; b' ]; q_domains = [] };
+      { q_pivot = eq (mk 11 [ (0, 1) ]); q_prefix = [ a ]; q_domains = [] };
+      (* back to the first stack: the memoised prepared state answers *)
+      { q_pivot = eq (mk (-3) [ (0, 1) ]); q_prefix = [ a; b ]; q_domains = [] } ]
+
+(* Simplex-requiring multivariate queries through the context. *)
+let test_multivariate_through_context () =
+  let sum_ge_10 = le (mk 10 [ (0, -1); (1, -1) ]) in
+  let diff_le_1 = le (mk (-1) [ (0, 1); (1, -1) ]) in
+  check_script
+    [ { q_pivot = sum_ge_10; q_prefix = []; q_domains = [] };
+      { q_pivot = diff_le_1; q_prefix = [ sum_ge_10 ]; q_domains = [] };
+      { q_pivot = ne (mk 0 [ (0, 1); (1, -1) ]);
+        q_prefix = [ sum_ge_10; diff_le_1 ];
+        q_domains = range 0 0 255 @ range 1 0 255 } ]
+
+(* Unsat must also agree, and must not poison the next query. *)
+let test_unsat_in_the_middle () =
+  let a = eq (mk (-1) [ (0, 1) ]) in
+  check_script
+    [ { q_pivot = eq (mk (-3) [ (0, 1) ]); q_prefix = [ a ]; q_domains = [] };
+      { q_pivot = eq (mk (-1) [ (0, 1) ]); q_prefix = [ a ]; q_domains = [] };
+      { q_pivot = le (mk 300 [ (0, -1) ]); q_prefix = []; q_domains = range 0 0 255 } ]
+
+(* ---- satellite: deadline overruns reset context state ------------------------ *)
+
+(* A deadline overrun mid-incremental-solve must not leak partial state
+   (stale tableau rows, half-learned bounds) into the context: the
+   follow-up query through the *same* context must match a fresh-context
+   solve exactly. The constantly-true deadline is the same predicate the
+   faultsim solver_deadline injection installs. *)
+let test_deadline_overrun_resets_context () =
+  let ictx = Solver.Incr.create () in
+  let sum_ge_10 = le (mk 10 [ (0, -1); (1, -1) ]) in
+  let q =
+    { q_pivot = ne (mk 0 [ (0, 1); (1, -1) ]);
+      q_prefix = [ sum_ge_10; le (mk (-1) [ (0, 1); (1, -1) ]) ];
+      q_domains = range 0 0 255 @ range 1 0 255 }
+  in
+  let stats = Solver.create_stats () in
+  (match
+     Solver.Incr.solve ictx ~stats
+       ~deadline:(fun () -> true)
+       ~prefer ~pivot:q.q_pivot ~prefix:q.q_prefix ~domains:q.q_domains ()
+   with
+   | Solver.Unknown -> ()
+   | _ -> Alcotest.fail "expected Unknown under an expired deadline");
+  Alcotest.(check int) "counted as overrun" 1 (Solver.deadline_overruns stats);
+  (* Same query again, no deadline: must equal the fresh-context solve. *)
+  let followup = run_incr ictx q and fresh = run_fresh q in
+  Alcotest.(check string) "follow-up verdict matches fresh" fresh.verdict followup.verdict;
+  Alcotest.(check bool) "follow-up model matches fresh" true (fresh.model = followup.model);
+  (* And a different stack afterwards stays unperturbed too. *)
+  let q2 = { q_pivot = eq (mk (-7) [ (0, 1) ]); q_prefix = []; q_domains = range 0 0 255 } in
+  let i2 = run_incr ictx q2 and f2 = run_fresh q2 in
+  Alcotest.(check string) "next stack verdict" f2.verdict i2.verdict;
+  Alcotest.(check bool) "next stack model" true (f2.model = i2.model)
+
+(* ---- property: random constraint stacks -------------------------------------- *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:120 ~name gen f)
+
+let atom_gen nvars =
+  let open QCheck2.Gen in
+  let* pinned = int_range 0 (nvars - 1) in
+  let* pinned_coef = oneofl [ -3; -2; -1; 1; 2; 3 ] in
+  let* coefs = array_size (return nvars) (int_range (-2) 2) in
+  let* c0 = int_range (-8) 8 in
+  let* rel = oneofl [ Constr.Le0; Constr.Lt0; Constr.Eq0; Constr.Ne0 ] in
+  coefs.(pinned) <- pinned_coef;
+  let terms =
+    Array.to_list coefs |> List.mapi (fun i c -> (i, c)) |> List.filter (fun (_, c) -> c <> 0)
+  in
+  return (Constr.make (mk c0 terms) rel)
+
+(* An evolving stack: every step pops a random suffix, pushes fresh
+   atoms and queries a fresh pivot — the shape of a directed search
+   wandering its branch tree. *)
+let script_gen =
+  let open QCheck2.Gen in
+  let nvars = 3 in
+  let* n_queries = int_range 1 7 in
+  let* with_domains = bool in
+  let domains = if with_domains then range 0 0 60 @ range 1 0 60 else [] in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let rec build stack n acc =
+    if n = 0 then return (List.rev acc)
+    else
+      let* keep = int_range 0 (List.length stack) in
+      let stack = take keep stack in
+      let* pushed = list_size (int_range 0 2) (atom_gen nvars) in
+      let stack = stack @ pushed in
+      let* pivot = atom_gen nvars in
+      build stack (n - 1) ({ q_pivot = pivot; q_prefix = stack; q_domains = domains } :: acc)
+  in
+  build [] n_queries []
+
+let properties =
+  [ prop "push/pop equals from-scratch on random stacks" script_gen script_agrees ]
+
+let suite =
+  [ Alcotest.test_case "dfs descent" `Quick test_dfs_descent;
+    Alcotest.test_case "backtracking" `Quick test_backtracking;
+    Alcotest.test_case "multivariate through context" `Quick
+      test_multivariate_through_context;
+    Alcotest.test_case "unsat mid-script" `Quick test_unsat_in_the_middle;
+    Alcotest.test_case "deadline overrun resets context" `Quick
+      test_deadline_overrun_resets_context ]
+  @ properties

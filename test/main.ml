@@ -9,6 +9,7 @@ let () =
       ("compile", Test_compile.suite);
       ("symbolic", Test_symbolic.suite);
       ("solver", Test_solver.suite);
+      ("incremental", Diff_solver.suite);
       ("concolic", Test_concolic.suite);
       ("telemetry", Test_telemetry.suite);
       ("cover", Test_cover.suite);

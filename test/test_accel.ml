@@ -19,28 +19,107 @@ let c_le v k =
     (Symbolic.Linexpr.add_const (zi (-k)) (Symbolic.Linexpr.var v))
     Symbolic.Constr.Le0
 
+let key cs = (Solver.Cache.canonical cs).Solver.Cache.key
+let same_key a b = Solver.Cache.Key.equal (key a) (key b)
+
 let test_canonical_key () =
   let a = c_eq 0 10 and b = c_le 1 3 in
-  let k1 = Solver.Cache.canonical [ a; b ] in
-  let k2 = Solver.Cache.canonical [ b; a; b; a ] in
-  Alcotest.(check bool) "order and duplicates ignored" true (Solver.Cache.Key.equal k1 k2);
-  Alcotest.(check int) "hash agrees" (Solver.Cache.Key.hash k1) (Solver.Cache.Key.hash k2);
-  let k3 = Solver.Cache.canonical [ a; c_le 1 4 ] in
-  Alcotest.(check bool) "different set, different key" false (Solver.Cache.Key.equal k1 k3)
+  Alcotest.(check bool) "order and duplicates ignored" true (same_key [ a; b ] [ b; a; b; a ]);
+  Alcotest.(check int) "hash agrees"
+    (Solver.Cache.Key.hash (key [ a; b ]))
+    (Solver.Cache.Key.hash (key [ b; a; b; a ]));
+  Alcotest.(check bool) "different set, different key" false (same_key [ a; b ] [ a; c_le 1 4 ])
+
+(* Regression: syntactically different spellings of the same constraint
+   set must canonicalise to the same key — commuted term order, scaled
+   coefficients, Lt-vs-Le spelling and variable renaming all used to
+   produce distinct keys (and therefore spurious cache misses). *)
+let test_canonical_key_normalises () =
+  let lx terms k =
+    List.fold_left
+      (fun acc (v, c) ->
+        Symbolic.Linexpr.add acc (Symbolic.Linexpr.scale (zi c) (Symbolic.Linexpr.var v)))
+      (Symbolic.Linexpr.const (zi k)) terms
+  in
+  let mk terms k op = Symbolic.Constr.make (lx terms k) op in
+  (* Commuted equations: a - b = 0 and b - a = 0. *)
+  Alcotest.(check bool) "a-b=0 equals b-a=0" true
+    (same_key [ mk [ (0, 1); (1, -1) ] 0 Symbolic.Constr.Eq0 ]
+       [ mk [ (1, 1); (0, -1) ] 0 Symbolic.Constr.Eq0 ]);
+  (* Scaled inequalities: 2a - 4 <= 0 and a - 2 <= 0. *)
+  Alcotest.(check bool) "2a<=4 equals a<=2" true
+    (same_key [ mk [ (0, 2) ] (-4) Symbolic.Constr.Le0 ]
+       [ mk [ (0, 1) ] (-2) Symbolic.Constr.Le0 ]);
+  (* Integer Lt/Le spelling: a - 3 < 0 and a - 2 <= 0. *)
+  Alcotest.(check bool) "a<3 equals a<=2" true
+    (same_key [ mk [ (0, 1) ] (-3) Symbolic.Constr.Lt0 ]
+       [ mk [ (0, 1) ] (-2) Symbolic.Constr.Le0 ]);
+  (* Variable renaming: x5 = 10 alone is the same shape as x0 = 10. *)
+  Alcotest.(check bool) "x5=10 equals x0=10" true (same_key [ c_eq 5 10 ] [ c_eq 0 10 ]);
+  (* ... but renaming respects sharing: {x0=1, x0<=2} is not {x0=1, x1<=2}. *)
+  Alcotest.(check bool) "shared var distinguishes" false
+    (same_key [ c_eq 0 1; c_le 0 2 ] [ c_eq 0 1; c_le 1 2 ]);
+  (* Negated disequalities: a - b != 0 and b - a != 0. *)
+  Alcotest.(check bool) "a<>b equals b<>a" true
+    (same_key [ mk [ (0, 1); (1, -1) ] 0 Symbolic.Constr.Ne0 ]
+       [ mk [ (1, 1); (0, -1) ] 0 Symbolic.Constr.Ne0 ])
+
+(* Renamed hits must hand back models over the *caller's* variables,
+   not the canonical ones. *)
+let test_cache_renamed_model () =
+  let cache = Solver.Cache.create () in
+  Solver.Cache.add cache (Solver.Cache.canonical [ c_eq 0 10 ])
+    (Solver.Cache.Sat [ (0, zi 10) ]);
+  match Solver.Cache.find cache (Solver.Cache.canonical [ c_eq 7 10 ]) with
+  | Some (Solver.Cache.Sat [ (7, z) ]) ->
+    Alcotest.(check int) "model remapped to x7" 10 (Zint.to_int z)
+  | Some _ -> Alcotest.fail "hit with wrong model shape"
+  | None -> Alcotest.fail "renamed query missed"
 
 let test_cache_roundtrip () =
   let cache = Solver.Cache.create () in
-  let key = Solver.Cache.canonical [ c_eq 0 10 ] in
-  Alcotest.(check bool) "miss on empty" true (Solver.Cache.find cache key = None);
-  Solver.Cache.add cache key (Solver.Cache.Sat [ (0, zi 10) ]);
+  let keyed = Solver.Cache.canonical [ c_eq 0 10 ] in
+  Alcotest.(check bool) "miss on empty" true (Solver.Cache.find cache keyed = None);
+  Solver.Cache.add cache keyed (Solver.Cache.Sat [ (0, zi 10) ]);
   (match Solver.Cache.find cache (Solver.Cache.canonical [ c_eq 0 10 ]) with
    | Some (Solver.Cache.Sat [ (0, z) ]) -> Alcotest.(check int) "model value" 10 (Zint.to_int z)
    | _ -> Alcotest.fail "expected cached Sat model");
-  let ukey = Solver.Cache.canonical [ c_eq 0 1; c_eq 0 2 ] in
-  Solver.Cache.add cache ukey Solver.Cache.Unsat;
+  let ukeyed = Solver.Cache.canonical [ c_eq 0 1; c_eq 0 2 ] in
+  Solver.Cache.add cache ukeyed Solver.Cache.Unsat;
   Alcotest.(check bool) "unsat cached" true
-    (Solver.Cache.find cache ukey = Some Solver.Cache.Unsat);
+    (Solver.Cache.find cache ukeyed = Some Solver.Cache.Unsat);
   Alcotest.(check int) "two entries" 2 (Solver.Cache.length cache)
+
+(* ---- shared cross-worker store ------------------------------------------------ *)
+
+let test_shared_store_protocol () =
+  let st = Solver.Store.create () in
+  let k = Solver.Cache.canonical [ c_eq 0 10 ] in
+  (match Solver.Store.acquire st ~worker:0 k with
+   | Solver.Store.Claimed -> ()
+   | _ -> Alcotest.fail "first acquire must claim");
+  (match Solver.Store.acquire st ~worker:1 k with
+   | Solver.Store.Busy 0 -> ()
+   | _ -> Alcotest.fail "peer must see Busy with the claimant's id");
+  (* The claimant re-acquiring its own stale claim (a retried Unknown)
+     gets the slot back instead of deadlocking on itself. *)
+  (match Solver.Store.acquire st ~worker:0 k with
+   | Solver.Store.Claimed -> ()
+   | _ -> Alcotest.fail "claimant re-acquires its own claim");
+  Solver.Store.publish st ~worker:0 k (Solver.Cache.Sat [ (0, zi 10) ]);
+  Alcotest.(check int) "one solved cell" 1 (Solver.Store.solved st);
+  (* A renamed spelling of the same query hits, carries the publisher's
+     id, and the model comes back over the caller's variables. *)
+  (match Solver.Store.acquire st ~worker:1 (Solver.Cache.canonical [ c_eq 3 10 ]) with
+   | Solver.Store.Hit (Solver.Cache.Sat [ (3, z) ], 0) ->
+     Alcotest.(check int) "model remapped" 10 (Zint.to_int z)
+   | _ -> Alcotest.fail "expected a renamed hit published by worker 0");
+  (* First publisher wins: a late conflicting publish is a no-op. *)
+  Solver.Store.publish st ~worker:1 k Solver.Cache.Unsat;
+  (match Solver.Store.acquire st ~worker:2 k with
+   | Solver.Store.Hit (Solver.Cache.Sat _, 0) -> ()
+   | _ -> Alcotest.fail "first published verdict must stand");
+  Alcotest.(check int) "still one cell" 1 (Solver.Store.length st)
 
 (* ---- slicing: dependency closure --------------------------------------------- *)
 
@@ -232,7 +311,10 @@ let test_per_worker_caches () =
 
 let suite =
   [ Alcotest.test_case "canonical key" `Quick test_canonical_key;
+    Alcotest.test_case "canonical key normalisation" `Quick test_canonical_key_normalises;
+    Alcotest.test_case "renamed cache hit" `Quick test_cache_renamed_model;
     Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "shared store protocol" `Quick test_shared_store_protocol;
     Alcotest.test_case "slice components" `Quick test_slice_components;
     Alcotest.test_case "slice preserves IM" `Quick test_slice_preserves_im;
     Alcotest.test_case "ablation equivalence" `Quick test_ablation_equivalence;

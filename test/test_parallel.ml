@@ -178,6 +178,40 @@ let test_jobs4_same_bug_set () =
       (Workloads.Paper_examples.ac_controller, 2);
       ((Workloads.Sip_parser.vulnerable, Workloads.Sip_parser.toplevel), 1) ]
 
+let test_shared_store_ablation () =
+  (* The shared cross-worker store and pooled budget are accelerations,
+     not search changes: at jobs=4 the deduped bug set and verdict must
+     match the --no-shared-cache run (private caches, budget shards),
+     and with sharing on at least some hits should come from peers. *)
+  let prog = prepare_workload Workloads.Paper_examples.ac_controller ~depth:2 in
+  let opts ~use_shared_cache =
+    Dart.Driver.Options.make ~depth:2 ~max_runs:2_000 ~stop_on_first_bug:false
+      ~use_shared_cache ()
+  in
+  let on =
+    Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:4 (opts ~use_shared_cache:true))
+      prog
+  in
+  let off =
+    Dart.Parallel.run
+      ~options:(Dart.Parallel.options ~jobs:4 (opts ~use_shared_cache:false))
+      prog
+  in
+  Alcotest.(check bool) "same deduped bug set" true
+    (bug_keys on.Dart.Parallel.merged = bug_keys off.Dart.Parallel.merged);
+  Alcotest.(check bool) "same coverage" true
+    (List.sort compare on.Dart.Parallel.merged.Dart.Driver.coverage_sites
+    = List.sort compare off.Dart.Parallel.merged.Dart.Driver.coverage_sites);
+  Alcotest.(check int) "ablated run has no shared hits" 0
+    (Solver.shared_hits off.Dart.Parallel.merged.Dart.Driver.solver_stats);
+  (* jobs=1 never builds a store, whatever the flag says. *)
+  let seq =
+    Dart.Parallel.run ~options:(Dart.Parallel.options ~jobs:1 (opts ~use_shared_cache:true))
+      prog
+  in
+  Alcotest.(check int) "jobs=1: no shared hits" 0
+    (Solver.shared_hits seq.Dart.Parallel.merged.Dart.Driver.solver_stats)
+
 let test_portfolio_strategies () =
   let prog = prepare_workload Workloads.Paper_examples.section_2_4 ~depth:1 in
   let base = Dart.Driver.Options.make ~max_runs:400 () in
@@ -270,6 +304,7 @@ let suite =
     Alcotest.test_case "worker seeds" `Quick test_worker_seeds;
     Alcotest.test_case "jobs=1 = sequential" `Quick test_jobs1_equals_sequential;
     Alcotest.test_case "jobs=4 same bug set" `Quick test_jobs4_same_bug_set;
+    Alcotest.test_case "shared store ablation" `Quick test_shared_store_ablation;
     Alcotest.test_case "portfolio strategies" `Quick test_portfolio_strategies;
     Alcotest.test_case "candidates: dfs" `Quick test_candidates_dfs;
     Alcotest.test_case "candidates: bfs" `Quick test_candidates_bfs;

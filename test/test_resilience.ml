@@ -173,6 +173,28 @@ let test_forced_unknown_is_retriable () =
   in
   Alcotest.(check int) "R_unknown recorded in telemetry" 1 (List.length unknowns)
 
+let test_forced_unknown_incremental_matches_fresh () =
+  (* The injected solver_deadline overrun aborts a solve running through
+     the incremental context. If the overrun left stale prepared state
+     behind, the follow-up queries would diverge from fresh-context
+     solves — so the whole searches, incremental and not, must agree on
+     every deterministic counter and on the bug witness. *)
+  let prog = prepare abort_src in
+  let run ~use_incremental =
+    let options =
+      Dart.Driver.Options.make ~seed:3 ~max_runs:100 ~use_cache:false ~use_incremental
+        ~faultsim:(Faultsim.make [ (Faultsim.Solver_deadline, None, 1) ])
+        ()
+    in
+    Dart.Driver.run ~options prog
+  in
+  let inc = run ~use_incremental:true and fresh = run ~use_incremental:false in
+  Alcotest.(check string) "incremental search identical to fresh after forced overrun"
+    (Dart.Driver.report_to_string fresh)
+    (Dart.Driver.report_to_string inc);
+  Alcotest.(check int) "overrun did hit the incremental run" 1
+    (Solver.deadline_overruns inc.Dart.Driver.solver_stats)
+
 (* ---- checkpoint codec ------------------------------------------------------ *)
 
 let with_snapshot f =
@@ -222,7 +244,8 @@ let test_checkpoint_roundtrip () =
 
 let test_checkpoint_meta_guard () =
   let meta m_seed m_strategy =
-    { Dart.Checkpoint.m_seed; m_depth = 1; m_max_runs = 100; m_strategy }
+    { Dart.Checkpoint.m_seed; m_depth = 1; m_max_runs = 100; m_strategy;
+      m_incremental = true; m_shared_cache = true }
   in
   let expected = meta 42 Dart.Strategy.Dfs in
   (match Dart.Checkpoint.check_meta ~expected ~found:(meta 43 Dart.Strategy.Dfs) with
@@ -232,6 +255,23 @@ let test_checkpoint_meta_guard () =
   (match Dart.Checkpoint.check_meta ~expected ~found:(meta 42 Dart.Strategy.Bfs) with
    | Ok () -> Alcotest.fail "strategy mismatch accepted"
    | Error _ -> ());
+  (* A snapshot taken under a different acceleration config must be
+     rejected: flipping incremental or the shared store between save
+     and resume would change the counters a resumed report prints. *)
+  (match
+     Dart.Checkpoint.check_meta ~expected
+       ~found:{ expected with Dart.Checkpoint.m_incremental = false }
+   with
+   | Ok () -> Alcotest.fail "incremental mismatch accepted"
+   | Error e -> Alcotest.(check bool) "error names incremental" true
+                  (Str_contains.contains e "incremental"));
+  (match
+     Dart.Checkpoint.check_meta ~expected
+       ~found:{ expected with Dart.Checkpoint.m_shared_cache = false }
+   with
+   | Ok () -> Alcotest.fail "shared-cache mismatch accepted"
+   | Error e -> Alcotest.(check bool) "error names the shared store" true
+                  (Str_contains.contains e "shared"));
   (* The run budget bounds the trajectory, it does not shape it:
      resuming under a larger budget extends the search. *)
   match
@@ -380,6 +420,8 @@ let suite =
     Alcotest.test_case "random search deadline" `Quick test_random_deadline;
     Alcotest.test_case "step limit is not a bug" `Quick test_step_limit_is_not_a_bug;
     Alcotest.test_case "forced Unknown is retriable" `Quick test_forced_unknown_is_retriable;
+    Alcotest.test_case "forced overrun: incremental matches fresh" `Quick
+      test_forced_unknown_incremental_matches_fresh;
     Alcotest.test_case "checkpoint codec roundtrip" `Quick test_checkpoint_roundtrip;
     Alcotest.test_case "checkpoint meta guard" `Quick test_checkpoint_meta_guard;
     Alcotest.test_case "checkpoint file atomicity" `Quick test_checkpoint_file_atomicity;
