@@ -10,9 +10,10 @@
         the partial report (and --checkpoint file, when given) was
         still written
 
-   A second subcommand inspects traces written with --trace:
-
-     dune exec bin/dartc.exe -- trace-stats trace.jsonl *)
+   Subcommands: `dartc campaign library.mc` tests every discoverable
+   function of a library in one invocation (see run_campaign below for
+   its exit codes); `dartc trace-stats trace.jsonl` inspects traces
+   written with --trace; `dartc cover` explores coverage. *)
 
 open Cmdliner
 
@@ -324,12 +325,8 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
       with
       | Some msg -> usage_error msg
       | None ->
-        (* Preparation (driver generation, typecheck, lowering) is timed
-           into the Lower phase of the same metrics record the search
-           will use, so --metrics accounts for the whole pipeline. *)
-        let prep = Dart.Telemetry.create_metrics () in
-        let prog = Dart.Driver.prepare ~metrics:prep ~toplevel ~depth ast in
         if dump_ram then begin
+          let prog = Dart.Driver.prepare ~toplevel ~depth ast in
           Hashtbl.iter
             (fun _ f -> print_string (Ram.Instr.func_to_string f))
             prog.Ram.Instr.funcs;
@@ -345,51 +342,50 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
           | Ok fs ->
             with_trace_sink trace @@ fun sink ->
             install_signal_handlers ();
+            (* Preparation (driver generation, typecheck, lowering) is
+               timed into the Lower phase of the same metrics record the
+               search will use, so --metrics accounts for the whole
+               pipeline. The Session/Target/Engine API does the rest of
+               the plumbing this driver used to do inline. *)
+            let prep = Dart.Telemetry.create_metrics () in
             let print_metrics m =
               if metrics_flag then print_endline (Dart.Telemetry.metrics_to_string m)
             in
+            let options =
+              Dart.Driver.Options.make ~seed ~depth ~max_runs
+                ~strategy:(Option.value ~default:Dart.Strategy.Dfs strategy)
+                ~stop_on_first_bug:(not all_bugs) ~use_cache:(not no_cache)
+                ~use_slicing:(not no_slicing) ~use_incremental:(not no_incremental)
+                ~use_shared_cache:(not no_shared_cache)
+                ?time_budget_ns:(Option.map ns_of_seconds time_budget)
+                ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout)
+                ~exec:
+                  { Dart.Concolic.default_exec_options with
+                    symbolic_pointers = symbolic_ptrs;
+                    compile = not no_compile }
+                ~telemetry:(Dart.Telemetry.with_sink sink) ~faultsim:fs ()
+            in
+            let portfolio =
+              if portfolio then
+                [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ]
+              else []
+            in
+            let session = Dart.Session.create ~jobs ~portfolio ~options () in
+            let target = Dart.Target.of_ast ~toplevel ast in
             if random_mode then begin
-              let exec =
-                { Dart.Concolic.default_exec_options with
-                  symbolic_pointers = symbolic_ptrs;
-                  compile = not no_compile }
-              in
-              let deadline =
-                Option.map
-                  (fun s -> Int64.add (Dart.Telemetry.now ()) (ns_of_seconds s))
-                  time_budget
-              in
-              let report =
-                Dart.Random_search.run ~seed ~max_runs ?deadline ~exec ~telemetry:sink
-                  ~metrics:prep prog
-              in
-              if Dart.Telemetry.enabled sink then begin
-                Dart.Telemetry.emit_phase_totals sink prep;
-                Dart.Telemetry.flush sink
-              end;
-              print_endline (Dart.Random_search.report_to_string report);
-              print_metrics prep;
-              if coverage then print_coverage prog report.Dart.Random_search.coverage_sites;
-              match report.Dart.Random_search.verdict with
-              | `Bug_found _ -> 1
-              | `No_bug -> 0
-              | `Time_exhausted | `Interrupted -> 3
+              match Dart.Engine.run ~mode:`Random ~metrics:prep session target with
+              | Dart.Engine.Directed_report _ | Dart.Engine.Parallel_report _ ->
+                assert false
+              | Dart.Engine.Random_report report as outcome ->
+                print_endline (Dart.Random_search.report_to_string report);
+                print_metrics prep;
+                if coverage then
+                  print_coverage
+                    (Dart.Session.prepare session target)
+                    report.Dart.Random_search.coverage_sites;
+                Dart.Engine.exit_code outcome
             end
             else begin
-              let options =
-                Dart.Driver.Options.make ~seed ~depth ~max_runs
-                  ~strategy:(Option.value ~default:Dart.Strategy.Dfs strategy)
-                  ~stop_on_first_bug:(not all_bugs) ~use_cache:(not no_cache)
-                  ~use_slicing:(not no_slicing) ~use_incremental:(not no_incremental)
-                  ~use_shared_cache:(not no_shared_cache)
-                  ?time_budget_ns:(Option.map ns_of_seconds time_budget)
-                  ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout)
-                  ~exec:
-                    { Dart.Concolic.default_exec_options with
-                      symbolic_pointers = symbolic_ptrs;
-                      compile = not no_compile }
-                  ~telemetry:(Dart.Telemetry.with_sink sink) ~faultsim:fs ()
-              in
               let meta = Dart.Checkpoint.meta_of_options options in
               let resume_snapshot =
                 match resume with
@@ -405,74 +401,49 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
               match resume_snapshot with
               | Error msg -> usage_error msg
               | Ok resume_snapshot ->
-              let on_checkpoint =
-                Option.map
-                  (fun path snapshot -> Dart.Checkpoint.save ~path ~meta snapshot)
-                  checkpoint
-              in
-              let report, worker_lines =
-                if jobs = 1 then begin
-                  (* Sequential: hand the search the metrics record that
-                     already holds the Lower time, so its phase totals
-                     cover the full pipeline. *)
-                  let ctx =
-                    Dart.Driver.make_ctx ~metrics:prep
-                      ?deadline:(Dart.Driver.deadline_of_options options)
-                      ~incremental:(not no_incremental) ~seed ~max_runs ()
-                  in
-                  ( Dart.Driver.search ?resume:resume_snapshot ?on_checkpoint
-                      ?checkpoint_every ~ctx ~options prog,
-                    None )
-                end
-                else begin
-                  let portfolio =
-                    if portfolio then
-                      [ Dart.Strategy.Dfs; Dart.Strategy.Random_branch; Dart.Strategy.Bfs ]
-                    else []
-                  in
-                  let popts = Dart.Parallel.options ~jobs ~portfolio options in
-                  let r = Dart.Parallel.run ~options:popts prog in
-                  (* Workers never see preparation time: fold it into the
-                     merged metrics (and the trace) here. *)
-                  Dart.Telemetry.add_metrics
-                    ~into:r.Dart.Parallel.merged.Dart.Driver.metrics prep;
-                  if Dart.Telemetry.enabled sink then begin
-                    Dart.Telemetry.emit sink
-                      (Dart.Telemetry.Phase_total
-                         { phase = Dart.Telemetry.Lower;
-                           dur_ns = prep.Dart.Telemetry.lower_ns });
-                    Dart.Telemetry.flush sink
-                  end;
-                  (r.Dart.Parallel.merged, Some r)
-                end
-              in
-              (match worker_lines with
-               | Some r -> print_endline (Dart.Parallel.report_to_string r)
-               | None -> print_endline (Dart.Driver.report_to_string report));
-              print_metrics report.Dart.Driver.metrics;
-              (* Incremental/shared-store counters ride with --metrics:
-                 the plain report stays byte-identical across the
-                 --no-incremental/--no-shared-cache ablations. *)
-              if metrics_flag then begin
-                let st = report.Dart.Driver.solver_stats in
-                Printf.printf
-                  "incremental: %d prepared-state hits, %d pops saved, %d shared-store hits\n"
-                  (Solver.incremental_hits st) (Solver.pops_saved st)
-                  (Solver.shared_hits st)
-              end;
-              if coverage then print_coverage prog report.Dart.Driver.coverage_sites;
-              List.iter
-                (fun (b : Dart.Driver.bug) ->
-                  Printf.printf "  - %s in %s at %s (run %d)\n"
-                    (Machine.fault_to_string b.bug_fault)
-                    b.bug_site.Machine.site_fn
-                    (Minic.Loc.to_string b.bug_site.Machine.site_loc)
-                    b.bug_run)
-                report.Dart.Driver.bugs;
-              match report.Dart.Driver.verdict with
-              | Dart.Driver.Bug_found _ -> 1
-              | Dart.Driver.Complete | Dart.Driver.Budget_exhausted -> 0
-              | Dart.Driver.Time_exhausted | Dart.Driver.Interrupted -> 3
+                let on_checkpoint =
+                  Option.map
+                    (fun path snapshot -> Dart.Checkpoint.save ~path ~meta snapshot)
+                    checkpoint
+                in
+                let outcome =
+                  Dart.Engine.run ?resume:resume_snapshot ?on_checkpoint
+                    ?checkpoint_every ~metrics:prep session target
+                in
+                let report =
+                  match outcome with
+                  | Dart.Engine.Random_report _ -> assert false
+                  | Dart.Engine.Directed_report report ->
+                    print_endline (Dart.Driver.report_to_string report);
+                    report
+                  | Dart.Engine.Parallel_report r ->
+                    print_endline (Dart.Parallel.report_to_string r);
+                    r.Dart.Parallel.merged
+                in
+                print_metrics report.Dart.Driver.metrics;
+                (* Incremental/shared-store counters ride with --metrics:
+                   the plain report stays byte-identical across the
+                   --no-incremental/--no-shared-cache ablations. *)
+                if metrics_flag then begin
+                  let st = report.Dart.Driver.solver_stats in
+                  Printf.printf
+                    "incremental: %d prepared-state hits, %d pops saved, %d shared-store hits\n"
+                    (Solver.incremental_hits st) (Solver.pops_saved st)
+                    (Solver.shared_hits st)
+                end;
+                if coverage then
+                  print_coverage
+                    (Dart.Session.prepare session target)
+                    report.Dart.Driver.coverage_sites;
+                List.iter
+                  (fun (b : Dart.Driver.bug) ->
+                    Printf.printf "  - %s in %s at %s (run %d)\n"
+                      (Machine.fault_to_string b.bug_fault)
+                      b.bug_site.Machine.site_fn
+                      (Minic.Loc.to_string b.bug_site.Machine.site_loc)
+                      b.bug_run)
+                  report.Dart.Driver.bugs;
+                Dart.Engine.exit_code outcome
             end
         end
     end
@@ -684,6 +655,220 @@ let run_cover file toplevel depth max_runs seed from_trace annotate lcov_out htm
     Printf.eprintf "error: %s\n" msg;
     2
 
+(* ---- campaign -------------------------------------------------------------------- *)
+
+(* Whole-library testing: discover every testable function, schedule
+   budget slices across worker domains, dedup crashes library-wide,
+   emit one aggregate report. Exit status: 2 usage (including zero
+   targets), 3 stopped early (resume with --resume), 1 crashes found,
+   0 clean. *)
+
+let priority_conv =
+  let parse s =
+    match Dart.Driver.Options.priority_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown priority %S (frontier|order)" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Dart.Driver.Options.priority_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let per_function_runs_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "per-function-runs" ] ~docv:"N"
+        ~doc:
+          "Budget slice per target and scheduler round; active targets get refills, one \
+           slice per round, until they retire.")
+
+let retire_after_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retire-after" ] ~docv:"N"
+        ~doc:
+          "Retire a target as saturated after $(docv) consecutive slices without a new \
+           branch direction.")
+
+let priority_arg =
+  Arg.(
+    value
+    & opt priority_conv Dart.Driver.Options.Frontier_first
+    & info [ "priority" ] ~docv:"POLICY"
+        ~doc:
+          "Round ordering: $(b,frontier) (most frontier sites first — where a refill is \
+           most likely to buy coverage) or $(b,order) (library declaration order). \
+           Results are identical either way; only wall-clock priority changes.")
+
+let campaign_max_runs_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "max-runs" ] ~docv:"N" ~doc:"Per-target total budget of instrumented runs.")
+
+let campaign_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the machine-readable aggregate report (deterministic JSON) to $(docv).")
+
+let campaign_lcov_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lcov" ] ~docv:"FILE"
+        ~doc:"Write the aggregate library coverage as an lcov tracefile to $(docv).")
+
+let campaign_html_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "html" ] ~docv:"FILE"
+        ~doc:"Write the aggregate library coverage as a single-file HTML report to $(docv).")
+
+let campaign_checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "After every scheduler round, persist the finished targets to $(docv) (atomic \
+           write-then-rename); resume with $(b,--resume).")
+
+let campaign_resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume a campaign from a checkpoint written by $(b,--checkpoint): finished \
+           targets are restored, unfinished ones re-run from scratch (per-target results \
+           are deterministic, so the aggregate matches the uninterrupted campaign). The \
+           seed, budgets and library source must match.")
+
+let campaign_list_arg =
+  Arg.(
+    value & flag
+    & info [ "list" ] ~doc:"Only discover and print the campaign targets, one per line.")
+
+let validate_campaign ~jobs ~per_function_runs ~retire_after ~max_runs ~time_budget
+    ~solver_timeout ~list_only ~checkpoint ~resume ~json ~lcov ~html =
+  let table =
+    [ (jobs < 0, "--jobs must be >= 0");
+      (per_function_runs <= 0, "--per-function-runs must be positive");
+      (retire_after <= 0, "--retire-after must be positive");
+      (max_runs <= 0, "--max-runs must be positive");
+      ( (match time_budget with Some s -> s <= 0.0 | None -> false),
+        "--time-budget must be positive" );
+      ( (match solver_timeout with Some ms -> ms <= 0.0 | None -> false),
+        "--solver-timeout must be positive" );
+      ( list_only
+        && (checkpoint <> None || resume <> None || json <> None || lcov <> None
+           || html <> None),
+        "--list only discovers targets; it conflicts with --checkpoint/--resume and the \
+         report outputs" ) ]
+  in
+  List.find_opt fst table |> Option.map snd
+
+let write_file_with_note ~what path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
+  Printf.eprintf "dartc campaign: wrote %s %s\n" what path
+
+let run_campaign file jobs seed depth max_runs per_function_runs retire_after priority
+    all_bugs time_budget solver_timeout json lcov html checkpoint resume list_only =
+  try
+    let src = read_file file in
+    match
+      validate_campaign ~jobs ~per_function_runs ~retire_after ~max_runs ~time_budget
+        ~solver_timeout ~list_only ~checkpoint ~resume ~json ~lcov ~html
+    with
+    | Some msg -> usage_error msg
+    | None ->
+      if list_only then begin
+        let ast = Minic.Parser.parse_program ~file src in
+        let targets, skipped = Dart.Campaign.discover ast in
+        List.iter print_endline targets;
+        List.iter
+          (fun (name, reason) ->
+            Printf.eprintf "dartc campaign: skipped %s: %s\n" name reason)
+          skipped;
+        if targets = [] then usage_error "no testable targets discovered" else 0
+      end
+      else begin
+        install_signal_handlers ();
+        let options =
+          Dart.Driver.Options.make ~seed ~depth ~max_runs ~per_function_runs
+            ~retire_after ~priority ~stop_on_first_bug:(not all_bugs)
+            ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout) ()
+        in
+        match
+          Dart.Campaign.run ~jobs ~options
+            ?time_budget_ns:(Option.map ns_of_seconds time_budget) ?checkpoint ?resume
+            ~file
+            ~progress:(fun line -> Printf.eprintf "dartc campaign: %s\n%!" line)
+            src
+        with
+        | Error msg -> usage_error msg
+        | Ok report ->
+          print_string (Dart.Campaign.report_to_string report);
+          Option.iter
+            (fun path -> write_file_with_note ~what:"JSON" path (Dart.Campaign.to_json report))
+            json;
+          if lcov <> None || html <> None then begin
+            (* Any one prepared program of the library carries every
+               non-driver function, so the first target's program is the
+               site universe for the aggregate view. *)
+            match report.Dart.Campaign.cam_targets with
+            | [] -> ()
+            | first :: _ ->
+              let ast = Minic.Parser.parse_program ~file src in
+              let prog = Dart.Driver.prepare ~toplevel:first ~depth ast in
+              let t =
+                Dart.Cover_report.compute prog
+                  ~covered:(Dart.Campaign.aggregate_sites report)
+              in
+              Option.iter
+                (fun path ->
+                  write_file_with_note ~what:"lcov" path (Dart.Cover_report.to_lcov t))
+                lcov;
+              Option.iter
+                (fun path ->
+                  let title =
+                    Printf.sprintf "%s \u{2014} campaign" (Filename.basename file)
+                  in
+                  write_file_with_note ~what:"HTML" path
+                    (Dart.Cover_report.to_html t ~source:src ~title))
+                html
+          end;
+          (match report.Dart.Campaign.cam_status with
+           | Dart.Campaign.Stopped_early _ -> 3
+           | Dart.Campaign.Finished ->
+             if report.Dart.Campaign.cam_crashes <> [] then 1 else 0)
+      end
+  with
+  | Minic.Lexer.Error (loc, msg) | Minic.Parser.Error (loc, msg)
+  | Minic.Typecheck.Error (loc, msg) ->
+    Printf.eprintf "%s: error: %s\n" (Minic.Loc.to_string loc) msg;
+    2
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+let campaign_cmd =
+  let doc =
+    "test every discoverable function of a MiniC library: budget slices with \
+     frontier-driven refills, library-wide crash dedup, one aggregate report"
+  in
+  Cmd.v
+    (Cmd.info "dartc campaign" ~doc)
+    Term.(
+      const run_campaign $ file_arg $ jobs_arg $ seed_arg $ depth_arg
+      $ campaign_max_runs_arg $ per_function_runs_arg $ retire_after_arg $ priority_arg
+      $ all_bugs_arg $ time_budget_arg $ solver_timeout_arg $ campaign_json_arg
+      $ campaign_lcov_arg $ campaign_html_arg $ campaign_checkpoint_arg
+      $ campaign_resume_arg $ campaign_list_arg)
+
 let run_term =
   Term.(
     const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
@@ -727,7 +912,12 @@ let eval ?argv cmd =
 
 let () =
   let argv = Sys.argv in
-  if Array.length argv > 1 && argv.(1) = "trace-stats" then
+  if Array.length argv > 1 && argv.(1) = "campaign" then
+    eval
+      ~argv:
+        (Array.append [| "dartc campaign" |] (Array.sub argv 2 (Array.length argv - 2)))
+      campaign_cmd
+  else if Array.length argv > 1 && argv.(1) = "trace-stats" then
     eval
       ~argv:
         (Array.append [| "dartc trace-stats" |] (Array.sub argv 2 (Array.length argv - 2)))

@@ -1,0 +1,668 @@
+(* Whole-library campaign mode. See campaign.mli for the contract; the
+   load-bearing invariant throughout is that a target's result is a
+   deterministic function of (options, target) alone — slices resume
+   each other through in-memory snapshots, every slice starts with a
+   cold solve cache, and nothing a worker computes depends on what the
+   other workers are doing — so jobs and scheduling order can only
+   change wall clock, never the report. *)
+
+module O = Driver.Options
+
+type retire = Bug | Complete | Saturated | Budget_capped
+
+type target_result = {
+  tr_name : string;
+  tr_index : int;
+  tr_runs : int;
+  tr_slices : int;
+  tr_retired : retire;
+  tr_coverage : (string * int * bool) list;
+  tr_bugs : Driver.bug list;
+}
+
+type status = Finished | Stopped_early of string
+
+type report = {
+  cam_targets : string list;
+  cam_skipped : (string * string) list;
+  cam_results : target_result list;
+  cam_unfinished : string list;
+  cam_crashes : (string * Driver.bug) list;
+  cam_status : status;
+  cam_resumed : int;
+}
+
+(* ---- discovery ------------------------------------------------------------------- *)
+
+let discover (ast : Minic.Ast.program) =
+  let targets = ref [] in
+  let skipped = ref [] in
+  List.iter
+    (function
+      | Minic.Ast.Gfun f when f.Minic.Ast.fbody <> None ->
+        let name = f.Minic.Ast.fname in
+        (* Driver_gen.is_harness_site is the single source of truth:
+           __dart_* helpers (from a source file that embeds a generated
+           driver) and the __coin site can never become targets. *)
+        if not (Driver_gen.is_harness_site name) then begin
+          match
+            List.find_opt
+              (fun (ty, _) -> not (Minic.Ctype.is_scalar ty))
+              f.Minic.Ast.fparams
+          with
+          | Some (ty, p) ->
+            skipped :=
+              ( name,
+                Printf.sprintf "parameter %s has non-scalar type %s" p
+                  (Minic.Ctype.to_string ty) )
+              :: !skipped
+          | None -> targets := name :: !targets
+        end
+      | _ -> ())
+    ast;
+  (List.rev !targets, List.rev !skipped)
+
+(* ---- frontier signal ------------------------------------------------------------- *)
+
+let frontier_count sites =
+  let tbl : (string * int, bool * bool) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (fn, pc, dir) ->
+      let taken, fall = Option.value ~default:(false, false) (Hashtbl.find_opt tbl (fn, pc)) in
+      Hashtbl.replace tbl (fn, pc) (taken || dir, fall || not dir))
+    sites;
+  Hashtbl.fold (fun _ (taken, fall) acc -> if taken <> fall then acc + 1 else acc) tbl 0
+
+(* ---- checkpoint codec ------------------------------------------------------------ *)
+
+let magic = "dart-campaign"
+let version = 1
+
+let retire_tag = function
+  | Bug -> "bug"
+  | Complete -> "complete"
+  | Saturated -> "saturated"
+  | Budget_capped -> "capped"
+
+let retire_of_tag = function
+  | "bug" -> Some Bug
+  | "complete" -> Some Complete
+  | "saturated" -> Some Saturated
+  | "capped" -> Some Budget_capped
+  | _ -> None
+
+let bool_tag b = if b then "1" else "0"
+
+(* Everything a target's deterministic result depends on, one line;
+   [load] insists on byte equality, so a resumed campaign can only ever
+   continue the run it checkpointed. The priority policy is absent on
+   purpose: it reorders work without changing any result. *)
+let meta_line ~(options : Driver.options) ~library =
+  Printf.sprintf
+    "meta seed=%d depth=%d max_runs=%d per_function_runs=%d retire_after=%d \
+     strategy=%s all_bugs=%s library=%s"
+    options.O.search.O.seed options.O.search.O.depth options.O.budget.O.max_runs
+    options.O.campaign.O.per_function_runs options.O.campaign.O.retire_after
+    (Strategy.to_string options.O.search.O.strategy)
+    (bool_tag (not options.O.budget.O.stop_on_first_bug))
+    (Digest.to_hex (Digest.string library))
+
+let to_string ~options ~library report =
+  let buf = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let esc = Checkpoint.escape in
+  line "%s v%d" magic version;
+  line "%s" (meta_line ~options ~library);
+  line "finished %d" (List.length report.cam_results);
+  List.iter
+    (fun tr ->
+      line "target %s %d %d %d %s" (esc tr.tr_name) tr.tr_index tr.tr_runs tr.tr_slices
+        (retire_tag tr.tr_retired);
+      line "cover %d" (List.length tr.tr_coverage);
+      List.iter
+        (fun (fn, pc, dir) -> line "c %s %d %s" (esc fn) pc (bool_tag dir))
+        tr.tr_coverage;
+      line "bugs %d" (List.length tr.tr_bugs);
+      List.iter
+        (fun (b : Driver.bug) ->
+          let loc = b.Driver.bug_site.Machine.site_loc in
+          Buffer.add_string buf
+            (Printf.sprintf "bug %s %s %d %s %d %d %d %d"
+               (Machine.fault_tag b.Driver.bug_fault)
+               (esc b.Driver.bug_site.Machine.site_fn)
+               b.Driver.bug_site.Machine.site_pc (esc loc.Minic.Loc.file)
+               loc.Minic.Loc.line loc.Minic.Loc.col b.Driver.bug_run
+               (List.length b.Driver.bug_inputs));
+          List.iter
+            (fun (id, v) -> Buffer.add_string buf (Printf.sprintf " %d:%d" id v))
+            b.Driver.bug_inputs;
+          Buffer.add_char buf '\n')
+        tr.tr_bugs)
+    report.cam_results;
+  line "end";
+  Buffer.contents buf
+
+exception Bad of string
+
+let of_string text =
+  let lines = ref (List.filter (fun l -> l <> "") (String.split_on_char '\n' text)) in
+  let next what =
+    match !lines with
+    | [] -> raise (Bad (Printf.sprintf "unexpected end of file, wanted %s" what))
+    | l :: rest ->
+      lines := rest;
+      l
+  in
+  let tokens l = String.split_on_char ' ' l in
+  let int_tok what t =
+    match int_of_string_opt t with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "bad integer in %s: %S" what t))
+  in
+  let bool_tok what = function
+    | "0" -> false
+    | "1" -> true
+    | t -> raise (Bad (Printf.sprintf "bad boolean in %s: %S" what t))
+  in
+  let unesc what t =
+    match Checkpoint.unescape t with
+    | Ok s -> s
+    | Error msg -> raise (Bad (Printf.sprintf "%s in %s" msg what))
+  in
+  let expect_counted what =
+    match tokens (next what) with
+    | [ tag; count ] when tag = what -> int_tok what count
+    | _ -> raise (Bad (Printf.sprintf "expected %S record" what))
+  in
+  try
+    (match tokens (next "magic") with
+     | [ m; v ] when m = magic ->
+       if v <> Printf.sprintf "v%d" version then
+         raise
+           (Bad
+              (Printf.sprintf "unsupported campaign checkpoint version %s (this build reads v%d)"
+                 v version))
+     | m :: _ when m = "dart-checkpoint" ->
+       raise
+         (Bad "this is a single-shot search checkpoint; resume it with plain `dartc --resume`")
+     | _ -> raise (Bad "not a dart campaign checkpoint file"));
+    let meta = next "meta" in
+    if not (String.length meta >= 5 && String.sub meta 0 5 = "meta ") then
+      raise (Bad "expected \"meta\" record");
+    let n_finished = expect_counted "finished" in
+    let results =
+      List.init n_finished (fun _ ->
+          let tr_name, tr_index, tr_runs, tr_slices, tr_retired =
+            match tokens (next "target") with
+            | [ "target"; name; index; runs; slices; tag ] ->
+              let retired =
+                match retire_of_tag tag with
+                | Some r -> r
+                | None -> raise (Bad (Printf.sprintf "unknown retire reason %S" tag))
+              in
+              ( unesc "target" name,
+                int_tok "target" index,
+                int_tok "target" runs,
+                int_tok "target" slices,
+                retired )
+            | _ -> raise (Bad "expected \"target\" record")
+          in
+          let n_cov = expect_counted "cover" in
+          let tr_coverage =
+            List.init n_cov (fun _ ->
+                match tokens (next "c") with
+                | [ "c"; fn; pc; dir ] ->
+                  (unesc "c" fn, int_tok "c" pc, bool_tok "c" dir)
+                | _ -> raise (Bad "expected \"c\" record"))
+          in
+          let n_bugs = expect_counted "bugs" in
+          let tr_bugs =
+            List.init n_bugs (fun _ ->
+                match tokens (next "bug") with
+                | "bug" :: fault :: fn :: pc :: file :: lno :: col :: run :: n_inputs
+                  :: inputs ->
+                  let bug_fault =
+                    match Machine.fault_of_tag fault with
+                    | Some f -> f
+                    | None -> raise (Bad (Printf.sprintf "unknown fault %S" fault))
+                  in
+                  let n_inputs = int_tok "bug" n_inputs in
+                  if List.length inputs <> n_inputs then
+                    raise (Bad "bug input count mismatch");
+                  { Driver.bug_fault;
+                    bug_site =
+                      { Machine.site_fn = unesc "bug" fn;
+                        site_pc = int_tok "bug" pc;
+                        site_loc =
+                          { Minic.Loc.file = unesc "bug" file;
+                            line = int_tok "bug" lno;
+                            col = int_tok "bug" col } };
+                    bug_run = int_tok "bug" run;
+                    bug_inputs =
+                      List.map
+                        (fun e ->
+                          match String.split_on_char ':' e with
+                          | [ id; v ] -> (int_tok "bug" id, int_tok "bug" v)
+                          | _ -> raise (Bad (Printf.sprintf "bad bug input %S" e)))
+                        inputs }
+                | _ -> raise (Bad "expected \"bug\" record"))
+          in
+          { tr_name; tr_index; tr_runs; tr_slices; tr_retired; tr_coverage; tr_bugs })
+    in
+    (match tokens (next "end") with
+     | [ "end" ] -> ()
+     | _ -> raise (Bad "expected \"end\" record"));
+    Ok (meta, results)
+  with Bad msg -> Error msg
+
+let save ~path ~options ~library report =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string ~options ~library report);
+      flush oc);
+  Sys.rename tmp path
+
+let load ~path ~options ~library =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match of_string text with
+    | Error msg -> Error msg
+    | Ok (found_meta, results) ->
+      let expected = meta_line ~options ~library in
+      if found_meta <> expected then
+        Error
+          (Printf.sprintf
+             "checkpoint was taken under a different campaign configuration\n\
+             \  expected: %s\n\
+             \  found:    %s" expected found_meta)
+      else Ok results)
+
+(* ---- aggregation ----------------------------------------------------------------- *)
+
+let dedup_crashes results =
+  let seen : (string * int * Machine.fault, unit) Hashtbl.t = Hashtbl.create 32 in
+  let acc = ref [] in
+  (* Results arrive in declaration order, so the first target (in that
+     order) to expose a defect gets the attribution. *)
+  List.iter
+    (fun tr ->
+      List.iter
+        (fun (b : Driver.bug) ->
+          let key = Driver.bug_key b in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            acc := (key, (tr.tr_name, b)) :: !acc
+          end)
+        tr.tr_bugs)
+    results;
+  List.sort (fun (k1, _) (k2, _) -> compare k1 k2) (List.rev !acc) |> List.map snd
+
+let aggregate_sites report =
+  let tbl : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun tr ->
+      List.iter
+        (fun ((fn, _, _) as site) ->
+          if not (Driver_gen.is_harness_site fn) then Hashtbl.replace tbl site ())
+        tr.tr_coverage)
+    report.cam_results;
+  List.sort compare (Hashtbl.fold (fun site () acc -> site :: acc) tbl [])
+
+(* ---- the scheduler --------------------------------------------------------------- *)
+
+type tstate = {
+  st_name : string;
+  st_index : int;
+  mutable st_runs : int;
+  mutable st_slices : int;
+  mutable st_stale : int; (* consecutive slices without a new direction *)
+  mutable st_covered : int;
+  mutable st_frontier : int;
+  mutable st_snapshot : Driver.snapshot option;
+  mutable st_result : target_result option;
+  mutable st_failed : string option; (* a slice raised: dropped with the reason *)
+}
+
+type slice_outcome =
+  | Sliced of Driver.report * Driver.snapshot option
+  | Slice_failed of string
+
+let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpoint
+    ?resume ?file ?(progress = fun _ -> ()) text =
+  if jobs < 0 then invalid_arg "Campaign.run: jobs must be >= 0";
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+  let ast = Minic.Parser.parse_program ?file text in
+  let targets, skipped = discover ast in
+  if targets = [] then
+    Error
+      "no testable targets discovered (every function is a prototype, a harness helper, \
+       or takes non-scalar parameters)"
+  else begin
+    (* Surface library-level type errors once, up front, instead of as
+       one identical slice failure per target. *)
+    ignore (Minic.Typecheck.check ast);
+    match
+      match resume with
+      | None -> Ok []
+      | Some path -> (
+        match load ~path ~options ~library:text with
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+        | Ok results -> Ok results)
+    with
+    | Error msg -> Error msg
+    | Ok restored ->
+      let restored_tbl = Hashtbl.create 16 in
+      List.iter (fun tr -> Hashtbl.replace restored_tbl tr.tr_name tr) restored;
+      let states =
+        List.mapi
+          (fun i name ->
+            { st_name = name;
+              st_index = i;
+              st_runs = 0;
+              st_slices = 0;
+              st_stale = 0;
+              st_covered = 0;
+              st_frontier = 0;
+              st_snapshot = None;
+              st_result = Hashtbl.find_opt restored_tbl name;
+              st_failed = None })
+          targets
+      in
+      let resumed_count = List.length (List.filter (fun st -> st.st_result <> None) states) in
+      let deadline =
+        Option.map (fun ns -> Int64.add (Telemetry.now ()) ns) time_budget_ns
+      in
+      let over_deadline () =
+        match deadline with
+        | None -> false
+        | Some d -> Int64.compare (Telemetry.now ()) d >= 0
+      in
+      let stop () = Cancel.requested () || over_deadline () in
+      let session =
+        Session.create ~jobs:1 ~should_stop:over_deadline ~options ()
+      in
+      let per_slice = max 1 options.O.campaign.O.per_function_runs in
+      let cap_total = options.O.budget.O.max_runs in
+      let run_slice st =
+        let cap = min cap_total (st.st_runs + per_slice) in
+        let target =
+          Target.make ~max_runs:cap ~toplevel:st.st_name
+            (Target.Text { file; text })
+        in
+        let latest = ref None in
+        try
+          match
+            Engine.run ?resume:st.st_snapshot
+              ~on_checkpoint:(fun sn -> latest := Some sn)
+              session target
+          with
+          | Engine.Directed_report r -> Sliced (r, !latest)
+          | Engine.Random_report _ | Engine.Parallel_report _ -> assert false
+        with
+        | Minic.Typecheck.Error (loc, msg) ->
+          Slice_failed (Printf.sprintf "%s: %s" (Minic.Loc.to_string loc) msg)
+        | Driver_gen.No_toplevel name ->
+          Slice_failed (Printf.sprintf "no function named %s with a body" name)
+      in
+      let active () = List.filter (fun st -> st.st_result = None && st.st_failed = None) states in
+      let order_round sts =
+        match options.O.campaign.O.priority with
+        | O.Declaration_order -> sts
+        | O.Frontier_first ->
+          (* Most frontier sites first — ties (round 1: everybody at 0)
+             fall back to declaration order. *)
+          List.stable_sort
+            (fun a b ->
+              match compare b.st_frontier a.st_frontier with
+              | 0 -> compare a.st_index b.st_index
+              | c -> c)
+            sts
+      in
+      let interim () =
+        let results =
+          List.filter_map (fun st -> st.st_result) states
+          |> List.sort (fun a b -> compare a.tr_index b.tr_index)
+        in
+        let failed =
+          List.filter_map
+            (fun st -> Option.map (fun r -> (st.st_name, r)) st.st_failed)
+            states
+        in
+        let unfinished =
+          List.filter_map
+            (fun st -> if st.st_result = None && st.st_failed = None then Some st.st_name else None)
+            states
+        in
+        { cam_targets = targets;
+          cam_skipped = skipped @ failed;
+          cam_results = results;
+          cam_unfinished = unfinished;
+          cam_crashes = dedup_crashes results;
+          cam_status = Finished; (* patched by the caller *)
+          cam_resumed = resumed_count }
+      in
+      progress
+        (Printf.sprintf "campaign: %d targets (%d skipped), %d restored from checkpoint, jobs=%d"
+           (List.length targets) (List.length skipped) resumed_count jobs);
+      let round = ref 0 in
+      let finished_at_last_save = ref (-1) in
+      let maybe_checkpoint () =
+        Option.iter
+          (fun path ->
+            let r = interim () in
+            let n = List.length r.cam_results in
+            if n <> !finished_at_last_save then begin
+              save ~path ~options ~library:text r;
+              finished_at_last_save := n;
+              progress (Printf.sprintf "checkpoint: wrote %s (%d finished)" path n)
+            end)
+          checkpoint
+      in
+      while active () <> [] && not (stop ()) do
+        incr round;
+        let tasks = Array.of_list (order_round (active ())) in
+        progress (Printf.sprintf "round %d: %d active" !round (Array.length tasks));
+        let outcomes = Array.make (Array.length tasks) None in
+        let next = Atomic.make 0 in
+        let worker () =
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= Array.length tasks || stop () then continue := false
+            else outcomes.(i) <- Some (run_slice tasks.(i))
+          done
+        in
+        (if jobs = 1 || Array.length tasks = 1 then worker ()
+         else begin
+           let n = min jobs (Array.length tasks) in
+           let domains = Array.init n (fun _ -> Domain.spawn worker) in
+           Array.iter Domain.join domains
+         end);
+        (* Settle the round in declaration order, so crash attribution
+           and progress lines are deterministic. *)
+        let settle st outcome =
+          match outcome with
+          | Slice_failed reason ->
+            st.st_failed <- Some reason;
+            progress (Printf.sprintf "dropped %s: %s" st.st_name reason)
+          | Sliced (r, snap) ->
+            st.st_slices <- st.st_slices + 1;
+            st.st_runs <- r.Driver.runs;
+            let covered = List.length r.Driver.coverage_sites in
+            if covered > st.st_covered then st.st_stale <- 0
+            else st.st_stale <- st.st_stale + 1;
+            st.st_covered <- covered;
+            st.st_frontier <- frontier_count r.Driver.coverage_sites;
+            let retire reason =
+              st.st_result <-
+                Some
+                  { tr_name = st.st_name;
+                    tr_index = st.st_index;
+                    tr_runs = r.Driver.runs;
+                    tr_slices = st.st_slices;
+                    tr_retired = reason;
+                    tr_coverage = List.sort compare r.Driver.coverage_sites;
+                    tr_bugs = r.Driver.bugs };
+              progress
+                (Printf.sprintf "retired %s: %s after %d runs (%d slices, %d dirs)"
+                   st.st_name (retire_tag reason) r.Driver.runs st.st_slices covered)
+            in
+            (match r.Driver.verdict with
+             | Driver.Bug_found _ -> retire Bug
+             | Driver.Complete -> retire Complete
+             | Driver.Budget_exhausted ->
+               if st.st_runs >= cap_total then retire Budget_capped
+               else if st.st_stale >= options.O.campaign.O.retire_after then
+                 retire Saturated
+               else begin
+                 match snap with
+                 | Some sn -> st.st_snapshot <- Some sn
+                 | None ->
+                   (* The search stopped making progress without leaving
+                      a resumable snapshot; refilling would re-run the
+                      same slice forever. *)
+                   retire Saturated
+               end
+             | Driver.Time_exhausted | Driver.Interrupted ->
+               (* Campaign-level stop observed mid-slice: the target
+                  stays unfinished; a checkpointed campaign re-runs it
+                  from scratch on resume. *)
+               ())
+        in
+        let indexed = Array.to_list (Array.mapi (fun i st -> (st, outcomes.(i))) tasks) in
+        List.iter
+          (fun (st, outcome) -> Option.iter (settle st) outcome)
+          (List.stable_sort (fun ((a : tstate), _) (b, _) -> compare a.st_index b.st_index) indexed);
+        maybe_checkpoint ()
+      done;
+      let report = interim () in
+      let report =
+        if report.cam_unfinished = [] then report
+        else
+          { report with
+            cam_status =
+              Stopped_early
+                (if Cancel.requested () then "interrupted" else "time budget exhausted") }
+      in
+      maybe_checkpoint ();
+      Ok report
+  end
+
+(* ---- reports --------------------------------------------------------------------- *)
+
+let retire_histogram results =
+  let count r = List.length (List.filter (fun tr -> tr.tr_retired = r) results) in
+  (count Bug, count Complete, count Saturated, count Budget_capped)
+
+let report_to_string r =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "campaign: %d targets discovered, %d tested, %d skipped"
+    (List.length r.cam_targets) (List.length r.cam_results) (List.length r.cam_skipped);
+  (match r.cam_status with
+   | Finished -> ()
+   | Stopped_early reason ->
+     line "stopped early (%s): %d targets unfinished" reason (List.length r.cam_unfinished));
+  let bug, complete, saturated, capped = retire_histogram r.cam_results in
+  line "retired: %d bug, %d complete, %d saturated, %d budget-capped" bug complete
+    saturated capped;
+  line "distinct crashes: %d" (List.length r.cam_crashes);
+  List.iter
+    (fun (target, (b : Driver.bug)) ->
+      line "  - %s in %s at %s (target %s, run %d)"
+        (Machine.fault_to_string b.Driver.bug_fault)
+        b.Driver.bug_site.Machine.site_fn
+        (Minic.Loc.to_string b.Driver.bug_site.Machine.site_loc)
+        target b.Driver.bug_run)
+    r.cam_crashes;
+  line "aggregate coverage: %d branch directions" (List.length (aggregate_sites r));
+  (match r.cam_skipped with
+   | [] -> ()
+   | sk ->
+     line "skipped:";
+     List.iter (fun (name, reason) -> line "  - %s: %s" name reason) sk);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let bug_json target (b : Driver.bug) =
+    let loc = b.Driver.bug_site.Machine.site_loc in
+    Printf.sprintf
+      "{\"fault\": %s, \"fn\": %s, \"pc\": %d, \"file\": %s, \"line\": %d, \"col\": %d, \
+       \"target\": %s, \"run\": %d}"
+      (str (Machine.fault_tag b.Driver.bug_fault))
+      (str b.Driver.bug_site.Machine.site_fn)
+      b.Driver.bug_site.Machine.site_pc (str loc.Minic.Loc.file) loc.Minic.Loc.line
+      loc.Minic.Loc.col (str target) b.Driver.bug_run
+  in
+  let bug, complete, saturated, capped = retire_histogram r.cam_results in
+  add "{\n";
+  add "  \"targets\": %d,\n" (List.length r.cam_targets);
+  add "  \"tested\": %d,\n" (List.length r.cam_results);
+  add "  \"skipped\": %d,\n" (List.length r.cam_skipped);
+  add "  \"status\": %s,\n"
+    (str
+       (match r.cam_status with
+        | Finished -> "finished"
+        | Stopped_early reason -> "stopped early: " ^ reason));
+  add "  \"resumed\": %d,\n" r.cam_resumed;
+  add "  \"retired\": {\"bug\": %d, \"complete\": %d, \"saturated\": %d, \"capped\": %d},\n"
+    bug complete saturated capped;
+  add "  \"coverage_directions\": %d,\n" (List.length (aggregate_sites r));
+  add "  \"crashes\": [";
+  List.iteri
+    (fun i (target, b) ->
+      if i > 0 then add ",";
+      add "\n    %s" (bug_json target b))
+    r.cam_crashes;
+  if r.cam_crashes <> [] then add "\n  ";
+  add "],\n";
+  add "  \"results\": [";
+  List.iteri
+    (fun i tr ->
+      if i > 0 then add ",";
+      add
+        "\n    {\"name\": %s, \"runs\": %d, \"slices\": %d, \"retired\": %s, \
+         \"covered\": %d, \"bugs\": %d}"
+        (str tr.tr_name) tr.tr_runs tr.tr_slices
+        (str (retire_tag tr.tr_retired))
+        (List.length tr.tr_coverage) (List.length tr.tr_bugs))
+    r.cam_results;
+  if r.cam_results <> [] then add "\n  ";
+  add "],\n";
+  add "  \"unfinished\": [%s]\n"
+    (String.concat ", " (List.map str r.cam_unfinished));
+  add "}\n";
+  Buffer.contents buf

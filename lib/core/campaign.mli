@@ -1,0 +1,160 @@
+(** Campaign mode: test every discoverable function of a MiniC library
+    in one invocation (the paper's oSIP experiment, §4.3, as a
+    first-class workflow).
+
+    {2 Discovery}
+
+    A campaign target is any function with a body whose parameters are
+    all scalar ([int]/[char]/pointer — exactly what the generated
+    driver can feed), excluding the harness's own helpers
+    ({!Driver_gen.is_harness_site} is the single source of truth, so
+    [__dart_*] wrappers and the [__coin] site can never appear as
+    targets or in aggregate coverage denominators). Functions skipped
+    for non-scalar parameters are reported with the offending type.
+
+    {2 Scheduling}
+
+    Targets are tested in budget slices of
+    [options.campaign.per_function_runs] instrumented runs, scheduled
+    in rounds: each round runs one slice for every still-active target
+    (across [jobs] worker domains), then settles retirements. A target
+    retires when its slice verdict is terminal ([Bug_found] /
+    [Complete]), when it hits the per-target [budget.max_runs] cap, or
+    as saturated after [options.campaign.retire_after] consecutive
+    slices without a new branch direction. Active targets re-enter the
+    next round — a budget refill — ordered by
+    [options.campaign.priority]: [Frontier_first] ranks them by
+    frontier-site count (sites with exactly one direction exercised)
+    from their latest coverage, so refills flow to the functions where
+    the directed search still has branches to flip.
+
+    Slices resume each other through in-memory {!Driver.snapshot}s:
+    target results are a deterministic function of (options, target)
+    alone, independent of [jobs] and of scheduling order — the same
+    seed yields the same retired set, deduped crash list and aggregate
+    coverage at [--jobs 1] and [--jobs 8].
+
+    {2 Crash dedup and aggregation}
+
+    Crashes are deduped library-wide by {!Driver.bug_key} — the same
+    defect reached from two entry points is one crash, attributed to
+    the first target (in declaration order) that exposed it. Aggregate
+    coverage is the union of per-target coverage sites over the whole
+    library.
+
+    {2 Checkpoint/resume}
+
+    A campaign checkpoint ([dart-campaign v1], same line discipline and
+    %-escaping as {!Checkpoint}) records the campaign meta and the
+    finished targets with their results. Resuming re-runs unfinished
+    targets from scratch; because per-target results are deterministic,
+    the resumed campaign's aggregate report equals the uninterrupted
+    one's. *)
+
+type retire =
+  | Bug (* slice verdict Bug_found *)
+  | Complete (* directed search proved the target exhausted (within depth) *)
+  | Saturated (* retire_after consecutive slices with no new direction *)
+  | Budget_capped (* per-target max_runs cap reached *)
+
+type target_result = {
+  tr_name : string;
+  tr_index : int; (* declaration order, 0-based *)
+  tr_runs : int; (* instrumented runs over all slices *)
+  tr_slices : int;
+  tr_retired : retire;
+  tr_coverage : (string * int * bool) list; (* sorted (fn, pc, dir) triples *)
+  tr_bugs : Driver.bug list; (* distinct bugs this target exposed *)
+}
+
+(** [Stopped_early reason]: {!Cancel} or the campaign time budget fired;
+    the results cover the targets finished by then and [cam_unfinished]
+    names the rest (a checkpoint written at that point resumes them). *)
+type status = Finished | Stopped_early of string
+
+type report = {
+  cam_targets : string list; (* discovered, declaration order *)
+  cam_skipped : (string * string) list; (* (function, reason), declaration order *)
+  cam_results : target_result list; (* finished targets, declaration order *)
+  cam_unfinished : string list; (* empty when [cam_status = Finished] *)
+  cam_crashes : (string * Driver.bug) list;
+      (* (target, bug) deduped by {!Driver.bug_key}, sorted by key *)
+  cam_status : status;
+  cam_resumed : int; (* finished targets restored from --resume *)
+}
+
+val discover : Minic.Ast.program -> string list * (string * string) list
+(** [(targets, skipped)]: testable functions and the (name, reason)
+    pairs rejected, both in declaration order. *)
+
+val frontier_count : (string * int * bool) list -> int
+(** Sites with exactly one direction in the list — the priority signal
+    {!run} feeds from each slice's coverage. *)
+
+val run :
+  ?jobs:int ->
+  ?options:Driver.options ->
+  ?time_budget_ns:int64 ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?file:string ->
+  ?progress:(string -> unit) ->
+  string ->
+  (report, string) result
+(** Run a campaign over MiniC source text. [jobs] (default 1, 0 = one
+    per core) bounds the worker domains; [options] carries the
+    per-target budgets and the [campaign] sub-group; [time_budget_ns]
+    is the campaign-wide wall clock (checked between slices and at
+    every run boundary inside them); [checkpoint] persists finished
+    targets after every round; [resume] restores a prior checkpoint
+    (its meta — seed, depth, budgets, strategy, library digest — must
+    match). [progress] receives one human-readable line per round and
+    per retirement (dartc points it at stderr, keeping stdout
+    deterministic).
+
+    [Error] covers usage-level failures: zero targets discovered, an
+    unreadable or mismatched [resume] file. Parse/typecheck errors
+    raise as they do in {!Driver.test_source}.
+    @raise Invalid_argument if [jobs < 0]. *)
+
+val aggregate_sites : report -> (string * int * bool) list
+(** Union of every finished target's coverage, sorted — feed it to
+    {!Cover_report.compute} over any one prepared program of the
+    library for the aggregate lcov/HTML view. *)
+
+val report_to_string : report -> string
+(** Deterministic aggregate text report (no wall-clock content): totals,
+    retirement histogram, deduped crash list, aggregate coverage. *)
+
+val to_json : report -> string
+(** Deterministic machine-readable aggregate (one JSON object,
+    2-space indented, trailing newline): campaign counters, per-target
+    results, deduped crashes, aggregate coverage totals. *)
+
+(** {1 Checkpoint codec} *)
+
+val save : path:string -> options:Driver.options -> library:string -> report -> unit
+(** Atomic write of the campaign checkpoint: meta derived from
+    [options] plus [Digest.string library], then one record block per
+    finished target. *)
+
+val load :
+  path:string ->
+  options:Driver.options ->
+  library:string ->
+  (target_result list, string) result
+(** Parse and validate a checkpoint against the current campaign
+    configuration; [Error] names the first mismatch (including "this is
+    a single-shot checkpoint — resume it with plain [dartc --resume]"). *)
+
+val meta_line : options:Driver.options -> library:string -> string
+(** The one-line campaign meta record: seed, depth, per-target and
+    per-slice budgets, retire threshold, strategy and the library
+    source digest — everything per-target determinism depends on.
+    {!load} refuses a checkpoint whose meta line differs. *)
+
+val to_string : options:Driver.options -> library:string -> report -> string
+val of_string : string -> (string * target_result list, string) result
+(** The codec itself, exposed for tests: [of_string] returns the raw
+    meta line and the finished-target results; [load] adds the meta
+    equality check. *)

@@ -79,6 +79,9 @@ let unesc s =
   done;
   Buffer.contents buf
 
+let escape = esc
+let unescape s = match unesc s with v -> Ok v | exception Bad msg -> Error msg
+
 let bool_tag b = if b then "1" else "0"
 
 let to_string (meta : meta) (s : Driver.snapshot) =
@@ -174,6 +177,10 @@ let of_string text =
      | [ m; v ] when m = magic ->
        if v <> Printf.sprintf "v%d" version then
          raise (Bad (Printf.sprintf "unsupported checkpoint version %s (this build reads v%d)" v version))
+     | m :: _ when m = "dart-campaign" ->
+       (* The sibling format: campaigns checkpoint finished targets, not
+          one search's snapshot. Point the caller at the right door. *)
+       raise (Bad "this is a campaign checkpoint; resume it with `dartc campaign --resume`")
      | _ -> raise (Bad "not a dart checkpoint file"));
     let meta =
       match tokens (next "meta") with

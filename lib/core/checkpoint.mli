@@ -55,4 +55,13 @@ val load : path:string -> (meta * Driver.snapshot, string) result
 val to_string : meta -> Driver.snapshot -> string
 val of_string : string -> (meta * Driver.snapshot, string) result
 (** The codec itself, exposed for tests (and [load]/[save] are
-    [of_string]/[to_string] plus file I/O). *)
+    [of_string]/[to_string] plus file I/O). [of_string] recognizes the
+    {!Campaign} checkpoint magic and fails with a message naming
+    [dartc campaign --resume], so feeding the wrong kind of checkpoint
+    to [--resume] is a usage error, not a parse mystery. *)
+
+val escape : string -> string
+val unescape : string -> (string, string) result
+(** The %-escaping the line records use for strings, shared with the
+    {!Campaign} codec so both formats stay greppable one-record-per-line
+    texts with identical quoting. *)

@@ -229,7 +229,8 @@ and rand_init_pointer ctx m ~addr ~pointee ~depth =
         let c = Constr.truth (Linexpr.var id) non_null in
         (* No machine site backs the coin: attribute it to a synthetic
            one keyed by the input id so traces stay unambiguous. *)
-        record_branch ctx ~site:("__coin", id) ~taken:non_null ~constraint_opt:(Some c)
+        record_branch ctx ~site:(Driver_gen.coin_site, id) ~taken:non_null
+          ~constraint_opt:(Some c)
       end
       else
         (* Paper semantics: the pointer shape is pure randomization the

@@ -19,10 +19,21 @@ module Options = struct
     use_shared_cache : bool;
   }
 
+  type priority =
+    | Frontier_first
+    | Declaration_order
+
+  type campaign = {
+    per_function_runs : int;
+    priority : priority;
+    retire_after : int;
+  }
+
   type t = {
     budget : budget;
     search : search;
     accel : accel;
+    campaign : campaign;
     exec : Concolic.exec_options;
     telemetry : Telemetry.config;
     fault : Dart_util.Faultsim.t; (* fault injection; Faultsim.off in production *)
@@ -40,6 +51,8 @@ module Options = struct
           use_cache = true;
           use_incremental = true;
           use_shared_cache = true };
+      campaign =
+        { per_function_runs = 200; priority = Frontier_first; retire_after = 2 };
       exec = Concolic.default_exec_options;
       telemetry = Telemetry.default_config;
       fault = Dart_util.Faultsim.off }
@@ -50,14 +63,27 @@ module Options = struct
       ?solver_deadline_ns ?(use_slicing = default.accel.use_slicing)
       ?(use_cache = default.accel.use_cache)
       ?(use_incremental = default.accel.use_incremental)
-      ?(use_shared_cache = default.accel.use_shared_cache) ?(exec = default.exec)
+      ?(use_shared_cache = default.accel.use_shared_cache)
+      ?(per_function_runs = default.campaign.per_function_runs)
+      ?(priority = default.campaign.priority)
+      ?(retire_after = default.campaign.retire_after) ?(exec = default.exec)
       ?(telemetry = default.telemetry) ?(faultsim = Dart_util.Faultsim.off) () =
     { budget = { max_runs; stop_on_first_bug; time_budget_ns; solver_deadline_ns };
       search = { seed; depth; strategy };
       accel = { use_slicing; use_cache; use_incremental; use_shared_cache };
+      campaign = { per_function_runs; priority; retire_after };
       exec;
       telemetry;
       fault = faultsim }
+
+  let priority_to_string = function
+    | Frontier_first -> "frontier"
+    | Declaration_order -> "order"
+
+  let priority_of_string = function
+    | "frontier" -> Some Frontier_first
+    | "order" -> Some Declaration_order
+    | _ -> None
 end
 
 type options = Options.t
@@ -254,12 +280,12 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
     total_steps := !total_steps + data.Concolic.steps;
     if not data.Concolic.all_linear then all_linear := false;
     if not data.Concolic.all_locs_definite then all_locs_definite := false;
-    (* Driver-internal branch sites are excluded, keeping
-       [branches_covered] consistent with [Coverage.compute] (which
-       filters the same functions) for the same run. *)
+    (* Harness-internal branch sites ([__dart_*] and synthetic [__coin]
+       coins) are excluded, keeping [branches_covered] consistent with
+       [Coverage.compute] and [Telemetry.summarize] for the same run. *)
     List.iter
       (fun ((fn, _, _) as site) ->
-        if not (Coverage.is_driver_function fn) then Hashtbl.replace coverage site ())
+        if not (Driver_gen.is_harness_site fn) then Hashtbl.replace coverage site ())
       data.Concolic.branch_sites;
     (* One coverage-over-time sample per run: cumulative distinct user
        branch directions (the same set [branches_covered] reports) and

@@ -41,10 +41,34 @@ module Options : sig
            [use_cache] off) *)
   }
 
+  (** How a campaign orders the next scheduler round's slices. Results
+      (retired set, deduped crashes, aggregate coverage) are the same
+      under either policy — per-target searches are independent and
+      deterministic — so priority only decides which targets finish
+      first under a wall-clock budget. *)
+  type priority =
+    | Frontier_first
+        (* targets with the most frontier sites (one direction still
+           missing) after their last slice run first: they are where a
+           budget refill is most likely to buy new coverage *)
+    | Declaration_order (* the order the library declares its functions *)
+
+  type campaign = {
+    per_function_runs : int;
+        (* the slice of instrumented runs a target gets per scheduler
+           round; frontier-rich targets keep getting refills, one
+           slice at a time *)
+    priority : priority;
+    retire_after : int;
+        (* consecutive slices without a new branch direction before a
+           target is retired as saturated *)
+  }
+
   type t = {
     budget : budget;
     search : search;
     accel : accel;
+    campaign : campaign; (* read only by {!Campaign}; inert elsewhere *)
     exec : Concolic.exec_options;
     telemetry : Telemetry.config;
     fault : Dart_util.Faultsim.t;
@@ -56,7 +80,8 @@ module Options : sig
   val default : t
   (** seed 42, depth 1, 10_000 runs, DFS, stop on first bug, both
       accelerations on, default machine, tracing off, no time budget,
-      no solver deadline, fault injection off. *)
+      no solver deadline, fault injection off; campaign: 200 runs per
+      slice, frontier-first priority, retire after 2 stale slices. *)
 
   val make :
     ?seed:int ->
@@ -70,6 +95,9 @@ module Options : sig
     ?use_cache:bool ->
     ?use_incremental:bool ->
     ?use_shared_cache:bool ->
+    ?per_function_runs:int ->
+    ?priority:priority ->
+    ?retire_after:int ->
     ?exec:Concolic.exec_options ->
     ?telemetry:Telemetry.config ->
     ?faultsim:Dart_util.Faultsim.t ->
@@ -77,6 +105,10 @@ module Options : sig
     t
   (** Smart constructor: every omitted argument takes {!default}'s
       value. *)
+
+  val priority_to_string : priority -> string
+  val priority_of_string : string -> priority option
+  (** ["frontier"] / ["order"]. *)
 end
 
 type options = Options.t

@@ -19,6 +19,10 @@ let is_driver_function name =
   name = wrapper_name
   || String.length name >= 7 && String.sub name 0 7 = "__dart_"
 
+let coin_site = "__coin"
+
+let is_harness_site name = is_driver_function name || name = coin_site
+
 exception No_toplevel of string
 
 let find_toplevel (prog : Ast.program) name =

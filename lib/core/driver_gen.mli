@@ -17,8 +17,21 @@ val arg_fn_name : int -> string
 val is_driver_function : string -> bool
 (** Whether [name] is part of the synthesized test driver (the
     [__dart_*] wrapper and argument functions). The single source of
-    truth for the predicate {!Coverage.is_driver_function} re-exports
-    and {!Telemetry.summarize} uses to split trace branch counts. *)
+    truth for the predicate {!Coverage.is_driver_function} re-exports,
+    {!Telemetry.summarize} uses to split trace branch counts, and
+    {!Campaign} discovery uses to keep harness helpers out of the
+    target list. *)
+
+val coin_site : string
+(** The synthetic function name ["__coin"] that {!Concolic} attributes
+    symbolic pointer-shape coin tosses to: coins have no machine branch
+    site, so traces key them by input id under this name. *)
+
+val is_harness_site : string -> bool
+(** [is_driver_function name || name = coin_site]: every branch site
+    the harness itself introduces, as opposed to the program under
+    test. Coverage accounting, telemetry summaries and campaign target
+    discovery all route through this one predicate. *)
 
 exception No_toplevel of string
 

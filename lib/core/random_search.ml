@@ -55,11 +55,11 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?deadline ?(exec = Concolic.default_ex
                steps = data.Concolic.steps;
                dur_ns = dur });
       total_steps := !total_steps + data.Concolic.steps;
-      (* Same filtering as Driver.search: driver-internal sites are not
-         program coverage. *)
+      (* Same filtering as Driver.search: harness-internal sites
+         ([__dart_*], [__coin]) are not program coverage. *)
       List.iter
         (fun ((fn, _, _) as site) ->
-          if not (Coverage.is_driver_function fn) then Hashtbl.replace coverage site ())
+          if not (Driver_gen.is_harness_site fn) then Hashtbl.replace coverage site ())
         data.Concolic.branch_sites;
       (* Same coverage-over-time sample the directed search emits, so
          directed-vs-random trajectories are comparable per trace. *)

@@ -1,0 +1,58 @@
+(** A unit of testable work: one entry function of one program, plus
+    the per-target overrides of the session-wide budgets.
+
+    {!Session.t} holds the long-lived engine state (base options,
+    compiled-program cache, telemetry); a [Target.t] names what to
+    test. Single-shot [dartc] builds exactly one target; [dartc
+    campaign] builds one per discovered library function and reuses
+    the same session across all of them, so the compiled program,
+    option plumbing and telemetry sink are shared instead of
+    re-created per entry point. *)
+
+(** The program under test, in whichever form the caller already has.
+    [Text] and [Parsed] are prepared (driver generation, typecheck,
+    lowering) through the session's compiled-program cache; [Prepared]
+    bypasses preparation entirely — the program must already contain
+    the generated driver and is entered at {!Driver_gen.wrapper_name}
+    (its [toplevel] is informational). *)
+type source =
+  | Text of { file : string option; text : string } (* MiniC source *)
+  | Parsed of Minic.Ast.program
+  | Prepared of Ram.Instr.program
+
+type t = {
+  tg_source : source;
+  tg_toplevel : string; (* entry function under test *)
+  tg_library_sigs : Minic.Tast.fsig list;
+  tg_depth : int option; (* overrides [options.search.depth] *)
+  tg_max_runs : int option; (* overrides [options.budget.max_runs] *)
+  tg_time_budget_ns : int64 option; (* overrides the session time budget *)
+  tg_priority : int;
+      (* campaign scheduling hint, higher first; ignored by
+         single-shot runs *)
+  tg_key : string;
+      (* preparation-cache identity of [tg_source]: equal keys mean
+         equal source. Computed by {!make}. *)
+}
+
+val make :
+  ?depth:int ->
+  ?max_runs:int ->
+  ?time_budget_ns:int64 ->
+  ?priority:int ->
+  ?library_sigs:Minic.Tast.fsig list ->
+  toplevel:string ->
+  source ->
+  t
+(** Every omitted override falls back to the session's base options at
+    {!Engine.run} time. *)
+
+val of_text : ?file:string -> toplevel:string -> string -> t
+(** [make ~toplevel (Text …)] with no overrides. *)
+
+val of_ast : toplevel:string -> Minic.Ast.program -> t
+val of_prepared : Ram.Instr.program -> t
+(** A prepared program's entry is always {!Driver_gen.wrapper_name}. *)
+
+val describe : t -> string
+(** ["<toplevel> (text|ast|prepared)"], for logs and errors. *)

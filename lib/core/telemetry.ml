@@ -67,7 +67,7 @@ type event =
    synthetic [__coin] sites of symbolic pointer shapes. Both are
    excluded from [Coverage.compute] and [branches_covered], so trace
    summaries must count them apart to agree with the report. *)
-let is_harness_site fn = Driver_gen.is_driver_function fn || fn = "__coin"
+let is_harness_site = Driver_gen.is_harness_site
 
 (* ---- monotonic clock -------------------------------------------------------- *)
 

@@ -17,6 +17,7 @@ let () =
       ("strategy", Test_strategy.suite);
       ("accel", Test_accel.suite);
       ("parallel", Test_parallel.suite);
+      ("campaign", Test_campaign.suite);
       ("resilience", Test_resilience.suite);
       ("workloads", Test_workloads.suite);
       ("progen", Test_progen.suite) ]

@@ -1,0 +1,366 @@
+(* Campaign mode and the Target/Session/Engine API underneath it:
+   discovery (harness helpers and non-scalar signatures excluded),
+   per-target determinism across jobs and priority policies, checkpoint
+   codec round-trips, resume equivalence, the session's preparation
+   cache, and Engine's byte-level agreement with the plumbing it
+   replaced. Small generated libraries keep every test deterministic
+   and fast. *)
+
+module Campaign = Dart.Campaign
+module Engine = Dart.Engine
+module Session = Dart.Session
+module Target = Dart.Target
+module O = Dart.Driver.Options
+
+(* A tiny deterministic "library": one guarded getter (no bug to find),
+   one unguarded getter (NULL deref), one gated bug the directed search
+   has to solve for, and a prototype (not a target). MiniC's typechecker
+   rejects non-scalar parameters outright, so a runnable library never
+   contains one — the skip path is exercised on a parse-only AST below. *)
+let lib_src =
+  "struct msg { int status; int len; };\n\
+   int get_status(struct msg *m) {\n\
+  \  if (m == NULL) { return -1; }\n\
+  \  return m->status;\n\
+   }\n\
+   int get_len(struct msg *m) { return m->len; }\n\
+   int gated(int x, int y) {\n\
+  \  if (x == 77) { if (y == 12) { abort(); } }\n\
+  \  return x + y;\n\
+   }\n\
+   int proto(int x);\n"
+
+let opts ?(seed = 7) ?(max_runs = 400) ?(per_function_runs = 100) ?retire_after () =
+  O.make ~seed ~max_runs ~per_function_runs ?retire_after ()
+
+let run_campaign ?(jobs = 1) ?options ?checkpoint ?resume src =
+  match Campaign.run ~jobs ?options ?checkpoint ?resume src with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "campaign failed: %s" msg
+
+(* ---- discovery ------------------------------------------------------------- *)
+
+let test_discover () =
+  (* Parse-only: struct-by-value would not typecheck, but discovery must
+     still classify it with a readable reason. *)
+  let src = lib_src ^ "int by_value(struct msg m) { return m.status; }\n" in
+  let ast = Minic.Parser.parse_program src in
+  let targets, skipped = Campaign.discover ast in
+  Alcotest.(check (list string))
+    "declaration order, scalar-parameter functions only"
+    [ "get_status"; "get_len"; "gated" ] targets;
+  (match skipped with
+   | [ (name, reason) ] ->
+     Alcotest.(check string) "skipped function" "by_value" name;
+     Alcotest.(check bool) "reason names the type" true
+       (Str_contains.contains reason "struct msg")
+   | _ -> Alcotest.fail "expected exactly one skipped function")
+
+let test_discover_excludes_harness () =
+  (* A source that embeds driver-style helpers: the is_harness_site
+     predicate must keep them out of the target list. *)
+  let src =
+    "int __dart_arg_0(int x) { return x; }\n\
+     void __dart_main(int x) { __dart_arg_0(x); }\n\
+     int real(int x) { return x; }\n"
+  in
+  let targets, skipped = Campaign.discover (Minic.Parser.parse_program src) in
+  Alcotest.(check (list string)) "only the real function" [ "real" ] targets;
+  Alcotest.(check int) "harness helpers are invisible, not skipped" 0
+    (List.length skipped)
+
+let test_zero_targets () =
+  match Campaign.run "int proto(int x);\n" with
+  | Error msg ->
+    Alcotest.(check bool) "error names the cause" true
+      (Str_contains.contains msg "no testable targets")
+  | Ok _ -> Alcotest.fail "expected zero-target campaign to error"
+
+(* ---- frontier signal ------------------------------------------------------- *)
+
+let test_frontier_count () =
+  Alcotest.(check int) "empty" 0 (Campaign.frontier_count []);
+  Alcotest.(check int) "one direction = frontier" 1
+    (Campaign.frontier_count [ ("f", 0, true) ]);
+  Alcotest.(check int) "both directions = full" 0
+    (Campaign.frontier_count [ ("f", 0, true); ("f", 0, false) ]);
+  Alcotest.(check int) "duplicates don't double-count" 1
+    (Campaign.frontier_count [ ("f", 0, true); ("f", 0, true); ("g", 1, true); ("g", 1, false) ])
+
+(* ---- campaign results ------------------------------------------------------ *)
+
+let find_result r name =
+  match List.find_opt (fun tr -> tr.Campaign.tr_name = name) r.Campaign.cam_results with
+  | Some tr -> tr
+  | None -> Alcotest.failf "no result for %s" name
+
+let test_campaign_outcomes () =
+  let r = run_campaign ~options:(opts ()) lib_src in
+  Alcotest.(check bool) "finished" true (r.Campaign.cam_status = Campaign.Finished);
+  Alcotest.(check int) "three targets tested" 3 (List.length r.Campaign.cam_results);
+  Alcotest.(check bool) "unguarded getter crashed" true
+    ((find_result r "get_len").Campaign.tr_retired = Campaign.Bug);
+  Alcotest.(check bool) "gated bug needs the directed search and is found" true
+    ((find_result r "gated").Campaign.tr_retired = Campaign.Bug);
+  (* get_status is bugless: it either proves complete or saturates. *)
+  Alcotest.(check bool) "guarded getter retires clean" true
+    (match (find_result r "get_status").Campaign.tr_retired with
+     | Campaign.Complete | Campaign.Saturated | Campaign.Budget_capped -> true
+     | Campaign.Bug -> false);
+  Alcotest.(check int) "two distinct crashes" 2 (List.length r.Campaign.cam_crashes)
+
+let strip_resumed r = { r with Campaign.cam_resumed = 0 }
+
+let test_jobs_determinism () =
+  let r1 = run_campaign ~jobs:1 ~options:(opts ()) lib_src in
+  let r4 = run_campaign ~jobs:4 ~options:(opts ()) lib_src in
+  Alcotest.(check string) "aggregate JSON identical at jobs 1 and 4"
+    (Campaign.to_json r1) (Campaign.to_json r4);
+  Alcotest.(check string) "text report identical too"
+    (Campaign.report_to_string r1) (Campaign.report_to_string r4)
+
+let test_priority_is_result_neutral () =
+  let base = run_campaign ~options:(opts ()) lib_src in
+  let opts_order =
+    O.make ~seed:7 ~max_runs:400 ~per_function_runs:100 ~priority:O.Declaration_order ()
+  in
+  let order = run_campaign ~options:opts_order lib_src in
+  Alcotest.(check string) "frontier vs declaration order: same aggregate"
+    (Campaign.to_json base) (Campaign.to_json order)
+
+let test_slicing_is_result_neutral_for_crashes () =
+  (* Different slice sizes change restart boundaries (and so coverage
+     trajectories), but every reachable crash must still be found. *)
+  let fat = run_campaign ~options:(opts ~per_function_runs:400 ()) lib_src in
+  let thin = run_campaign ~options:(opts ~per_function_runs:50 ()) lib_src in
+  let keys r =
+    List.map (fun (_, b) -> Dart.Driver.bug_key b) r.Campaign.cam_crashes
+  in
+  Alcotest.(check int) "same crash count" (List.length (keys fat))
+    (List.length (keys thin));
+  Alcotest.(check bool) "same crash keys" true (keys fat = keys thin)
+
+(* ---- checkpoint codec and resume ------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let options = opts () in
+  let r = run_campaign ~options lib_src in
+  let text = Campaign.to_string ~options ~library:lib_src r in
+  match Campaign.of_string text with
+  | Error msg -> Alcotest.failf "re-parse failed: %s" msg
+  | Ok (meta, results) ->
+    Alcotest.(check string) "meta line survives"
+      (Campaign.meta_line ~options ~library:lib_src) meta;
+    Alcotest.(check int) "every finished target survives"
+      (List.length r.Campaign.cam_results) (List.length results);
+    let again = { r with Campaign.cam_results = results } in
+    Alcotest.(check string) "results identical after round-trip"
+      (Campaign.to_string ~options ~library:lib_src r)
+      (Campaign.to_string ~options ~library:lib_src again)
+
+let test_codec_rejects_single_shot () =
+  match Campaign.of_string "dart-checkpoint v2\nend\n" with
+  | Ok _ -> Alcotest.fail "single-shot checkpoint accepted"
+  | Error msg ->
+    Alcotest.(check bool) "points at plain --resume" true
+      (Str_contains.contains msg "dartc --resume")
+
+let test_checkpoint_meta_guard () =
+  let options = opts () in
+  let path = Filename.temp_file "dart_campaign" ".ck" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let r = run_campaign ~options ~checkpoint:path lib_src in
+      Alcotest.(check bool) "checkpoint written" true (Sys.file_exists path);
+      (match Campaign.load ~path ~options ~library:lib_src with
+       | Error msg -> Alcotest.failf "clean reload failed: %s" msg
+       | Ok results ->
+         Alcotest.(check int) "all finished targets recorded"
+           (List.length r.Campaign.cam_results) (List.length results));
+      match Campaign.load ~path ~options:(opts ~seed:8 ()) ~library:lib_src with
+      | Ok _ -> Alcotest.fail "seed mismatch accepted"
+      | Error msg ->
+        Alcotest.(check bool) "mismatch is explained" true
+          (Str_contains.contains msg "different campaign configuration"))
+
+let test_resume_equivalence () =
+  let options = opts () in
+  let uninterrupted = run_campaign ~options lib_src in
+  let path = Filename.temp_file "dart_campaign" ".ck" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* Simulate an interruption after one finished target: keep only
+         the first target record of the full checkpoint. *)
+      let full = Campaign.to_string ~options ~library:lib_src uninterrupted in
+      let truncated =
+        match Campaign.of_string full with
+        | Error msg -> Alcotest.failf "re-parse failed: %s" msg
+        | Ok (_, results) ->
+          { uninterrupted with
+            Campaign.cam_results = [ List.hd results ];
+            cam_crashes = [] }
+      in
+      Campaign.save ~path ~options ~library:lib_src truncated;
+      let resumed = run_campaign ~options ~resume:path lib_src in
+      Alcotest.(check int) "one target restored" 1 resumed.Campaign.cam_resumed;
+      Alcotest.(check string) "resumed aggregate equals the uninterrupted one"
+        (Campaign.to_json (strip_resumed uninterrupted))
+        (Campaign.to_json (strip_resumed resumed)))
+
+let test_aggregate_sites () =
+  let r = run_campaign ~options:(opts ()) lib_src in
+  let sites = Campaign.aggregate_sites r in
+  Alcotest.(check bool) "non-empty" true (sites <> []);
+  Alcotest.(check bool) "sorted and distinct" true
+    (List.sort_uniq compare sites = sites);
+  Alcotest.(check bool) "no harness sites" true
+    (List.for_all (fun (fn, _, _) -> not (Dart.Driver_gen.is_harness_site fn)) sites)
+
+(* ---- Target/Session/Engine ------------------------------------------------- *)
+
+let test_target_keys () =
+  let a = Target.of_text ~toplevel:"f" "int f(int x) { return x; }" in
+  let b = Target.of_text ~toplevel:"g" "int f(int x) { return x; }" in
+  let c = Target.of_text ~toplevel:"f" "int f(int y) { return y; }" in
+  Alcotest.(check string) "same source, same key" a.Target.tg_key b.Target.tg_key;
+  Alcotest.(check bool) "different source, different key" true
+    (a.Target.tg_key <> c.Target.tg_key)
+
+let test_session_prepare_cache () =
+  let session = Session.create () in
+  let t1 = Target.of_text ~toplevel:"get_status" lib_src in
+  let t2 = Target.of_text ~toplevel:"get_len" lib_src in
+  let p1 = Session.prepare session t1 in
+  let p1' = Session.prepare session t1 in
+  let _p2 = Session.prepare session t2 in
+  Alcotest.(check bool) "hit returns the same program" true (p1 == p1');
+  Alcotest.(check int) "two distinct preparations" 2 (Session.prepared session);
+  Alcotest.(check int) "one cache hit" 1 (Session.prepare_hits session)
+
+let test_session_rejects_negative_jobs () =
+  Alcotest.check_raises "jobs < 0"
+    (Invalid_argument "Session.create: jobs must be >= 0") (fun () ->
+      ignore (Session.create ~jobs:(-1) ()))
+
+let test_engine_matches_driver_run () =
+  let src = "void f(int x, int y) { if (x == 3) { if (y == 9) { abort(); } } }" in
+  let options = O.make ~seed:5 ~max_runs:200 () in
+  let direct =
+    Dart.Driver.run ~options
+      (Dart.Driver.prepare ~toplevel:"f" ~depth:1 (Minic.Parser.parse_program src))
+  in
+  let session = Session.create ~options () in
+  match Engine.run session (Target.of_text ~toplevel:"f" src) with
+  | Engine.Directed_report r ->
+    Alcotest.(check string) "identical report text"
+      (Dart.Driver.report_to_string direct)
+      (Dart.Driver.report_to_string r);
+    Alcotest.(check int) "exit code 1" 1 (Engine.exit_code (Engine.Directed_report r))
+  | _ -> Alcotest.fail "expected a directed report"
+
+let test_engine_parallel_and_random () =
+  let src = "void f(int x) { if (x == 41) { abort(); } }" in
+  let options = O.make ~seed:5 ~max_runs:200 () in
+  let session = Session.create ~jobs:2 ~options () in
+  let target = Target.of_text ~toplevel:"f" src in
+  (match Engine.run session target with
+   | Engine.Parallel_report r ->
+     Alcotest.(check int) "two workers" 2 r.Dart.Parallel.jobs
+   | _ -> Alcotest.fail "expected a parallel report");
+  let seq = Session.create ~options () in
+  match Engine.run ~mode:`Random seq target with
+  | Engine.Random_report r ->
+    Alcotest.(check bool) "random search ran" true (r.Dart.Random_search.runs > 0)
+  | _ -> Alcotest.fail "expected a random report"
+
+let test_engine_rejects_checkpoint_misuse () =
+  let target = Target.of_text ~toplevel:"f" "int f(int x) { return x; }" in
+  let parallel = Session.create ~jobs:2 () in
+  Alcotest.check_raises "checkpointing needs jobs = 1"
+    (Invalid_argument "Engine.run: checkpoint/resume require a sequential session (jobs = 1)")
+    (fun () -> ignore (Engine.run ~on_checkpoint:(fun _ -> ()) parallel target));
+  let seq = Session.create () in
+  Alcotest.check_raises "checkpointing is directed-only"
+    (Invalid_argument "Engine.run: checkpoint/resume describe a directed search")
+    (fun () -> ignore (Engine.run ~mode:`Random ~on_checkpoint:(fun _ -> ()) seq target))
+
+let test_effective_options () =
+  let session = Session.create ~options:(O.make ~max_runs:500 ()) () in
+  let plain = Target.of_text ~toplevel:"f" "int f(int x) { return x; }" in
+  let overridden =
+    Target.make ~max_runs:7 ~time_budget_ns:123L ~toplevel:"f"
+      (Target.Text { file = None; text = "int f(int x) { return x; }" })
+  in
+  Alcotest.(check int) "base budget" 500
+    (Engine.effective_options session plain).O.budget.O.max_runs;
+  let eff = Engine.effective_options session overridden in
+  Alcotest.(check int) "target overrides max_runs" 7 eff.O.budget.O.max_runs;
+  Alcotest.(check bool) "target overrides time budget" true
+    (eff.O.budget.O.time_budget_ns = Some 123L)
+
+let test_osip_campaign_smoke () =
+  (* The checked-in example's generator, at a smaller n: the campaign
+     must find every vulnerable-by-construction function and nothing
+     else. *)
+  let source, funcs = Workloads.Osip_sim.generate ~seed:3 ~n:12 in
+  let r =
+    run_campaign ~jobs:2 ~options:(opts ~max_runs:600 ~per_function_runs:150 ()) source
+  in
+  let vulnerable =
+    List.filter (fun f -> f.Workloads.Osip_sim.gf_vulnerable) funcs
+    |> List.map (fun f -> f.Workloads.Osip_sim.gf_name)
+  in
+  let bugged =
+    List.filter (fun tr -> tr.Campaign.tr_bugs <> []) r.Campaign.cam_results
+    |> List.map (fun tr -> tr.Campaign.tr_name)
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Printf.sprintf "%s crashes" name) true
+        (List.mem name bugged))
+    vulnerable;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Printf.sprintf "%s is a true positive" name) true
+        (List.mem name vulnerable || not (List.mem name bugged)))
+    bugged
+
+let suite =
+  [ Alcotest.test_case "discover: scalar signatures in declaration order" `Quick
+      test_discover;
+    Alcotest.test_case "discover: harness helpers excluded" `Quick
+      test_discover_excludes_harness;
+    Alcotest.test_case "zero targets is an error" `Quick test_zero_targets;
+    Alcotest.test_case "frontier counting" `Quick test_frontier_count;
+    Alcotest.test_case "campaign outcomes on a mixed library" `Quick
+      test_campaign_outcomes;
+    Alcotest.test_case "jobs 1 and jobs 4 agree byte-for-byte" `Quick
+      test_jobs_determinism;
+    Alcotest.test_case "priority policy never changes results" `Quick
+      test_priority_is_result_neutral;
+    Alcotest.test_case "slice size never changes the crash set" `Quick
+      test_slicing_is_result_neutral_for_crashes;
+    Alcotest.test_case "checkpoint codec round-trips" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec rejects single-shot checkpoints" `Quick
+      test_codec_rejects_single_shot;
+    Alcotest.test_case "checkpoint meta guard" `Quick test_checkpoint_meta_guard;
+    Alcotest.test_case "resume equals the uninterrupted campaign" `Quick
+      test_resume_equivalence;
+    Alcotest.test_case "aggregate sites: sorted, distinct, program-only" `Quick
+      test_aggregate_sites;
+    Alcotest.test_case "target keys track source identity" `Quick test_target_keys;
+    Alcotest.test_case "session caches preparations" `Quick test_session_prepare_cache;
+    Alcotest.test_case "session rejects negative jobs" `Quick
+      test_session_rejects_negative_jobs;
+    Alcotest.test_case "engine reproduces Driver.run" `Quick
+      test_engine_matches_driver_run;
+    Alcotest.test_case "engine parallel and random modes" `Quick
+      test_engine_parallel_and_random;
+    Alcotest.test_case "engine rejects checkpoint misuse" `Quick
+      test_engine_rejects_checkpoint_misuse;
+    Alcotest.test_case "target overrides effective options" `Quick
+      test_effective_options;
+    Alcotest.test_case "osip simulacrum: detection matches ground truth" `Quick
+      test_osip_campaign_smoke ]
