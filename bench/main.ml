@@ -662,13 +662,98 @@ let experiment_campaign () =
       (Printf.sprintf "%d complete, %d saturated, %d budget-capped"
          (retired Dart.Campaign.Complete) (retired Dart.Campaign.Saturated)
          (retired Dart.Campaign.Budget_capped));
+  (* The "phases" line is wall clock — the documented exception to
+     to_json determinism — so the identity check drops it, exactly as
+     CI's diffs use grep -v '"phases"'. *)
+  let is_phases_line l =
+    let t = String.trim l in
+    String.length t >= 9 && String.sub t 0 9 = "\"phases\":"
+  in
+  let json_sans_phases r =
+    String.split_on_char '\n' (Dart.Campaign.to_json r)
+    |> List.filter (fun l -> not (is_phases_line l))
+    |> String.concat "\n"
+  in
   row ~id:"e17-determinism" ~desc:"aggregate JSON, jobs 1 vs jobs 4"
     ~paper:"byte-identical required"
     ~measured:
       (Printf.sprintf "%s; %.2fs at jobs 1, %.2fs at jobs 4"
-         (if Dart.Campaign.to_json r1 = Dart.Campaign.to_json r4 then "identical"
+         (if json_sans_phases r1 = json_sans_phases r4 then "identical"
           else "MISMATCH")
          t1 t4)
+
+(* ---- E18: flight recorder (tracing overhead, latency attribution) -------------- *)
+
+(* Observability must be pay-for-what-you-use. With the null sink the
+   only recorder cost left in the hot path is two monotonic clock
+   reads per run feeding the latency histograms, so untraced execs/sec
+   is the baseline number — the traced run shows what a full ring
+   recording costs relative to it, and pays for itself by also
+   yielding the percentile lines and the profiler's attribution. *)
+let experiment_observability () =
+  header "E18: flight recorder (tracing overhead, latency histograms, profiler)";
+  (* Five independent branches per call: the search consumes its whole
+     run budget, so the measurement window is runs, not a quick
+     completion (a short search would bill the ring's one-time buffer
+     allocation as per-run overhead). *)
+  let churn_src =
+    "int acc;\n\
+     void step(int a, int b, int c) {\n\
+    \  if (a > b) { acc = acc + 1; } else { acc = acc - 1; }\n\
+    \  if (b > c) { acc = acc + 2; } else { acc = acc - 2; }\n\
+    \  if (c > a) { acc = acc + 3; } else { acc = acc - 3; }\n\
+    \  if (a + b > c) { acc = acc + 4; } else { acc = acc - 4; }\n\
+    \  if (b + c > a) { acc = acc + 5; } else { acc = acc - 5; }\n\
+     }\n"
+  in
+  let depth = 4 in
+  let max_runs = if !quick then 2_000 else 10_000 in
+  let prog =
+    Dart.Driver.prepare ~toplevel:"step" ~depth (Minic.Parser.parse_program churn_src)
+  in
+  let search sink () =
+    let options =
+      Dart.Driver.Options.make ~depth ~max_runs ~stop_on_first_bug:false
+        ~telemetry:(Dart.Telemetry.with_sink sink) ()
+    in
+    Dart.Driver.search ~ctx:(Dart.Driver.make_ctx ~seed:42 ~max_runs ()) ~options prog
+  in
+  ignore (search Dart.Telemetry.null ()) (* warm-up *);
+  let r_off, t_off = time_it (search Dart.Telemetry.null) in
+  let ring = Dart.Telemetry.ring ~capacity:(1 lsl 20) in
+  let r_on, t_on = time_it (search ring) in
+  let eps (r : Dart.Driver.report) t = float_of_int r.Dart.Driver.runs /. t in
+  row ~id:"e18-overhead"
+    ~desc:(Printf.sprintf "branch churn depth %d, %d runs: untraced vs ring-traced" depth max_runs)
+    ~paper:"n/a (tracing off must cost nothing)"
+    ~measured:
+      (Printf.sprintf
+         "untraced %.0f execs/sec (the baseline), traced %.0f execs/sec (%.1f%% overhead, \
+          %d events)"
+         (eps r_off t_off) (eps r_on t_on)
+         (100.0 *. (t_on -. t_off) /. t_off)
+         (Dart.Telemetry.emitted ring));
+  let m = r_on.Dart.Driver.metrics in
+  row ~id:"e18-latency" ~desc:"latency histograms accumulated by the same search"
+    ~paper:"n/a (our extension)"
+    ~measured:
+      (Printf.sprintf "solve p50 <=%s p99 <=%s (%d samples); run p50 <=%s p99 <=%s (%d samples)"
+         (Dart.Telemetry.ns_to_string (Dart.Telemetry.Hist.p50 m.Dart.Telemetry.solve_hist))
+         (Dart.Telemetry.ns_to_string (Dart.Telemetry.Hist.p99 m.Dart.Telemetry.solve_hist))
+         (Dart.Telemetry.Hist.count m.Dart.Telemetry.solve_hist)
+         (Dart.Telemetry.ns_to_string (Dart.Telemetry.Hist.p50 m.Dart.Telemetry.run_hist))
+         (Dart.Telemetry.ns_to_string (Dart.Telemetry.Hist.p99 m.Dart.Telemetry.run_hist))
+         (Dart.Telemetry.Hist.count m.Dart.Telemetry.run_hist));
+  let p = Dart.Profile.of_events (Dart.Telemetry.events ring) in
+  row ~id:"e18-profile" ~desc:"post-hoc attribution over the recorded ring"
+    ~paper:"n/a (our extension)"
+    ~measured:
+      (match p.Dart.Profile.p_sites with
+       | [] -> "no solver sites in trace"
+       | s :: _ ->
+         Printf.sprintf "hottest solver site %s:%d — %d queries, %s total"
+           s.Dart.Profile.sp_fn s.Dart.Profile.sp_pc s.Dart.Profile.sp_queries
+           (Dart.Telemetry.ns_to_string s.Dart.Profile.sp_total_ns))
 
 (* ---- E14: coverage over time (directed vs random) ------------------------------ *)
 
@@ -971,6 +1056,7 @@ let experiments =
     ("e15", experiment_exec_throughput);
     ("e16", experiment_shared_store);
     ("e17", experiment_campaign);
+    ("e18", experiment_observability);
     ("a1", experiment_strategy_ablation);
     ("a2", experiment_solver_ablation);
     ("a3", experiment_packet_construction);

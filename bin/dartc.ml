@@ -13,7 +13,9 @@
    Subcommands: `dartc campaign library.mc` tests every discoverable
    function of a library in one invocation (see run_campaign below for
    its exit codes); `dartc trace-stats trace.jsonl` inspects traces
-   written with --trace; `dartc cover` explores coverage. *)
+   written with --trace; `dartc profile trace.jsonl` attributes wall
+   clock across phases/targets/solver sites; `dartc watch status.json`
+   follows a --status snapshot; `dartc cover` explores coverage. *)
 
 open Cmdliner
 
@@ -158,6 +160,16 @@ let trace_arg =
           "Write a structured event trace (one JSON object per line) of the whole search \
            to $(docv); inspect it with $(b,dartc trace-stats).")
 
+let status_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "status" ] ~docv:"FILE"
+        ~doc:
+          "Maintain a live status snapshot in $(docv): one small JSON object, atomically \
+           rewritten (write-then-rename) as the search progresses. Follow it with \
+           $(b,dartc watch).")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -235,7 +247,7 @@ let usage_error msg =
    new conflicts here, not as ad-hoc if/else chains in the driver. *)
 let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
     ~no_incremental ~no_shared_cache ~time_budget ~solver_timeout ~checkpoint
-    ~checkpoint_every ~resume ~faultsim =
+    ~checkpoint_every ~resume ~faultsim ~status =
   let table =
     [ (jobs < 0, "--jobs must be >= 0");
       ( portfolio && strategy <> None,
@@ -271,7 +283,12 @@ let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_sli
       ( random_mode && solver_timeout <> None,
         "--solver-timeout has no effect with --random-testing (no solver)" );
       ( random_mode && faultsim <> None,
-        "--faultsim is not supported with --random-testing" ) ]
+        "--faultsim is not supported with --random-testing" );
+      (* The status file has one writer: the sequential directed
+         search. Parallel workers each run their own search loop, and
+         the undirected loop does not snapshot. *)
+      (random_mode && status <> None, "--status is not supported with --random-testing");
+      (status <> None && jobs <> 1, "--status requires --jobs 1") ]
   in
   List.find_opt fst table |> Option.map snd
 
@@ -280,13 +297,21 @@ let print_coverage prog covered =
 
 (* Run [f] with a telemetry sink for --trace: the null sink when
    tracing is off, else a JSONL writer whose channel is closed (after a
-   final flush) whatever [f] does. *)
+   final flush) whatever [f] does. The flush is explicit and the close
+   is [close_out_noerr]: [close_out] raising from the [finally] (full
+   disk, dropped pipe) would mask [f]'s outcome, and the
+   interrupted/over-budget exits must still deliver every buffered
+   event rather than a truncated trace. *)
 let with_trace_sink trace f =
   match trace with
   | None -> f Dart.Telemetry.null
   | Some path ->
     let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Dart.Telemetry.jsonl oc))
+    Fun.protect
+      ~finally:(fun () ->
+        (try flush oc with Sys_error _ -> ());
+        close_out_noerr oc)
+      (fun () -> f (Dart.Telemetry.jsonl oc))
 
 let ns_of_seconds s = Int64.of_float (s *. 1e9)
 let ns_of_ms ms = Int64.of_float (ms *. 1e6)
@@ -304,7 +329,7 @@ let install_signal_handlers () =
 let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
     jobs portfolio no_cache no_slicing no_incremental no_shared_cache no_compile
     time_budget solver_timeout checkpoint checkpoint_every resume faultsim faultsim_seed
-    trace metrics_flag show_interface show_driver dump_ram coverage =
+    trace status metrics_flag show_interface show_driver dump_ram coverage =
   try
     let src = read_file file in
     let ast = Minic.Parser.parse_program ~file src in
@@ -321,7 +346,7 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
       match
         validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
           ~no_incremental ~no_shared_cache ~time_budget ~solver_timeout ~checkpoint
-          ~checkpoint_every ~resume ~faultsim
+          ~checkpoint_every ~resume ~faultsim ~status
       with
       | Some msg -> usage_error msg
       | None ->
@@ -349,7 +374,12 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
                the plumbing this driver used to do inline. *)
             let prep = Dart.Telemetry.create_metrics () in
             let print_metrics m =
-              if metrics_flag then print_endline (Dart.Telemetry.metrics_to_string m)
+              if metrics_flag then begin
+                print_endline (Dart.Telemetry.metrics_to_string m);
+                (* Latency distributions ride with --metrics only: the
+                   plain report stays byte-identical. *)
+                print_endline (Dart.Telemetry.latency_to_string m)
+              end
             in
             let options =
               Dart.Driver.Options.make ~seed ~depth ~max_runs
@@ -363,7 +393,10 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
                   { Dart.Concolic.default_exec_options with
                     symbolic_pointers = symbolic_ptrs;
                     compile = not no_compile }
-                ~telemetry:(Dart.Telemetry.with_sink sink) ~faultsim:fs ()
+                ~telemetry:
+                  { (Dart.Telemetry.with_sink sink) with
+                    Dart.Telemetry.status_path = status }
+                ~faultsim:fs ()
             in
             let portfolio =
               if portfolio then
@@ -752,7 +785,7 @@ let campaign_list_arg =
     & info [ "list" ] ~doc:"Only discover and print the campaign targets, one per line.")
 
 let validate_campaign ~jobs ~per_function_runs ~retire_after ~max_runs ~time_budget
-    ~solver_timeout ~list_only ~checkpoint ~resume ~json ~lcov ~html =
+    ~solver_timeout ~list_only ~checkpoint ~resume ~json ~lcov ~html ~trace ~status =
   let table =
     [ (jobs < 0, "--jobs must be >= 0");
       (per_function_runs <= 0, "--per-function-runs must be positive");
@@ -764,7 +797,7 @@ let validate_campaign ~jobs ~per_function_runs ~retire_after ~max_runs ~time_bud
         "--solver-timeout must be positive" );
       ( list_only
         && (checkpoint <> None || resume <> None || json <> None || lcov <> None
-           || html <> None),
+           || html <> None || trace <> None || status <> None),
         "--list only discovers targets; it conflicts with --checkpoint/--resume and the \
          report outputs" ) ]
   in
@@ -775,13 +808,22 @@ let write_file_with_note ~what path content =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
   Printf.eprintf "dartc campaign: wrote %s %s\n" what path
 
+(* Retire constructor → the short tag shared by the trace codec, the
+   status schema and the heatmap CSS classes. *)
+let retire_tag = function
+  | Dart.Campaign.Bug -> "bug"
+  | Dart.Campaign.Complete -> "complete"
+  | Dart.Campaign.Saturated -> "saturated"
+  | Dart.Campaign.Budget_capped -> "capped"
+
 let run_campaign file jobs seed depth max_runs per_function_runs retire_after priority
-    all_bugs time_budget solver_timeout json lcov html checkpoint resume list_only =
+    all_bugs time_budget solver_timeout json lcov html checkpoint resume trace status
+    list_only =
   try
     let src = read_file file in
     match
       validate_campaign ~jobs ~per_function_runs ~retire_after ~max_runs ~time_budget
-        ~solver_timeout ~list_only ~checkpoint ~resume ~json ~lcov ~html
+        ~solver_timeout ~list_only ~checkpoint ~resume ~json ~lcov ~html ~trace ~status
     with
     | Some msg -> usage_error msg
     | None ->
@@ -796,11 +838,16 @@ let run_campaign file jobs seed depth max_runs per_function_runs retire_after pr
         if targets = [] then usage_error "no testable targets discovered" else 0
       end
       else begin
+        with_trace_sink trace @@ fun sink ->
         install_signal_handlers ();
         let options =
           Dart.Driver.Options.make ~seed ~depth ~max_runs ~per_function_runs
             ~retire_after ~priority ~stop_on_first_bug:(not all_bugs)
-            ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout) ()
+            ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout)
+            ~telemetry:
+              { (Dart.Telemetry.with_sink sink) with
+                Dart.Telemetry.status_path = status }
+            ()
         in
         match
           Dart.Campaign.run ~jobs ~options
@@ -837,8 +884,31 @@ let run_campaign file jobs seed depth max_runs per_function_runs retire_after pr
                   let title =
                     Printf.sprintf "%s \u{2014} campaign" (Filename.basename file)
                   in
+                  (* The per-target time/outcome heatmap: cumulative
+                     slice wall clock from cam_times, outcome and run
+                     count joined from the finished results (a target
+                     the campaign stopped before retiring shows as
+                     "unfinished"). *)
+                  let heatmap =
+                    Dart.Cover_report.campaign_heatmap
+                      (List.map
+                         (fun (name, ns) ->
+                           match
+                             List.find_opt
+                               (fun (r : Dart.Campaign.target_result) ->
+                                 r.Dart.Campaign.tr_name = name)
+                               report.Dart.Campaign.cam_results
+                           with
+                           | Some r ->
+                             ( name,
+                               retire_tag r.Dart.Campaign.tr_retired,
+                               ns,
+                               r.Dart.Campaign.tr_runs )
+                           | None -> (name, "unfinished", ns, 0))
+                         report.Dart.Campaign.cam_times)
+                  in
                   write_file_with_note ~what:"HTML" path
-                    (Dart.Cover_report.to_html t ~source:src ~title))
+                    (Dart.Cover_report.to_html ~extra:heatmap t ~source:src ~title))
                 html
           end;
           (match report.Dart.Campaign.cam_status with
@@ -867,7 +937,99 @@ let campaign_cmd =
       $ campaign_max_runs_arg $ per_function_runs_arg $ retire_after_arg $ priority_arg
       $ all_bugs_arg $ time_budget_arg $ solver_timeout_arg $ campaign_json_arg
       $ campaign_lcov_arg $ campaign_html_arg $ campaign_checkpoint_arg
-      $ campaign_resume_arg $ campaign_list_arg)
+      $ campaign_resume_arg $ trace_arg $ status_arg $ campaign_list_arg)
+
+(* ---- watch / profile ------------------------------------------------------------- *)
+
+(* `dartc watch STATUS` renders the --status snapshot; `dartc profile
+   TRACE` attributes wall clock over a recorded trace. Both are pure
+   readers: they never touch the file beyond reading it. *)
+
+let status_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"STATUS" ~doc:"Status file maintained by $(b,--status).")
+
+let watch_once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:
+          "Render the current snapshot once and exit instead of following the file \
+           (deterministic output; used by the tests).")
+
+let watch_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "interval" ] ~docv:"SEC" ~doc:"Refresh period in seconds (default 1).")
+
+let run_watch file once interval =
+  if interval <= 0.0 then usage_error "--interval must be positive"
+  else if once then begin
+    match Dart.Status.read ~path:file with
+    | Error msg ->
+      Printf.eprintf "dartc watch: %s: %s\n" file msg;
+      2
+    | Ok st ->
+      print_string (Dart.Status.render st);
+      0
+  end
+  else begin
+    (* Follow mode: clear-and-redraw until the user interrupts. Errors
+       are transient by design — the writer may not have produced the
+       file yet, or may have just retired it — so they render in place
+       and the loop keeps polling. Hard rejection of malformed files is
+       --once's job (that path exits 2). *)
+    let rec loop () =
+      (match Dart.Status.read ~path:file with
+       | Ok st ->
+         print_string "\027[H\027[2J";
+         print_string (Dart.Status.render st);
+         flush stdout
+       | Error msg -> Printf.eprintf "dartc watch: %s: %s (waiting)\n%!" file msg);
+      Unix.sleepf interval;
+      loop ()
+    in
+    loop ()
+  end
+
+let profile_top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K"
+        ~doc:"How many hottest solver sites to list (default 10).")
+
+let run_profile file top =
+  try
+    if top <= 0 then usage_error "--top must be positive"
+    else begin
+      let events = read_trace_events file in
+      print_string (Dart.Profile.to_string ~top (Dart.Profile.of_events events));
+      0
+    end
+  with
+  | Malformed msg ->
+    Printf.eprintf "dartc profile: %s\n" msg;
+    2
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+let watch_cmd =
+  let doc = "render a live status snapshot maintained with --status" in
+  Cmd.v
+    (Cmd.info "dartc watch" ~doc)
+    Term.(const run_watch $ status_file_arg $ watch_once_arg $ watch_interval_arg)
+
+let profile_cmd =
+  let doc =
+    "attribute wall clock across phases, campaign targets and solver sites from a JSONL \
+     trace"
+  in
+  Cmd.v
+    (Cmd.info "dartc profile" ~doc)
+    Term.(const run_profile $ trace_file_arg $ profile_top_arg)
 
 let run_term =
   Term.(
@@ -876,8 +1038,8 @@ let run_term =
     $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ no_incremental_arg
     $ no_shared_cache_arg $ no_compile_arg $ time_budget_arg $ solver_timeout_arg
     $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ faultsim_arg
-    $ faultsim_seed_arg $ trace_arg $ metrics_arg $ show_interface_arg $ show_driver_arg
-    $ dump_ram_arg $ coverage_arg)
+    $ faultsim_seed_arg $ trace_arg $ status_arg $ metrics_arg $ show_interface_arg
+    $ show_driver_arg $ dump_ram_arg $ coverage_arg)
 
 let trace_stats_cmd =
   let doc = "summarize a JSONL trace written with --trace" in
@@ -926,4 +1088,12 @@ let () =
     eval
       ~argv:(Array.append [| "dartc cover" |] (Array.sub argv 2 (Array.length argv - 2)))
       cover_cmd
+  else if Array.length argv > 1 && argv.(1) = "watch" then
+    eval
+      ~argv:(Array.append [| "dartc watch" |] (Array.sub argv 2 (Array.length argv - 2)))
+      watch_cmd
+  else if Array.length argv > 1 && argv.(1) = "profile" then
+    eval
+      ~argv:(Array.append [| "dartc profile" |] (Array.sub argv 2 (Array.length argv - 2)))
+      profile_cmd
   else eval run_cmd

@@ -30,6 +30,8 @@ type report = {
   cam_crashes : (string * Driver.bug) list;
   cam_status : status;
   cam_resumed : int;
+  cam_metrics : Telemetry.metrics;
+  cam_times : (string * int64) list;
 }
 
 (* ---- discovery ------------------------------------------------------------------- *)
@@ -333,6 +335,8 @@ type tstate = {
   mutable st_stale : int; (* consecutive slices without a new direction *)
   mutable st_covered : int;
   mutable st_frontier : int;
+  mutable st_ns : int64; (* cumulative slice wall clock this session *)
+  mutable st_sites : (string * int * bool) list; (* latest slice coverage *)
   mutable st_snapshot : Driver.snapshot option;
   mutable st_result : target_result option;
   mutable st_failed : string option; (* a slice raised: dropped with the reason *)
@@ -341,6 +345,13 @@ type tstate = {
 type slice_outcome =
   | Sliced of Driver.report * Driver.snapshot option
   | Slice_failed of string
+
+let verdict_tag = function
+  | Driver.Bug_found _ -> "bug"
+  | Driver.Complete -> "complete"
+  | Driver.Budget_exhausted -> "budget"
+  | Driver.Time_exhausted -> "time"
+  | Driver.Interrupted -> "interrupted"
 
 let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpoint
     ?resume ?file ?(progress = fun _ -> ()) text =
@@ -378,6 +389,8 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
               st_stale = 0;
               st_covered = 0;
               st_frontier = 0;
+              st_ns = 0L;
+              st_sites = [];
               st_snapshot = None;
               st_result = Hashtbl.find_opt restored_tbl name;
               st_failed = None })
@@ -393,31 +406,58 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
         | Some d -> Int64.compare (Telemetry.now ()) d >= 0
       in
       let stop () = Cancel.requested () || over_deadline () in
-      let session =
-        Session.create ~jobs:1 ~should_stop:over_deadline ~options ()
+      (* The campaign is the sole writer of the main sink and the status
+         file: slices trace into private per-target rings (tg_sink)
+         replayed at settle, so worker domains never touch either. *)
+      let msink = options.O.telemetry.Telemetry.sink in
+      let tracing = Telemetry.enabled msink in
+      let status_path = options.O.telemetry.Telemetry.status_path in
+      let session_options =
+        { options with
+          O.telemetry =
+            { options.O.telemetry with
+              Telemetry.sink = Telemetry.null;
+              status_path = None } }
       in
+      let session =
+        Session.create ~jobs:1 ~should_stop:over_deadline ~options:session_options ()
+      in
+      let cam_metrics = Telemetry.create_metrics () in
+      let dropped_events = ref 0 in
+      let campaign_start = Telemetry.now () in
       let per_slice = max 1 options.O.campaign.O.per_function_runs in
       let cap_total = options.O.budget.O.max_runs in
       let run_slice st =
         let cap = min cap_total (st.st_runs + per_slice) in
+        let ring =
+          if tracing then
+            Telemetry.ring ~capacity:options.O.telemetry.Telemetry.worker_buffer
+          else Telemetry.null
+        in
         let target =
-          Target.make ~max_runs:cap ~toplevel:st.st_name
+          Target.make ~max_runs:cap
+            ?sink:(if tracing then Some ring else None)
+            ~toplevel:st.st_name
             (Target.Text { file; text })
         in
         let latest = ref None in
-        try
-          match
-            Engine.run ?resume:st.st_snapshot
-              ~on_checkpoint:(fun sn -> latest := Some sn)
-              session target
+        let t0 = Telemetry.now () in
+        let outcome =
+          try
+            match
+              Engine.run ?resume:st.st_snapshot
+                ~on_checkpoint:(fun sn -> latest := Some sn)
+                session target
+            with
+            | Engine.Directed_report r -> Sliced (r, !latest)
+            | Engine.Random_report _ | Engine.Parallel_report _ -> assert false
           with
-          | Engine.Directed_report r -> Sliced (r, !latest)
-          | Engine.Random_report _ | Engine.Parallel_report _ -> assert false
-        with
-        | Minic.Typecheck.Error (loc, msg) ->
-          Slice_failed (Printf.sprintf "%s: %s" (Minic.Loc.to_string loc) msg)
-        | Driver_gen.No_toplevel name ->
-          Slice_failed (Printf.sprintf "no function named %s with a body" name)
+          | Minic.Typecheck.Error (loc, msg) ->
+            Slice_failed (Printf.sprintf "%s: %s" (Minic.Loc.to_string loc) msg)
+          | Driver_gen.No_toplevel name ->
+            Slice_failed (Printf.sprintf "no function named %s with a body" name)
+        in
+        (outcome, ring, Int64.sub (Telemetry.now ()) t0)
       in
       let active () = List.filter (fun st -> st.st_result = None && st.st_failed = None) states in
       let order_round sts =
@@ -454,12 +494,82 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
           cam_unfinished = unfinished;
           cam_crashes = dedup_crashes results;
           cam_status = Finished; (* patched by the caller *)
-          cam_resumed = resumed_count }
+          cam_resumed = resumed_count;
+          cam_metrics;
+          cam_times =
+            List.filter_map
+              (fun st ->
+                if st.st_slices > 0 || st.st_result <> None then
+                  Some (st.st_name, st.st_ns)
+                else None)
+              states }
+      in
+      let round = ref 0 in
+      let write_status ~final () =
+        Option.iter
+          (fun path ->
+            let elapsed = Int64.sub (Telemetry.now ()) campaign_start in
+            let total = List.length states in
+            let done_ = List.length (List.filter (fun st -> st.st_result <> None) states) in
+            let act = if final then 0 else List.length (active ()) in
+            let total_runs =
+              List.fold_left
+                (fun acc st ->
+                  acc
+                  + (match st.st_result with Some tr -> tr.tr_runs | None -> st.st_runs))
+                0 states
+            in
+            let covered =
+              let tbl : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
+              List.iter
+                (fun st ->
+                  let sites =
+                    match st.st_result with
+                    | Some tr -> tr.tr_coverage
+                    | None -> st.st_sites
+                  in
+                  List.iter (fun s -> Hashtbl.replace tbl s ()) sites)
+                states;
+              Hashtbl.length tbl
+            in
+            let frontier =
+              List.fold_left
+                (fun acc st ->
+                  if st.st_result = None && st.st_failed = None then acc + st.st_frontier
+                  else acc)
+                0 states
+            in
+            let bugs =
+              dedup_crashes
+                (List.filter_map (fun st -> st.st_result) states
+                |> List.sort (fun a b -> compare a.tr_index b.tr_index))
+            in
+            let h = cam_metrics.Telemetry.solve_hist in
+            Status.write ~path
+              { Status.st_mode = Status.Campaign;
+                st_elapsed_ns = elapsed;
+                st_budget_ns = time_budget_ns;
+                st_runs = total_runs;
+                st_max_runs = cap_total * total;
+                st_execs_per_sec =
+                  (if Int64.compare elapsed 0L <= 0 then 0
+                   else
+                     int_of_float
+                       (float_of_int total_runs /. (Int64.to_float elapsed /. 1e9)));
+                st_bugs = List.length bugs;
+                st_covered = covered;
+                st_frontier = frontier;
+                st_done = done_;
+                st_active = act;
+                st_remaining = total - done_ - act;
+                st_round = !round;
+                st_solve_p50_ns = Telemetry.Hist.p50 h;
+                st_solve_p99_ns = Telemetry.Hist.p99 h })
+          status_path
       in
       progress
         (Printf.sprintf "campaign: %d targets (%d skipped), %d restored from checkpoint, jobs=%d"
            (List.length targets) (List.length skipped) resumed_count jobs);
-      let round = ref 0 in
       let finished_at_last_save = ref (-1) in
       let maybe_checkpoint () =
         Option.iter
@@ -475,8 +585,10 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
       in
       while active () <> [] && not (stop ()) do
         incr round;
+        let round_t0 = Telemetry.now () in
         let tasks = Array.of_list (order_round (active ())) in
         progress (Printf.sprintf "round %d: %d active" !round (Array.length tasks));
+        write_status ~final:false ();
         let outcomes = Array.make (Array.length tasks) None in
         let next = Atomic.make 0 in
         let worker () =
@@ -493,22 +605,48 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
            let domains = Array.init n (fun _ -> Domain.spawn worker) in
            Array.iter Domain.join domains
          end);
-        (* Settle the round in declaration order, so crash attribution
-           and progress lines are deterministic. *)
-        let settle st outcome =
+        (* Settle the round in declaration order, so crash attribution,
+           progress lines and the replayed trace are deterministic: the
+           event order per settled slice is Target_scheduled, the
+           slice's ring, Slice_end, then Target_retired when the slice
+           retired the target. *)
+        let settle st (outcome, ring, dur) =
+          st.st_ns <- Int64.add st.st_ns dur;
+          let prev_runs = st.st_runs in
+          if tracing then begin
+            Telemetry.emit msink
+              (Telemetry.Target_scheduled { target = st.st_name; round = !round });
+            Telemetry.replay ring ~into:msink;
+            dropped_events := !dropped_events + Telemetry.dropped ring
+          end;
           match outcome with
           | Slice_failed reason ->
             st.st_failed <- Some reason;
+            if tracing then begin
+              Telemetry.emit msink
+                (Telemetry.Slice_end
+                   { target = st.st_name;
+                     round = !round;
+                     outcome = "failed";
+                     runs = 0;
+                     dur_ns = dur });
+              Telemetry.emit msink
+                (Telemetry.Target_retired { target = st.st_name; reason = "failed" })
+            end;
             progress (Printf.sprintf "dropped %s: %s" st.st_name reason)
           | Sliced (r, snap) ->
+            Telemetry.add_metrics ~into:cam_metrics r.Driver.metrics;
             st.st_slices <- st.st_slices + 1;
             st.st_runs <- r.Driver.runs;
+            st.st_sites <- r.Driver.coverage_sites;
             let covered = List.length r.Driver.coverage_sites in
             if covered > st.st_covered then st.st_stale <- 0
             else st.st_stale <- st.st_stale + 1;
             st.st_covered <- covered;
             st.st_frontier <- frontier_count r.Driver.coverage_sites;
+            let retired = ref None in
             let retire reason =
+              retired := Some reason;
               st.st_result <-
                 Some
                   { tr_name = st.st_name;
@@ -542,14 +680,50 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
                (* Campaign-level stop observed mid-slice: the target
                   stays unfinished; a checkpointed campaign re-runs it
                   from scratch on resume. *)
-               ())
+               ());
+            if tracing then begin
+              Telemetry.emit msink
+                (Telemetry.Slice_end
+                   { target = st.st_name;
+                     round = !round;
+                     outcome = verdict_tag r.Driver.verdict;
+                     runs = r.Driver.runs - prev_runs;
+                     dur_ns = dur });
+              Option.iter
+                (fun reason ->
+                  Telemetry.emit msink
+                    (Telemetry.Target_retired
+                       { target = st.st_name; reason = retire_tag reason }))
+                !retired
+            end
         in
         let indexed = Array.to_list (Array.mapi (fun i st -> (st, outcomes.(i))) tasks) in
         List.iter
           (fun (st, outcome) -> Option.iter (settle st) outcome)
           (List.stable_sort (fun ((a : tstate), _) (b, _) -> compare a.st_index b.st_index) indexed);
+        if tracing then begin
+          Telemetry.emit msink
+            (Telemetry.Round_end
+               { round = !round;
+                 active = List.length (active ());
+                 dur_ns = Int64.sub (Telemetry.now ()) round_t0 });
+          (* Per-round flush: an interrupted or time-capped campaign
+             still leaves a trace ending on a complete line. *)
+          Telemetry.flush msink
+        end;
+        write_status ~final:false ();
         maybe_checkpoint ()
       done;
+      if tracing then begin
+        Telemetry.emit_phase_totals msink cam_metrics;
+        Telemetry.flush msink
+      end;
+      if !dropped_events > 0 then
+        progress
+          (Printf.sprintf
+             "trace: per-slice rings overflowed, %d oldest events dropped (raise the \
+              worker buffer)"
+             !dropped_events);
       let report = interim () in
       let report =
         if report.cam_unfinished = [] then report
@@ -560,6 +734,7 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
                 (if Cancel.requested () then "interrupted" else "time budget exhausted") }
       in
       maybe_checkpoint ();
+      write_status ~final:true ();
       Ok report
   end
 
@@ -641,6 +816,20 @@ let to_json r =
   add "  \"retired\": {\"bug\": %d, \"complete\": %d, \"saturated\": %d, \"capped\": %d},\n"
     bug complete saturated capped;
   add "  \"coverage_directions\": %d,\n" (List.length (aggregate_sites r));
+  (* Wall-clock attribution on one filterable line: determinism diffs
+     (jobs=1 vs jobs=N, resume) must drop it with [grep -v '"phases"'],
+     exactly like the "resumed" line. *)
+  let m = r.cam_metrics in
+  add
+    "  \"phases\": {\"execute_ns\": %Ld, \"solve_ns\": %Ld, \"lower_ns\": %Ld, \
+     \"merge_ns\": %Ld, \"total_ns\": %Ld, \"solve_p50_ns\": %Ld, \"solve_p99_ns\": %Ld, \
+     \"run_p50_ns\": %Ld, \"run_p99_ns\": %Ld},\n"
+    m.Telemetry.execute_ns m.Telemetry.solve_ns m.Telemetry.lower_ns m.Telemetry.merge_ns
+    (Telemetry.total_ns m)
+    (Telemetry.Hist.p50 m.Telemetry.solve_hist)
+    (Telemetry.Hist.p99 m.Telemetry.solve_hist)
+    (Telemetry.Hist.p50 m.Telemetry.run_hist)
+    (Telemetry.Hist.p99 m.Telemetry.run_hist);
   add "  \"crashes\": [";
   List.iteri
     (fun i (target, b) ->

@@ -81,6 +81,15 @@ type report = {
       (* (target, bug) deduped by {!Driver.bug_key}, sorted by key *)
   cam_status : status;
   cam_resumed : int; (* finished targets restored from --resume *)
+  cam_metrics : Telemetry.metrics;
+      (* phase totals and latency histograms summed over every slice of
+         the session (restored targets contribute nothing — their
+         slices ran in the checkpointed process) *)
+  cam_times : (string * int64) list;
+      (* per-target cumulative slice wall clock this session,
+         declaration order; feeds the report heatmap and [dartc
+         profile]'s per-target table. Wall-clock content: excluded from
+         determinism diffs, like the "phases" JSON line. *)
 }
 
 val discover : Minic.Ast.program -> string list * (string * string) list
@@ -115,6 +124,17 @@ val run :
     [Error] covers usage-level failures: zero targets discovered, an
     unreadable or mismatched [resume] file. Parse/typecheck errors
     raise as they do in {!Driver.test_source}.
+
+    Observability: when [options.telemetry.sink] is enabled, each slice
+    traces into a private ring replayed into the main sink at settle,
+    bracketed by campaign-scope events (Target_scheduled / Slice_end /
+    Target_retired, one Round_end per round), with the sink flushed per
+    round and phase totals emitted at the end — so the trace order is
+    deterministic (declaration order within each round) and independent
+    of [jobs]. When [options.telemetry.status_path] is set, a
+    {!Status} snapshot is atomically rewritten at every round boundary
+    and at exit. Slices themselves never touch the main sink or the
+    status file.
     @raise Invalid_argument if [jobs < 0]. *)
 
 val aggregate_sites : report -> (string * int * bool) list
@@ -127,9 +147,12 @@ val report_to_string : report -> string
     retirement histogram, deduped crash list, aggregate coverage. *)
 
 val to_json : report -> string
-(** Deterministic machine-readable aggregate (one JSON object,
-    2-space indented, trailing newline): campaign counters, per-target
-    results, deduped crashes, aggregate coverage totals. *)
+(** Machine-readable aggregate (one JSON object, 2-space indented,
+    trailing newline): campaign counters, per-target results, deduped
+    crashes, aggregate coverage totals. Deterministic except for the
+    single ["phases"] line (wall-clock phase totals and latency
+    percentiles from [cam_metrics]) — byte-diffs across runs must
+    filter it, like the ["resumed"] counter. *)
 
 (** {1 Checkpoint codec} *)
 

@@ -413,7 +413,7 @@ pre.source span { display: block; padding: 0 0.8em; white-space: pre; }
                font-size: 0.85em; }
 |}
 
-let to_html t ~source ~title =
+let to_html ?(extra = "") t ~source ~title =
   let lines = split_lines source in
   let by_line = sites_by_line t in
   let cov = t.coverage in
@@ -479,5 +479,73 @@ let to_html t ~source ~title =
            (html_escape (status_to_string s.cs_status)))
        sites;
      add "</table>\n");
+  (* Caller-supplied panel (campaign heatmap): already-rendered HTML,
+     spliced verbatim before the close. Empty by default, so
+     single-target reports stay byte-identical. *)
+  Buffer.add_string buf extra;
   add "</body>\n</html>\n";
+  Buffer.contents buf
+
+(* Campaign per-target time/outcome heatmap: one cell per tested
+   target, opacity by share of total slice time, border color by
+   retirement outcome. [cells] is (target, retire_tag, total_ns, runs)
+   in the order the campaign reports them. *)
+let campaign_heatmap cells =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "<h2>per-target time</h2>\n";
+  if cells = [] then add "<p>no per-target timing recorded.</p>\n"
+  else begin
+    let total = List.fold_left (fun acc (_, _, ns, _) -> Int64.add acc ns) 0L cells in
+    add
+      "<p class=\"legend\"><span class=\"hm-bug\">bug</span>\
+       <span class=\"hm-complete\">complete</span>\
+       <span class=\"hm-saturated\">saturated</span>\
+       <span class=\"hm-capped\">capped</span>\
+       <span class=\"hm-other\">other</span></p>\n";
+    add "<div class=\"heatmap\">\n";
+    List.iter
+      (fun (name, tag, ns, runs) ->
+        let share =
+          if Int64.compare total 0L > 0 then
+            Int64.to_float ns /. Int64.to_float total
+          else 0.0
+        in
+        (* Opacity floor keeps sub-percent targets visible. *)
+        let opacity = 0.15 +. (0.85 *. share) in
+        let cls =
+          match tag with
+          | "bug" -> "hm-bug"
+          | "complete" -> "hm-complete"
+          | "saturated" -> "hm-saturated"
+          | "capped" -> "hm-capped"
+          | _ -> "hm-other"
+        in
+        add
+          "<div class=\"hm-cell %s\" style=\"--heat:%.3f\" title=\"%s: %s, %d runs, \
+           %.1f%% of slice time\"><span class=\"hm-name\">%s</span>\
+           <span class=\"hm-time\">%s</span></div>\n"
+          cls opacity (html_escape name) (html_escape tag) runs (100.0 *. share)
+          (html_escape name)
+          (html_escape (Telemetry.ns_to_string ns)))
+      cells;
+    add "</div>\n";
+    add
+      "<style>.heatmap { display: flex; flex-wrap: wrap; gap: 4px; }\n\
+       .hm-cell { border-radius: 4px; padding: 0.3em 0.5em; font-size: 0.8em;\n\
+       \          background: rgba(70, 110, 180, var(--heat)); border: 2px solid #ccc; }\n\
+       .hm-cell span { display: block; }\n\
+       .hm-name { font-weight: 600; }\n\
+       .hm-bug { border-color: #c0392b; }\n\
+       .hm-complete { border-color: #27ae60; }\n\
+       .hm-saturated { border-color: #d9a62e; }\n\
+       .hm-capped { border-color: #7f8c8d; }\n\
+       .hm-other { border-color: #aaa; }\n\
+       span.hm-bug { border: 2px solid #c0392b; }\n\
+       span.hm-complete { border: 2px solid #27ae60; }\n\
+       span.hm-saturated { border: 2px solid #d9a62e; }\n\
+       span.hm-capped { border: 2px solid #7f8c8d; }\n\
+       span.hm-other { border: 2px solid #aaa; }\n\
+       </style>\n"
+  end;
   Buffer.contents buf

@@ -76,9 +76,19 @@ val to_lcov : t -> string
     [BRF]/[BRH] totals equal to [2 * total_sites] /
     [total_directions]. *)
 
-val to_html : t -> source:string -> title:string -> string
+val to_html : ?extra:string -> t -> source:string -> title:string -> string
 (** Self-contained single-file HTML: summary tiles, a per-function
-    table, and the annotated source with per-line highlighting. *)
+    table, and the annotated source with per-line highlighting.
+    [extra] (default empty) is an already-rendered HTML fragment
+    spliced in before [</body>] — the campaign report passes
+    {!campaign_heatmap} here. *)
+
+val campaign_heatmap : (string * string * int64 * int) list -> string
+(** HTML fragment for the campaign report's per-target panel: one cell
+    per [(target, retire_tag, total_ns, runs)] entry, cell intensity
+    proportional to the target's share of total slice wall clock and
+    border color keyed to the retirement tag ([bug] / [complete] /
+    [saturated] / [capped]). Deterministic for a fixed input list. *)
 
 (** {1 lcov re-parser}
 

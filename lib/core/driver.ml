@@ -217,6 +217,8 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
   let sink = options.Options.telemetry.Telemetry.sink in
   let fs = options.Options.fault in
   let tracing = Telemetry.enabled sink in
+  let status_path = options.Options.telemetry.Telemetry.status_path in
+  let status_every = max 1 options.Options.telemetry.Telemetry.status_every in
   let search_start = Telemetry.now () in
   let coverage : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 256 in
   let bug_sites : (string * int * Machine.fault, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -275,6 +277,47 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
      List.iter (fun b -> Hashtbl.replace bug_sites (bug_key b) ()) s.sn_bugs;
      bugs := List.rev s.sn_bugs;
      first_bug := (match s.sn_bugs with b :: _ -> Some b | [] -> None));
+  (* Frontier size for status snapshots: branch sites (harness sites
+     already excluded from [coverage]) with exactly one direction
+     seen. Only computed when a status file was requested. *)
+  let frontier_size () =
+    let dirs : (string * int, bool * bool) Hashtbl.t = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (fn, pc, dir) () ->
+        let taken, fallthrough =
+          Option.value ~default:(false, false) (Hashtbl.find_opt dirs (fn, pc))
+        in
+        Hashtbl.replace dirs (fn, pc)
+          (if dir then (true, fallthrough) else (taken, true)))
+      coverage;
+    Hashtbl.fold
+      (fun _ (taken, fallthrough) acc -> if taken <> fallthrough then acc + 1 else acc)
+      dirs 0
+  in
+  let write_status ~final path =
+    let elapsed = Int64.sub (Telemetry.now ()) search_start in
+    let execs_per_sec =
+      if Int64.compare elapsed 0L <= 0 then 0
+      else int_of_float (float_of_int !runs /. (Int64.to_float elapsed /. 1e9))
+    in
+    let h = metrics.Telemetry.solve_hist in
+    Status.write ~path
+      { Status.st_mode = Status.Run;
+        st_elapsed_ns = elapsed;
+        st_budget_ns = options.Options.budget.Options.time_budget_ns;
+        st_runs = !runs;
+        st_max_runs = options.Options.budget.Options.max_runs;
+        st_execs_per_sec = execs_per_sec;
+        st_bugs = List.length !bugs;
+        st_covered = Hashtbl.length coverage;
+        st_frontier = frontier_size ();
+        st_done = (if final then 1 else 0);
+        st_active = (if final then 0 else 1);
+        st_remaining = 0;
+        st_round = 0;
+        st_solve_p50_ns = Telemetry.Hist.p50 h;
+        st_solve_p99_ns = Telemetry.Hist.p99 h }
+  in
   let record_run (data : Concolic.run_data) =
     incr runs;
     total_steps := !total_steps + data.Concolic.steps;
@@ -295,7 +338,10 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
         (Telemetry.Cover_point
            { run = !runs;
              covered = Hashtbl.length coverage;
-             elapsed_ns = Int64.sub (Telemetry.now ()) search_start })
+             elapsed_ns = Int64.sub (Telemetry.now ()) search_start });
+    match status_path with
+    | Some path when !runs mod status_every = 0 -> write_status ~final:false path
+    | _ -> ()
   in
   let record_bug fault site (data : Concolic.run_data) =
     let bug =
@@ -333,6 +379,7 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
     let data = Concolic.run_once ~opts:options.Options.exec ~rng ~im ~prev_stack ~entry prog in
     let dur = Int64.sub (Telemetry.now ()) t0 in
     Telemetry.add_phase metrics Telemetry.Execute dur;
+    Telemetry.Hist.add metrics.Telemetry.run_hist dur;
     if tracing then begin
       Array.iteri
         (fun i (fn, pc) ->
@@ -465,6 +512,7 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
           ?incr:ctx.sc_incr
           ?deadline_ns:options.Options.budget.Options.solver_deadline_ns ~faultsim:fs
           ~slicing:options.Options.accel.Options.use_slicing ~telemetry:sink
+          ~hist:metrics.Telemetry.solve_hist
           ~sites:data.Concolic.cond_sites ~strategy:options.Options.search.Options.strategy
           ~rng ~stats ~im ~stack:data.Concolic.stack
           ~path_constraint:data.Concolic.path_constraint ()
@@ -546,6 +594,7 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
     Telemetry.emit_phase_totals sink metrics;
     Telemetry.flush sink
   end;
+  Option.iter (fun path -> write_status ~final:true path) status_path;
   { verdict;
     runs = !runs;
     restarts = !restarts;

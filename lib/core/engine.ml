@@ -16,7 +16,16 @@ let effective_options session (target : Target.t) =
     | Some t -> { budget with Driver.Options.time_budget_ns = Some t }
     | None -> budget
   in
-  { base with Driver.Options.budget }
+  let telemetry =
+    match target.Target.tg_sink with
+    | None -> base.Driver.Options.telemetry
+    | Some sink ->
+      (* A target-private sink (campaign slice ring) also takes over
+         status reporting: the campaign aggregates across targets and
+         writes the status file itself, so the slice must not. *)
+      { base.Driver.Options.telemetry with Telemetry.sink; status_path = None }
+  in
+  { base with Driver.Options.budget; telemetry }
 
 let run ?(mode = `Directed) ?resume ?on_checkpoint ?checkpoint_every ?metrics session
     target =

@@ -213,7 +213,14 @@ let run ?(options = options O.default) (prog : Ram.Instr.program) : report =
     let options =
       { t.base with
         O.search = { t.base.O.search with O.strategy };
-        O.telemetry = { t.base.O.telemetry with Telemetry.sink } }
+        O.telemetry =
+          { t.base.O.telemetry with
+            Telemetry.sink;
+            (* Only a lone worker may own the status file: concurrent
+               domains each writing tmp+rename would race on it. The
+               CLI already rejects --status with --jobs > 1. *)
+            status_path =
+              (if n = 1 then t.base.O.telemetry.Telemetry.status_path else None) } }
     in
     match Driver.search ~ctx ~options prog with
     | r ->

@@ -42,7 +42,11 @@ let run ?(seed = 42) ?(max_runs = 10_000) ?deadline ?(exec = Concolic.default_ex
       let t0 = Telemetry.now () in
       let data = Concolic.run_once ~opts:exec ~rng ~im ~prev_stack:[||] ~entry prog in
       let dur = Int64.sub (Telemetry.now ()) t0 in
-      Option.iter (fun m -> Telemetry.add_phase m Telemetry.Execute dur) metrics;
+      Option.iter
+        (fun m ->
+          Telemetry.add_phase m Telemetry.Execute dur;
+          Telemetry.Hist.add m.Telemetry.run_hist dur)
+        metrics;
       if tracing then
         Telemetry.emit telemetry
           (Telemetry.Run_end

@@ -75,7 +75,7 @@ let slice ~pivot ~prefix =
     (pivot :: kept, List.length dropped)
 
 let solve ?cache ?store ?incr ?(slicing = true) ?deadline_ns
-    ?(faultsim = Dart_util.Faultsim.off) ?(telemetry = Telemetry.null)
+    ?(faultsim = Dart_util.Faultsim.off) ?(telemetry = Telemetry.null) ?hist
     ?(sites = [||]) ~strategy ~rng ~stats ~im ~stack ~path_constraint () =
   let n = Array.length stack in
   assert (Array.length path_constraint = n);
@@ -112,7 +112,10 @@ let solve ?cache ?store ?incr ?(slicing = true) ?deadline_ns
      slicing already dropped; [cs] is [pivot :: kept @ domains]. *)
   let solve_query ~j ~sliced ~pivot ~kept ~domains cs =
     let prefer v = Option.map Zint.of_int (Inputs.value_of im v) in
-    let t0 = if tracing then Telemetry.now () else 0L in
+    (* Timed unconditionally: the clock read is noise next to a solver
+       call, and the latency histogram wants every query (cache hits
+       included) even when event tracing is off. *)
+    let t0 = Telemetry.now () in
     (* The real solver call, through the incremental context when one
        is attached (results are identical; the context only reuses
        prepared pipeline stages across the shared prefix). *)
@@ -165,6 +168,8 @@ let solve ?cache ?store ?incr ?(slicing = true) ?deadline_ns
            (r, false))
       | None, None -> (run_solver (), false)
     in
+    let dur_ns = Int64.sub (Telemetry.now ()) t0 in
+    (match hist with None -> () | Some h -> Telemetry.Hist.add h dur_ns);
     if tracing then begin
       let fn, pc = site_of j in
       Telemetry.emit telemetry
@@ -176,7 +181,7 @@ let solve ?cache ?store ?incr ?(slicing = true) ?deadline_ns
                 | Solver.Sat _ -> Telemetry.R_sat
                 | Solver.Unsat -> Telemetry.R_unsat
                 | Solver.Unknown -> Telemetry.R_unknown);
-             dur_ns = Int64.sub (Telemetry.now ()) t0;
+             dur_ns;
              cache_hit;
              sliced })
     end;

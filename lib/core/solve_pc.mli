@@ -72,6 +72,7 @@ val solve :
   ?deadline_ns:int64 ->
   ?faultsim:Dart_util.Faultsim.t ->
   ?telemetry:Telemetry.sink ->
+  ?hist:Telemetry.Hist.t ->
   ?sites:(string * int) array ->
   strategy:Strategy.t ->
   rng:Dart_util.Prng.t ->

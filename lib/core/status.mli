@@ -1,0 +1,55 @@
+(** Live status snapshots ([--status FILE] / [dartc watch]).
+
+    A running search (or campaign) periodically rewrites a small flat
+    JSON object — schema v1, integer fields only — using the same
+    write-then-rename discipline as {!Checkpoint.save}, so a concurrent
+    reader always sees a complete snapshot. [dartc watch FILE] renders
+    it as a terminal status view. *)
+
+type mode =
+  | Run (* single-target dartc run *)
+  | Campaign (* whole-library campaign *)
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type t = {
+  st_mode : mode;
+  st_elapsed_ns : int64; (* wall clock since the search started *)
+  st_budget_ns : int64 option; (* --time-budget, when set *)
+  st_runs : int; (* cumulative concolic/random runs *)
+  st_max_runs : int; (* total run budget *)
+  st_execs_per_sec : int; (* cumulative, elapsed-averaged *)
+  st_bugs : int; (* distinct bugs so far *)
+  st_covered : int; (* distinct user branch directions *)
+  st_frontier : int; (* branch sites with one direction missing *)
+  st_done : int; (* campaign: retired targets; run: 0 until final *)
+  st_active : int; (* campaign: live targets; run: 1 until final *)
+  st_remaining : int; (* campaign: never scheduled / dropped *)
+  st_round : int; (* campaign scheduling round; 0 in run mode *)
+  st_solve_p50_ns : int64; (* solve-latency percentiles (upper bounds) *)
+  st_solve_p99_ns : int64;
+}
+
+val schema : string
+(** ["dart-status"], the value of the ["schema"] field. *)
+
+val version : int
+(** Current schema version (1). *)
+
+val to_json : t -> string
+(** One flat JSON object (no trailing newline); [budget_ns] is omitted
+    when [st_budget_ns] is [None]. *)
+
+val of_json : string -> (t, string) result
+
+val write : path:string -> t -> unit
+(** Atomic snapshot write: [path ^ ".tmp"] then rename. *)
+
+val read : path:string -> (t, string) result
+(** Read and parse a status file; [Error] carries a one-line reason
+    (I/O failure, truncation, or schema violation). *)
+
+val render : t -> string
+(** Deterministic multi-line terminal view of a snapshot — a pure
+    function of [t], so [dartc watch --once] can be golden-tested. *)

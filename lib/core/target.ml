@@ -11,6 +11,7 @@ type t = {
   tg_max_runs : int option;
   tg_time_budget_ns : int64 option;
   tg_priority : int;
+  tg_sink : Telemetry.sink option;
   tg_key : string;
 }
 
@@ -24,7 +25,7 @@ let source_key = function
   | Parsed ast -> "ast:" ^ Digest.to_hex (Digest.string (Marshal.to_string ast []))
   | Prepared _ -> "prepared"
 
-let make ?depth ?max_runs ?time_budget_ns ?(priority = 0) ?(library_sigs = [])
+let make ?depth ?max_runs ?time_budget_ns ?(priority = 0) ?(library_sigs = []) ?sink
     ~toplevel source =
   { tg_source = source;
     tg_toplevel = toplevel;
@@ -33,6 +34,7 @@ let make ?depth ?max_runs ?time_budget_ns ?(priority = 0) ?(library_sigs = [])
     tg_max_runs = max_runs;
     tg_time_budget_ns = time_budget_ns;
     tg_priority = priority;
+    tg_sink = sink;
     tg_key = source_key source }
 
 let of_text ?file ~toplevel text = make ~toplevel (Text { file; text })

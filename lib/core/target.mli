@@ -30,6 +30,10 @@ type t = {
   tg_priority : int;
       (* campaign scheduling hint, higher first; ignored by
          single-shot runs *)
+  tg_sink : Telemetry.sink option;
+      (* overrides [options.telemetry.sink] for this target's search.
+         The campaign uses private per-slice rings here so worker
+         domains never contend on the session's main sink. *)
   tg_key : string;
       (* preparation-cache identity of [tg_source]: equal keys mean
          equal source. Computed by {!make}. *)
@@ -41,6 +45,7 @@ val make :
   ?time_budget_ns:int64 ->
   ?priority:int ->
   ?library_sigs:Minic.Tast.fsig list ->
+  ?sink:Telemetry.sink ->
   toplevel:string ->
   source ->
   t

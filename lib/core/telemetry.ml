@@ -61,6 +61,16 @@ type event =
   | Checkpoint_saved of { run : int }
   | Phase_total of { phase : phase; dur_ns : int64 }
   | Cover_point of { run : int; covered : int; elapsed_ns : int64 }
+  | Target_scheduled of { target : string; round : int }
+  | Slice_end of {
+      target : string;
+      round : int;
+      outcome : string;
+      runs : int;
+      dur_ns : int64;
+    }
+  | Target_retired of { target : string; reason : string }
+  | Round_end of { round : int; active : int; dur_ns : int64 }
 
 (* Branch sites that belong to the harness rather than the program
    under test: the synthesized [__dart_*] driver functions and the
@@ -72,6 +82,118 @@ let is_harness_site = Driver_gen.is_harness_site
 (* ---- monotonic clock -------------------------------------------------------- *)
 
 let now () = Monotonic_clock.now ()
+
+(* ---- latency histograms ------------------------------------------------------- *)
+
+module Hist = struct
+  (* Log2-bucketed duration histogram: bucket [b] holds samples whose
+     nanosecond duration lies in [2^b, 2^(b+1)) (bucket 0 additionally
+     absorbs 0ns and 1ns). 63 buckets cover the whole non-negative
+     Int64 range, so [add] never has to range-check twice. *)
+
+  let nbuckets = 63
+
+  type t = {
+    mutable h_count : int;
+    mutable h_sum_ns : int64;
+    mutable h_max_ns : int64;
+    h_buckets : int array;
+  }
+
+  let create () =
+    { h_count = 0; h_sum_ns = 0L; h_max_ns = 0L; h_buckets = Array.make nbuckets 0 }
+
+  let bucket_of_ns ns =
+    if Int64.compare ns 2L < 0 then 0
+    else begin
+      let b = ref 0 in
+      let v = ref ns in
+      while Int64.compare !v 1L > 0 do
+        incr b;
+        v := Int64.shift_right_logical !v 1
+      done;
+      min !b (nbuckets - 1)
+    end
+
+  (* [lo, hi): the half-open nanosecond range of a bucket. *)
+  let bucket_bounds b =
+    if b < 0 || b >= nbuckets then invalid_arg "Telemetry.Hist.bucket_bounds";
+    if b = 0 then (0L, 2L) else (Int64.shift_left 1L b, Int64.shift_left 1L (b + 1))
+
+  let add t ns =
+    let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+    t.h_count <- t.h_count + 1;
+    t.h_sum_ns <- Int64.add t.h_sum_ns ns;
+    if Int64.compare ns t.h_max_ns > 0 then t.h_max_ns <- ns;
+    let b = bucket_of_ns ns in
+    t.h_buckets.(b) <- t.h_buckets.(b) + 1
+
+  let count t = t.h_count
+  let sum_ns t = t.h_sum_ns
+  let max_ns t = t.h_max_ns
+
+  let mean_ns t =
+    if t.h_count = 0 then 0L else Int64.div t.h_sum_ns (Int64.of_int t.h_count)
+
+  (* Bucketwise addition: commutative and associative, so merging
+     worker histograms in any order yields identical counts — the
+     property the jobs=1 vs jobs=N determinism tests rely on. *)
+  let merge ~into src =
+    into.h_count <- into.h_count + src.h_count;
+    into.h_sum_ns <- Int64.add into.h_sum_ns src.h_sum_ns;
+    if Int64.compare src.h_max_ns into.h_max_ns > 0 then into.h_max_ns <- src.h_max_ns;
+    Array.iteri (fun i c -> into.h_buckets.(i) <- into.h_buckets.(i) + c) src.h_buckets
+
+  (* Upper bound of the first bucket whose cumulative count reaches
+     [p] percent of the samples, clamped to the observed maximum so the
+     reported value is a tight "p% of samples took at most this long".
+     Deterministic given the bucket counts. *)
+  let percentile t p =
+    if t.h_count = 0 then 0L
+    else begin
+      let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+      let need =
+        max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.h_count)))
+      in
+      let rec go b acc =
+        if b >= nbuckets then t.h_max_ns
+        else begin
+          let acc = acc + t.h_buckets.(b) in
+          if acc >= need then begin
+            let _, hi = bucket_bounds b in
+            let v = Int64.sub hi 1L in
+            if Int64.compare v t.h_max_ns > 0 then t.h_max_ns else v
+          end
+          else go (b + 1) acc
+        end
+      in
+      go 0 0
+    end
+
+  let p50 t = percentile t 50.0
+  let p90 t = percentile t 90.0
+  let p99 t = percentile t 99.0
+
+  (* Non-empty buckets as [(lo, hi, count)], ascending. *)
+  let buckets t =
+    let acc = ref [] in
+    for b = nbuckets - 1 downto 0 do
+      if t.h_buckets.(b) > 0 then begin
+        let lo, hi = bucket_bounds b in
+        acc := (lo, hi, t.h_buckets.(b)) :: !acc
+      end
+    done;
+    !acc
+end
+
+(* Compact human rendering of a nanosecond duration, used by status
+   views and the profiler (not by any byte-diffed default output). *)
+let ns_to_string ns =
+  let f = Int64.to_float ns in
+  if f < 1e3 then Printf.sprintf "%.0fns" f
+  else if f < 1e6 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.2fms" (f /. 1e6)
+  else Printf.sprintf "%.2fs" (f /. 1e9)
 
 (* ---- JSONL codec ------------------------------------------------------------- *)
 
@@ -181,7 +303,27 @@ let event_to_json ev =
      tag "cover";
      int "run" run;
      int "covered" covered;
-     i64 "ns" elapsed_ns);
+     i64 "ns" elapsed_ns
+   | Target_scheduled { target; round } ->
+     tag "target_scheduled";
+     str "target" target;
+     int "round" round
+   | Slice_end { target; round; outcome; runs; dur_ns } ->
+     tag "slice_end";
+     str "target" target;
+     int "round" round;
+     str "outcome" outcome;
+     int "runs" runs;
+     i64 "ns" dur_ns
+   | Target_retired { target; reason } ->
+     tag "target_retired";
+     str "target" target;
+     str "reason" reason
+   | Round_end { round; active; dur_ns } ->
+     tag "round_end";
+     int "round" round;
+     int "active" active;
+     i64 "ns" dur_ns);
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -359,6 +501,18 @@ let event_of_json line =
         Phase_total { phase; dur_ns = i64 "ns" }
       | "cover" ->
         Cover_point { run = int "run"; covered = int "covered"; elapsed_ns = i64 "ns" }
+      | "target_scheduled" ->
+        Target_scheduled { target = str "target"; round = int "round" }
+      | "slice_end" ->
+        Slice_end
+          { target = str "target";
+            round = int "round";
+            outcome = str "outcome";
+            runs = int "runs";
+            dur_ns = i64 "ns" }
+      | "target_retired" -> Target_retired { target = str "target"; reason = str "reason" }
+      | "round_end" ->
+        Round_end { round = int "round"; active = int "active"; dur_ns = i64 "ns" }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     Ok ev
@@ -372,6 +526,7 @@ type ring_state = {
   mutable next : int; (* next write slot *)
   mutable len : int; (* filled slots, <= cap *)
   mutable total : int;
+  mutable lost : int; (* events overwritten after the ring filled *)
 }
 
 type sink =
@@ -383,7 +538,7 @@ let null = Null
 
 let ring ~capacity =
   if capacity < 1 then invalid_arg "Telemetry.ring: capacity < 1";
-  Ring { cap = capacity; arr = [||]; next = 0; len = 0; total = 0 }
+  Ring { cap = capacity; arr = [||]; next = 0; len = 0; total = 0; lost = 0 }
 
 let jsonl oc = Jsonl { oc; written = 0 }
 
@@ -398,7 +553,7 @@ let emit sink ev =
     if Array.length r.arr = 0 then r.arr <- Array.make r.cap ev;
     r.arr.(r.next) <- ev;
     r.next <- (r.next + 1) mod r.cap;
-    if r.len < r.cap then r.len <- r.len + 1;
+    if r.len < r.cap then r.len <- r.len + 1 else r.lost <- r.lost + 1;
     r.total <- r.total + 1
   | Jsonl j ->
     output_string j.oc (event_to_json ev);
@@ -409,6 +564,10 @@ let emitted = function
   | Null -> 0
   | Ring r -> r.total
   | Jsonl j -> j.written
+
+let dropped = function
+  | Null | Jsonl _ -> 0
+  | Ring r -> r.lost
 
 let events = function
   | Null | Jsonl _ -> []
@@ -432,9 +591,17 @@ type metrics = {
   mutable solve_ns : int64;
   mutable lower_ns : int64;
   mutable merge_ns : int64;
+  solve_hist : Hist.t; (* per-query solve latency, cache hits included *)
+  run_hist : Hist.t; (* per-run execution latency *)
 }
 
-let create_metrics () = { execute_ns = 0L; solve_ns = 0L; lower_ns = 0L; merge_ns = 0L }
+let create_metrics () =
+  { execute_ns = 0L;
+    solve_ns = 0L;
+    lower_ns = 0L;
+    merge_ns = 0L;
+    solve_hist = Hist.create ();
+    run_hist = Hist.create () }
 
 let phase_ns m = function
   | Execute -> m.execute_ns
@@ -449,7 +616,10 @@ let add_phase m phase ns =
   | Lower -> m.lower_ns <- Int64.add m.lower_ns ns
   | Merge -> m.merge_ns <- Int64.add m.merge_ns ns
 
-let add_metrics ~into m = List.iter (fun p -> add_phase into p (phase_ns m p)) phases
+let add_metrics ~into m =
+  List.iter (fun p -> add_phase into p (phase_ns m p)) phases;
+  Hist.merge ~into:into.solve_hist m.solve_hist;
+  Hist.merge ~into:into.run_hist m.run_hist
 
 let total_ns m =
   List.fold_left (fun acc p -> Int64.add acc (phase_ns m p)) 0L phases
@@ -474,6 +644,17 @@ let metrics_to_string m =
 
 let emit_phase_totals sink m =
   List.iter (fun p -> emit sink (Phase_total { phase = p; dur_ns = phase_ns m p })) phases
+
+let hist_line name h =
+  Printf.sprintf "%s latency: p50 <=%s  p90 <=%s  p99 <=%s  max %s  (%d samples)" name
+    (ns_to_string (Hist.p50 h))
+    (ns_to_string (Hist.p90 h))
+    (ns_to_string (Hist.p99 h))
+    (ns_to_string (Hist.max_ns h))
+    (Hist.count h)
+
+let latency_to_string m =
+  hist_line "solve" m.solve_hist ^ "\n" ^ hist_line "run" m.run_hist
 
 (* ---- trace summaries ------------------------------------------------------------ *)
 
@@ -575,7 +756,10 @@ let summarize evs =
         let prev = Option.value ~default:0L (Hashtbl.find_opt phase_tbl phase) in
         Hashtbl.replace phase_tbl phase (Int64.add prev dur_ns)
       | Cover_point { run; covered; elapsed_ns } ->
-        points := { cp_run = run; cp_covered = covered; cp_ns = elapsed_ns } :: !points)
+        points := { cp_run = run; cp_covered = covered; cp_ns = elapsed_ns } :: !points
+      | Target_scheduled _ | Slice_end _ | Target_retired _ | Round_end _ ->
+        (* Campaign-scope events: aggregated by [Profile], not here. *)
+        ())
     evs;
   let phase_ns =
     List.map
@@ -739,8 +923,15 @@ let summary_to_string s =
 type config = {
   sink : sink;
   worker_buffer : int;
+  status_path : string option;
+  status_every : int;
 }
 
-let default_config = { sink = null; worker_buffer = 1 lsl 20 }
+let default_config =
+  { sink = null; worker_buffer = 1 lsl 20; status_path = None; status_every = 100 }
 
 let with_sink sink = { default_config with sink }
+
+(* Re-exported flat-object parser so [Status] (and tests) can read the
+   status-file schema without a second JSON parser. *)
+let parse_flat line = try Ok (parse_flat_object line) with Bad msg -> Error msg

@@ -28,6 +28,9 @@ type phase =
   | Lower (* driver generation, typechecking, lowering *)
   | Merge (* parallel report + trace merging at join *)
 
+val phases : phase list
+(** All four phases, declaration order. *)
+
 val phase_to_string : phase -> string
 val phase_of_string : string -> phase option
 
@@ -69,6 +72,21 @@ type event =
          directions covered so far and wall clock since the search
          started. The sequence of these is the coverage-over-time
          curve [dartc cover --timeline] plots. *)
+  | Target_scheduled of { target : string; round : int }
+      (* campaign: a per-target budget slice is about to run *)
+  | Slice_end of {
+      target : string;
+      round : int;
+      outcome : string; (* slice verdict tag, or "failed" *)
+      runs : int; (* concolic runs consumed by the slice *)
+      dur_ns : int64; (* slice wall clock *)
+    }
+  | Target_retired of { target : string; reason : string }
+      (* campaign: the target left the schedule — reason is one of
+         bug / complete / saturated / capped / failed *)
+  | Round_end of { round : int; active : int; dur_ns : int64 }
+      (* campaign: a scheduling round settled with [active] targets
+         still live *)
 
 (** {1 Sinks} *)
 
@@ -94,6 +112,12 @@ val emit : sink -> event -> unit
 val emitted : sink -> int
 (** Events accepted so far (including ring events since overwritten). *)
 
+val dropped : sink -> int
+(** Events a full {!ring} overwrote (oldest-first) rather than keep.
+    Always [0] for {!null} and {!jsonl}. Consumers that replay a ring
+    (trace merge at join) surface this instead of silently presenting a
+    truncated trace as complete. *)
+
 val events : sink -> event list
 (** Buffered events, oldest first. [[]] for {!null} and {!jsonl}. *)
 
@@ -110,11 +134,69 @@ val event_to_json : event -> string
 (** One flat JSON object, no trailing newline. Schema (the [ev] field
     selects the variant): [run_start], [run_end], [branch], [solve],
     [input], [restart], [bug], [worker_spawn], [worker_drain],
-    [worker_crash], [checkpoint], [phase], [cover]. *)
+    [worker_crash], [checkpoint], [phase], [cover], [target_scheduled],
+    [slice_end], [target_retired], [round_end]. *)
 
 val event_of_json : string -> (event, string) result
 (** Inverse of {!event_to_json}; [Error] explains the first schema
     violation found. *)
+
+(** Flat JSON values as produced by the codec above: strings, integers
+    and booleans only, no nesting. Shared with the status-file schema
+    ({!Status}). *)
+type jval =
+  | Jstr of string
+  | Jint of int64
+  | Jbool of bool
+
+val parse_flat : string -> ((string * jval) list, string) result
+(** Parse one flat JSON object into its fields, in source order.
+    [Error] explains the first syntax violation. *)
+
+(** {1 Latency histograms}
+
+    Log2-bucketed duration histograms: cheap constant-size accumulation
+    on the hot path, deterministic bucketwise merge across workers, and
+    upper-bound percentile queries ("p99 of solve queries took at most
+    X"). Bucket [b] covers [2^b, 2^(b+1)) nanoseconds; bucket 0 also
+    absorbs 0-1ns. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int64 -> unit
+  (** Record one duration (negative values clamp to 0). *)
+
+  val count : t -> int
+  val sum_ns : t -> int64
+  val max_ns : t -> int64
+  val mean_ns : t -> int64
+
+  val merge : into:t -> t -> unit
+  (** Bucketwise addition — commutative and associative, so merging
+      per-worker histograms in any join order yields identical bucket
+      counts and percentiles. *)
+
+  val percentile : t -> float -> int64
+  (** Upper bound of the first bucket at which the cumulative count
+      reaches the given percent of samples, clamped to [max_ns]. [0] on
+      an empty histogram. Deterministic given the bucket counts. *)
+
+  val p50 : t -> int64
+  val p90 : t -> int64
+  val p99 : t -> int64
+
+  val buckets : t -> (int64 * int64 * int) list
+  (** Non-empty buckets as [(lo_ns, hi_ns, count)] with [hi] exclusive,
+      ascending. *)
+
+  val bucket_of_ns : int64 -> int
+  val bucket_bounds : int -> int64 * int64
+end
+
+val ns_to_string : int64 -> string
+(** Compact human rendering of a duration ("743ns", "1.2us", "3.45ms",
+    "2.10s"). *)
 
 (** {1 Phase metrics} *)
 
@@ -123,9 +205,16 @@ type metrics = {
   mutable solve_ns : int64;
   mutable lower_ns : int64;
   mutable merge_ns : int64;
+  solve_hist : Hist.t;
+      (* latency of every [Solve_pc] query, cache hits included — the
+         same durations the [Solve_query] trace events carry *)
+  run_hist : Hist.t; (* latency of every instrumented (or random) run *)
 }
 
 val create_metrics : unit -> metrics
+
+(** Adds phase totals and merges both histograms, so the parallel and
+    campaign joins aggregate latency distributions for free. *)
 val add_metrics : into:metrics -> metrics -> unit
 val add_phase : metrics -> phase -> int64 -> unit
 val total_ns : metrics -> int64
@@ -142,6 +231,11 @@ val metrics_to_assoc : metrics -> (string * float) list
 (** Per-phase seconds plus a ["total_s"] entry, stable key order. *)
 
 val metrics_to_string : metrics -> string
+
+val latency_to_string : metrics -> string
+(** Two lines — solve and run latency percentiles — for
+    [dartc --metrics]. *)
+
 val emit_phase_totals : sink -> metrics -> unit
 (** One {!Phase_total} event per phase, in declaration order. *)
 
@@ -235,9 +329,16 @@ type config = {
   worker_buffer : int;
       (* per-domain ring capacity used by Parallel when tracing a
          multi-worker search *)
+  status_path : string option;
+      (* when set, the search (or campaign) atomically rewrites this
+         file with a {!Status} snapshot as it progresses *)
+  status_every : int;
+      (* single-shot runs refresh the status file every this many runs
+         (campaigns refresh per round) *)
 }
 
 val default_config : config
-(** Null sink, 2^20-event worker buffers. *)
+(** Null sink, 2^20-event worker buffers, no status file,
+    status_every 100. *)
 
 val with_sink : sink -> config

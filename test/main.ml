@@ -12,6 +12,8 @@ let () =
       ("incremental", Diff_solver.suite);
       ("concolic", Test_concolic.suite);
       ("telemetry", Test_telemetry.suite);
+      ("status", Test_status.suite);
+      ("profile", Test_profile.suite);
       ("cover", Test_cover.suite);
       ("driver", Test_driver.suite);
       ("strategy", Test_strategy.suite);

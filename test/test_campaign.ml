@@ -111,11 +111,20 @@ let test_campaign_outcomes () =
 
 let strip_resumed r = { r with Campaign.cam_resumed = 0 }
 
+(* The "phases" line carries wall clock (the documented exception to
+   to_json's determinism): byte-level comparisons drop it, exactly as
+   CI's diffs use grep -v '"phases"'. *)
+let json_sans_phases r =
+  Campaign.to_json r
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> not (Str_contains.contains l "\"phases\""))
+  |> String.concat "\n"
+
 let test_jobs_determinism () =
   let r1 = run_campaign ~jobs:1 ~options:(opts ()) lib_src in
   let r4 = run_campaign ~jobs:4 ~options:(opts ()) lib_src in
   Alcotest.(check string) "aggregate JSON identical at jobs 1 and 4"
-    (Campaign.to_json r1) (Campaign.to_json r4);
+    (json_sans_phases r1) (json_sans_phases r4);
   Alcotest.(check string) "text report identical too"
     (Campaign.report_to_string r1) (Campaign.report_to_string r4)
 
@@ -126,7 +135,7 @@ let test_priority_is_result_neutral () =
   in
   let order = run_campaign ~options:opts_order lib_src in
   Alcotest.(check string) "frontier vs declaration order: same aggregate"
-    (Campaign.to_json base) (Campaign.to_json order)
+    (json_sans_phases base) (json_sans_phases order)
 
 let test_slicing_is_result_neutral_for_crashes () =
   (* Different slice sizes change restart boundaries (and so coverage
@@ -206,8 +215,8 @@ let test_resume_equivalence () =
       let resumed = run_campaign ~options ~resume:path lib_src in
       Alcotest.(check int) "one target restored" 1 resumed.Campaign.cam_resumed;
       Alcotest.(check string) "resumed aggregate equals the uninterrupted one"
-        (Campaign.to_json (strip_resumed uninterrupted))
-        (Campaign.to_json (strip_resumed resumed)))
+        (json_sans_phases (strip_resumed uninterrupted))
+        (json_sans_phases (strip_resumed resumed)))
 
 let test_aggregate_sites () =
   let r = run_campaign ~options:(opts ()) lib_src in
@@ -327,6 +336,130 @@ let test_osip_campaign_smoke () =
         (List.mem name vulnerable || not (List.mem name bugged)))
     bugged
 
+(* ---- observability --------------------------------------------------------- *)
+
+module T = Dart.Telemetry
+
+(* Strip the wall-clock content out of an event so traces can be
+   compared structurally: durations vary run to run, and cache_hit /
+   sliced can shift with cross-worker store interleavings, but the
+   event sequence itself is scheduled deterministically. *)
+let canon = function
+  | T.Run_end e -> T.Run_end { e with dur_ns = 0L }
+  | T.Solve_query e -> T.Solve_query { e with dur_ns = 0L; cache_hit = false; sliced = 0 }
+  | T.Slice_end e -> T.Slice_end { e with dur_ns = 0L }
+  | T.Round_end e -> T.Round_end { e with dur_ns = 0L }
+  | T.Phase_total e -> T.Phase_total { e with dur_ns = 0L }
+  | T.Cover_point e -> T.Cover_point { e with elapsed_ns = 0L }
+  | e -> e
+
+let trace_of_campaign ~jobs src =
+  let ring = T.ring ~capacity:(1 lsl 18) in
+  let options =
+    O.make ~seed:7 ~max_runs:400 ~per_function_runs:100 ~telemetry:(T.with_sink ring) ()
+  in
+  let r = run_campaign ~jobs ~options src in
+  (r, T.events ring)
+
+let test_trace_structure_jobs_invariant () =
+  let r1, ev1 = trace_of_campaign ~jobs:1 lib_src in
+  let r2, ev2 = trace_of_campaign ~jobs:2 lib_src in
+  Alcotest.(check string) "reports agree"
+    (Campaign.report_to_string r1) (Campaign.report_to_string r2);
+  Alcotest.(check int) "same event count" (List.length ev1) (List.length ev2);
+  Alcotest.(check bool) "traces identical modulo durations" true
+    (List.map canon ev1 = List.map canon ev2);
+  (* Framing: each of the three targets is scheduled, sliced and
+     retired exactly once, in declaration order within the (1-based)
+     first round. *)
+  let scheduled =
+    List.filter_map
+      (function T.Target_scheduled { target; round = 1 } -> Some target | _ -> None)
+      ev1
+  in
+  Alcotest.(check (list string)) "round 1 schedules all targets in order"
+    [ "get_status"; "get_len"; "gated" ] scheduled;
+  let retired =
+    List.filter_map (function T.Target_retired { target; _ } -> Some target | _ -> None) ev1
+  in
+  Alcotest.(check int) "every target retires once" 3 (List.length retired);
+  List.iter
+    (fun t -> Alcotest.(check bool) (t ^ " retired") true (List.mem t retired))
+    [ "get_status"; "get_len"; "gated" ];
+  (* Slice_end run counts are per-slice deltas: summed per target they
+     equal the report's per-target totals. *)
+  List.iter
+    (fun (tr : Campaign.target_result) ->
+      let slice_runs =
+        List.fold_left
+          (fun acc ev ->
+            match ev with
+            | T.Slice_end { target; runs; _ } when target = tr.Campaign.tr_name ->
+              acc + runs
+            | _ -> acc)
+          0 ev1
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "slice runs of %s sum to the report" tr.Campaign.tr_name)
+        tr.Campaign.tr_runs slice_runs)
+    r1.Campaign.cam_results;
+  (* The trace closes on the campaign-wide phase totals. *)
+  match List.rev ev1 with
+  | T.Phase_total _ :: _ -> ()
+  | _ -> Alcotest.fail "trace must end with phase totals"
+
+let test_json_phases_line () =
+  let r, _ = trace_of_campaign ~jobs:1 lib_src in
+  let json = Campaign.to_json r in
+  let phases_lines =
+    List.filter
+      (fun l -> Str_contains.contains l "\"phases\"")
+      (String.split_on_char '\n' json)
+  in
+  (match phases_lines with
+   | [ line ] ->
+     (* One line, so determinism diffs can drop it with a single
+        grep -v, and it carries every phase and percentile key. *)
+     List.iter
+       (fun key ->
+         Alcotest.(check bool) ("phases line has " ^ key) true
+           (Str_contains.contains line ("\"" ^ key ^ "\":")))
+       [ "execute_ns"; "solve_ns"; "lower_ns"; "merge_ns"; "total_ns";
+         "solve_p50_ns"; "solve_p99_ns"; "run_p50_ns"; "run_p99_ns" ]
+   | ls -> Alcotest.failf "expected exactly one phases line, got %d" (List.length ls));
+  (* The latency histograms fed that line: every slice contributed. *)
+  Alcotest.(check bool) "run samples accumulated" true
+    (T.Hist.count r.Campaign.cam_metrics.T.run_hist > 0);
+  Alcotest.(check bool) "solve samples accumulated" true
+    (T.Hist.count r.Campaign.cam_metrics.T.solve_hist > 0)
+
+let test_campaign_status_file () =
+  let path = Filename.temp_file "dart_campaign_status" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let options =
+        O.make ~seed:7 ~max_runs:400 ~per_function_runs:100
+          ~telemetry:{ T.default_config with T.status_path = Some path }
+          ()
+      in
+      let r = run_campaign ~jobs:2 ~options lib_src in
+      match Dart.Status.read ~path with
+      | Error msg -> Alcotest.failf "status unreadable after campaign: %s" msg
+      | Ok st ->
+        Alcotest.(check bool) "campaign mode" true (st.Dart.Status.st_mode = Dart.Status.Campaign);
+        Alcotest.(check int) "all targets done" 3 st.Dart.Status.st_done;
+        Alcotest.(check int) "none active at exit" 0 st.Dart.Status.st_active;
+        Alcotest.(check int) "none remaining" 0 st.Dart.Status.st_remaining;
+        Alcotest.(check int) "bugs = deduped crashes"
+          (List.length r.Campaign.cam_crashes)
+          st.Dart.Status.st_bugs;
+        Alcotest.(check int) "runs = summed target runs"
+          (List.fold_left
+             (fun acc (tr : Campaign.target_result) -> acc + tr.Campaign.tr_runs)
+             0 r.Campaign.cam_results)
+          st.Dart.Status.st_runs)
+
 let suite =
   [ Alcotest.test_case "discover: scalar signatures in declaration order" `Quick
       test_discover;
@@ -342,6 +475,12 @@ let suite =
       test_priority_is_result_neutral;
     Alcotest.test_case "slice size never changes the crash set" `Quick
       test_slicing_is_result_neutral_for_crashes;
+    Alcotest.test_case "trace structure is jobs-invariant" `Quick
+      test_trace_structure_jobs_invariant;
+    Alcotest.test_case "aggregate JSON carries one phases line" `Quick
+      test_json_phases_line;
+    Alcotest.test_case "status snapshot at campaign exit" `Quick
+      test_campaign_status_file;
     Alcotest.test_case "checkpoint codec round-trips" `Quick test_codec_roundtrip;
     Alcotest.test_case "codec rejects single-shot checkpoints" `Quick
       test_codec_rejects_single_shot;

@@ -1,0 +1,116 @@
+(* Status snapshots (--status / dartc watch): the JSON codec round
+   trip, the atomic write/read pair, malformed-input rejection, and the
+   deterministic terminal render watch --once golden-tests against. *)
+
+module S = Dart.Status
+
+let snapshot =
+  { S.st_mode = S.Campaign;
+    st_elapsed_ns = 2_500_000_000L;
+    st_budget_ns = Some 10_000_000_000L;
+    st_runs = 4200;
+    st_max_runs = 12_000;
+    st_execs_per_sec = 1680;
+    st_bugs = 3;
+    st_covered = 128;
+    st_frontier = 9;
+    st_done = 40;
+    st_active = 6;
+    st_remaining = 16;
+    st_round = 5;
+    st_solve_p50_ns = 4_095L;
+    st_solve_p99_ns = 65_535L }
+
+let check_eq msg a b = Alcotest.(check bool) msg true (a = b)
+
+let test_json_roundtrip () =
+  let line = S.to_json snapshot in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  (match S.of_json line with
+   | Ok st -> check_eq "campaign snapshot round-trips" snapshot st
+   | Error msg -> Alcotest.failf "%s failed to parse: %s" line msg);
+  (* Run mode without a budget omits the field entirely. *)
+  let run_snap =
+    { snapshot with S.st_mode = S.Run; st_budget_ns = None; st_round = 0 }
+  in
+  let line = S.to_json run_snap in
+  Alcotest.(check bool) "no budget field when unset" false
+    (Str_contains.contains line "budget_ns");
+  match S.of_json line with
+  | Ok st -> check_eq "run snapshot round-trips" run_snap st
+  | Error msg -> Alcotest.failf "%s failed to parse: %s" line msg
+
+let test_rejects_malformed () =
+  let cases =
+    [ ("", "truncated");
+      ("{oops", "not JSON");
+      ("{}", "missing fields");
+      ({|{"schema":"dart-checkpoint","version":1}|}, "wrong schema");
+      ( {|{"schema":"dart-status","version":99,"mode":"run"}|},
+        "unsupported version" );
+      ( {|{"schema":"dart-status","version":1,"mode":"warp"}|},
+        "unknown mode" );
+      ( (let line = S.to_json snapshot in
+         String.sub line 0 (String.length line - 10)),
+        "torn write" ) ]
+  in
+  List.iter
+    (fun (line, what) ->
+      match S.of_json line with
+      | Ok _ -> Alcotest.failf "%s accepted: %s" what line
+      | Error _ -> ())
+    cases
+
+let test_write_read () =
+  let path = Filename.temp_file "dart_status" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      S.write ~path snapshot;
+      Alcotest.(check bool) "no tmp file left behind" false
+        (Sys.file_exists (path ^ ".tmp"));
+      (match S.read ~path with
+       | Ok st -> check_eq "written snapshot reads back" snapshot st
+       | Error msg -> Alcotest.failf "read failed: %s" msg);
+      (* Overwrite must replace, not append. *)
+      let st2 = { snapshot with S.st_runs = 9999 } in
+      S.write ~path st2;
+      match S.read ~path with
+      | Ok st -> check_eq "rewrite replaces the snapshot" st2 st
+      | Error msg -> Alcotest.failf "reread failed: %s" msg)
+
+let test_read_missing () =
+  match S.read ~path:"/nonexistent/dart_status.json" with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ()
+
+(* The render is a pure function of the snapshot: golden-test it, so
+   `dartc watch --once` output is pinned. *)
+let test_render_golden () =
+  let expected =
+    "DART campaign status\n\
+    \  elapsed    2.50s / 10.00s (25%)\n\
+    \  runs       4200 / 12000 (35%), 1680 execs/sec\n\
+    \  targets    40 done, 6 active, 16 remaining (round 5)\n\
+    \  coverage   128 branch directions, 9 frontier sites\n\
+    \  bugs       3\n\
+    \  solve      p50 <=4.1us  p99 <=65.5us\n"
+  in
+  Alcotest.(check string) "campaign render" expected (S.render snapshot);
+  let run_snap =
+    { snapshot with S.st_mode = S.Run; st_budget_ns = None; st_round = 0 }
+  in
+  let rendered = S.render run_snap in
+  Alcotest.(check bool) "run mode has no targets line" false
+    (Str_contains.contains rendered "targets");
+  Alcotest.(check bool) "no budget: bare elapsed" true
+    (Str_contains.contains rendered "  elapsed    2.50s\n")
+
+let suite =
+  [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "rejects malformed" `Quick test_rejects_malformed;
+    Alcotest.test_case "atomic write/read" `Quick test_write_read;
+    Alcotest.test_case "missing file" `Quick test_read_missing;
+    Alcotest.test_case "render golden" `Quick test_render_golden ]

@@ -29,6 +29,20 @@ let test_ring_wraparound () =
     (Invalid_argument "Telemetry.ring: capacity < 1") (fun () ->
       ignore (T.ring ~capacity:0))
 
+let test_ring_dropped () =
+  let r = T.ring ~capacity:4 in
+  for i = 1 to 4 do
+    T.emit r (T.Run_start { run = i })
+  done;
+  Alcotest.(check int) "full ring, nothing dropped yet" 0 (T.dropped r);
+  for i = 5 to 10 do
+    T.emit r (T.Run_start { run = i })
+  done;
+  (* Each wraparound overwrite is a lost event, counted rather than
+     silently forgotten. *)
+  Alcotest.(check int) "one drop per overwrite" 6 (T.dropped r);
+  Alcotest.(check int) "null never drops" 0 (T.dropped T.null)
+
 let test_replay () =
   let src = T.ring ~capacity:8 and dst = T.ring ~capacity:8 in
   T.emit src (T.Run_start { run = 1 });
@@ -62,7 +76,12 @@ let all_variants =
     T.Worker_spawn { worker = 0; seed = 42 };
     T.Worker_drain { worker = 3; runs = 10 };
     T.Phase_total { phase = T.Solve; dur_ns = 99L };
-    T.Cover_point { run = 6; covered = 12; elapsed_ns = 987_654L } ]
+    T.Cover_point { run = 6; covered = 12; elapsed_ns = 987_654L };
+    T.Target_scheduled { target = "osip_free"; round = 2 };
+    T.Slice_end
+      { target = "osip_free"; round = 2; outcome = "budget"; runs = 200; dur_ns = 55L };
+    T.Target_retired { target = "osip \"free\""; reason = "saturated" };
+    T.Round_end { round = 3; active = 7; dur_ns = 1_000_000L } ]
 
 let test_json_roundtrip () =
   List.iter
@@ -264,9 +283,65 @@ let test_parallel_trace_merge () =
   Alcotest.(check int) "jobs=1: run_start per run" r1.Dart.Parallel.merged.Dart.Driver.runs
     (count (function T.Run_start _ -> true | _ -> false) (T.events ring1))
 
+(* ---- latency histograms ----------------------------------------------------------- *)
+
+let test_hist_buckets () =
+  let h = T.Hist.create () in
+  Alcotest.(check int) "empty count" 0 (T.Hist.count h);
+  Alcotest.(check int64) "empty p99" 0L (T.Hist.p99 h);
+  List.iter (T.Hist.add h) [ 0L; 1L; 5L; 1024L; 1500L; 1_000_000L ];
+  Alcotest.(check int) "count" 6 (T.Hist.count h);
+  Alcotest.(check int64) "sum" 1_002_530L (T.Hist.sum_ns h);
+  Alcotest.(check int64) "max" 1_000_000L (T.Hist.max_ns h);
+  Alcotest.(check int64) "mean" 167_088L (T.Hist.mean_ns h);
+  (* p50 lands in the [4,8) bucket: its upper bound, 7ns. *)
+  Alcotest.(check int64) "p50 is a bucket upper bound" 7L (T.Hist.p50 h);
+  (* p99 would report the [2^19,2^20) bound but clamps to the max. *)
+  Alcotest.(check int64) "p99 clamps to observed max" 1_000_000L (T.Hist.p99 h);
+  Alcotest.(check (list (triple int64 int64 int)))
+    "non-empty buckets ascending"
+    [ (0L, 2L, 2); (4L, 8L, 1); (1024L, 2048L, 2); (524_288L, 1_048_576L, 1) ]
+    (T.Hist.buckets h);
+  (* Negative durations (clock skew) clamp to zero instead of escaping
+     the bucket range. *)
+  T.Hist.add h (-5L);
+  Alcotest.(check int) "negative sample clamps into bucket 0" 3
+    (match T.Hist.buckets h with (0L, 2L, n) :: _ -> n | _ -> 0)
+
+(* The property Parallel/Campaign joins rely on: bucketwise merge is
+   commutative and associative, so any partition of the same samples —
+   one worker or four, merged in any order — yields identical buckets
+   and percentiles. *)
+let test_hist_merge_determinism () =
+  let samples =
+    (* Fixed synthetic workload, deliberately lumpy. *)
+    List.init 100 (fun i -> Int64.of_int ((i * 7919 mod 977) * (1 + (i mod 13))))
+  in
+  let whole = T.Hist.create () in
+  List.iter (T.Hist.add whole) samples;
+  let parts = Array.init 4 (fun _ -> T.Hist.create ()) in
+  List.iteri (fun i ns -> T.Hist.add parts.(i mod 4) ns) samples;
+  let merged = T.Hist.create () in
+  (* Merge in a scrambled order on purpose. *)
+  List.iter (fun i -> T.Hist.merge ~into:merged parts.(i)) [ 2; 0; 3; 1 ];
+  Alcotest.(check int) "count" (T.Hist.count whole) (T.Hist.count merged);
+  Alcotest.(check int64) "sum" (T.Hist.sum_ns whole) (T.Hist.sum_ns merged);
+  Alcotest.(check int64) "max" (T.Hist.max_ns whole) (T.Hist.max_ns merged);
+  Alcotest.(check (list (triple int64 int64 int)))
+    "buckets" (T.Hist.buckets whole) (T.Hist.buckets merged);
+  List.iter
+    (fun p ->
+      Alcotest.(check int64)
+        (Printf.sprintf "p%g" p)
+        (T.Hist.percentile whole p) (T.Hist.percentile merged p))
+    [ 50.0; 90.0; 99.0; 100.0 ]
+
 let suite =
   [ Alcotest.test_case "null sink" `Quick test_null_sink;
     Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring dropped counter" `Quick test_ring_dropped;
+    Alcotest.test_case "hist buckets" `Quick test_hist_buckets;
+    Alcotest.test_case "hist merge determinism" `Quick test_hist_merge_determinism;
     Alcotest.test_case "replay" `Quick test_replay;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json rejects malformed" `Quick test_json_rejects_malformed;
