@@ -755,6 +755,68 @@ let experiment_observability () =
            s.Dart.Profile.sp_fn s.Dart.Profile.sp_pc s.Dart.Profile.sp_queries
            (Dart.Telemetry.ns_to_string s.Dart.Profile.sp_total_ns))
 
+(* ---- E19: chaos soak (graceful degradation under injected faults) -------------- *)
+
+(* The campaign's fault-tolerance contract, measured: under injected
+   worker crashes at increasing rates, the wall clock and the bug count
+   may degrade, but every discovered target stays in the ledger
+   (quarantined at worst, never lost) and no bug is invented that the
+   fault-free run does not know. The chaos schedule is a pure function
+   of (spec, seed), so the degradation numbers are reproducible. *)
+let experiment_chaos_soak () =
+  header "E19: chaos soak (campaign under injected worker crashes)";
+  let n = if !quick then 12 else 30 in
+  let source, _ = Workloads.Osip_sim.generate ~seed:7 ~n in
+  let campaign ?faultsim () =
+    time_it (fun () ->
+        let options =
+          Dart.Driver.Options.make ~seed:11 ~max_runs:600 ~per_function_runs:150
+            ~retry_limit:2 ?faultsim ()
+        in
+        match Dart.Campaign.run ~options source with
+        | Ok r -> r
+        | Error msg -> failwith ("campaign: " ^ msg))
+  in
+  let clean, t_clean = campaign () in
+  let clean_keys =
+    List.map (fun (_, b) -> Dart.Driver.bug_key b) clean.Dart.Campaign.cam_crashes
+  in
+  let quarantined r =
+    List.length
+      (List.filter
+         (fun tr ->
+           match tr.Dart.Campaign.tr_retired with
+           | Dart.Campaign.Quarantined _ -> true
+           | _ -> false)
+         r.Dart.Campaign.cam_results)
+  in
+  let describe r t =
+    let keys = List.map (fun (_, b) -> Dart.Driver.bug_key b) r.Dart.Campaign.cam_crashes in
+    let invented = List.filter (fun k -> not (List.mem k clean_keys)) keys in
+    Printf.sprintf
+      "%.2fs, %d bugs (%d lost, %d invented), %d quarantined, oracle %s"
+      t (List.length keys)
+      (List.length (List.filter (fun k -> not (List.mem k keys)) clean_keys))
+      (List.length invented) (quarantined r)
+      (if Dart.Campaign.no_lost_targets r && invented = [] then "PASS" else "VIOLATED")
+  in
+  row ~id:"e19-chaos-off"
+    ~desc:(Printf.sprintf "oSIP simulacrum (%d functions), no injection: the baseline" n)
+    ~paper:"n/a (our extension)"
+    ~measured:(describe clean t_clean);
+  List.iter
+    (fun bp ->
+      let fs = Dart_util.Faultsim.chaos ~seed:23 [ (Dart_util.Faultsim.Worker_crash, bp) ] in
+      let r, t = campaign ~faultsim:fs () in
+      row
+        ~id:(Printf.sprintf "e19-chaos-%d" bp)
+        ~desc:
+          (Printf.sprintf "worker_crash at %.1f%% of slices, retry_limit 2, chaos-seed 23"
+             (float_of_int bp /. 100.))
+        ~paper:"no lost targets, no invented bugs"
+        ~measured:(describe r t))
+    [ 100; 500 ]
+
 (* ---- E14: coverage over time (directed vs random) ------------------------------ *)
 
 (* Sample the Cover_point stream of a directed and a random search on
@@ -1057,6 +1119,7 @@ let experiments =
     ("e16", experiment_shared_store);
     ("e17", experiment_campaign);
     ("e18", experiment_observability);
+    ("e19", experiment_chaos_soak);
     ("a1", experiment_strategy_ablation);
     ("a2", experiment_solver_ablation);
     ("a3", experiment_packet_construction);

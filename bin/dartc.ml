@@ -110,6 +110,16 @@ let no_slicing_arg =
           "Ablation: disable independence slicing (send the whole constraint prefix to the \
            solver instead of the flipped branch's dependency closure).")
 
+let no_breaker_arg =
+  Arg.(
+    value & flag
+    & info [ "no-breaker" ]
+        ~doc:
+          "Ablation: disable the solver circuit breaker (every query reaches the solver \
+           even at a site that keeps overrunning its $(b,--solver-timeout) deadline). \
+           Reports are byte-identical on healthy workloads; only behavior under sustained \
+           solver timeouts changes.")
+
 let no_compile_arg =
   Arg.(
     value & flag
@@ -246,7 +256,7 @@ let usage_error msg =
    whose predicate fires wins, its message goes out with exit 2. Add
    new conflicts here, not as ad-hoc if/else chains in the driver. *)
 let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
-    ~no_incremental ~no_shared_cache ~time_budget ~solver_timeout ~checkpoint
+    ~no_incremental ~no_shared_cache ~no_breaker ~time_budget ~solver_timeout ~checkpoint
     ~checkpoint_every ~resume ~faultsim ~status =
   let table =
     [ (jobs < 0, "--jobs must be >= 0");
@@ -266,6 +276,8 @@ let validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_sli
         "--no-cache/--no-slicing have no effect with --random-testing" );
       ( random_mode && (no_incremental || no_shared_cache),
         "--no-incremental/--no-shared-cache have no effect with --random-testing" );
+      ( random_mode && no_breaker,
+        "--no-breaker has no effect with --random-testing (no solver)" );
       ( (match time_budget with Some s -> s <= 0.0 | None -> false),
         "--time-budget must be positive" );
       ( (match solver_timeout with Some ms -> ms <= 0.0 | None -> false),
@@ -327,7 +339,7 @@ let install_signal_handlers () =
   try Sys.set_signal Sys.sigterm handle with Invalid_argument _ | Sys_error _ -> ()
 
 let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_ptrs all_bugs
-    jobs portfolio no_cache no_slicing no_incremental no_shared_cache no_compile
+    jobs portfolio no_cache no_slicing no_incremental no_shared_cache no_breaker no_compile
     time_budget solver_timeout checkpoint checkpoint_every resume faultsim faultsim_seed
     trace status metrics_flag show_interface show_driver dump_ram coverage =
   try
@@ -345,8 +357,8 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
     else begin
       match
         validate ~jobs ~portfolio ~strategy ~random_mode ~all_bugs ~no_cache ~no_slicing
-          ~no_incremental ~no_shared_cache ~time_budget ~solver_timeout ~checkpoint
-          ~checkpoint_every ~resume ~faultsim ~status
+          ~no_incremental ~no_shared_cache ~no_breaker ~time_budget ~solver_timeout
+          ~checkpoint ~checkpoint_every ~resume ~faultsim ~status
       with
       | Some msg -> usage_error msg
       | None ->
@@ -386,7 +398,7 @@ let run_dartc file toplevel depth max_runs seed strategy random_mode symbolic_pt
                 ~strategy:(Option.value ~default:Dart.Strategy.Dfs strategy)
                 ~stop_on_first_bug:(not all_bugs) ~use_cache:(not no_cache)
                 ~use_slicing:(not no_slicing) ~use_incremental:(not no_incremental)
-                ~use_shared_cache:(not no_shared_cache)
+                ~use_shared_cache:(not no_shared_cache) ~use_breaker:(not no_breaker)
                 ?time_budget_ns:(Option.map ns_of_seconds time_budget)
                 ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout)
                 ~exec:
@@ -784,13 +796,64 @@ let campaign_list_arg =
     value & flag
     & info [ "list" ] ~doc:"Only discover and print the campaign targets, one per line.")
 
-let validate_campaign ~jobs ~per_function_runs ~retire_after ~max_runs ~time_budget
-    ~solver_timeout ~list_only ~checkpoint ~resume ~json ~lcov ~html ~trace ~status =
+let campaign_resume_salvage_arg =
+  Arg.(
+    value & flag
+    & info [ "resume-salvage" ]
+        ~doc:
+          "With $(b,--resume): if the checkpoint is corrupted or truncated, restore the \
+           longest CRC-valid prefix of its records (with a warning) instead of refusing. \
+           A checkpoint of a different campaign configuration still refuses — that is a \
+           mismatch, not corruption.")
+
+let retry_limit_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "retry-limit" ] ~docv:"N"
+        ~doc:
+          "Quarantine a target after $(docv) consecutive faulted slices (worker crash or \
+           injected fault); between faults it retries with deterministic exponential \
+           backoff. Default 3.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Chaos soak: inject faults at the given rates, as comma-separated \
+           $(i,point=rate) pairs with rate in (0,1] and points solver_deadline, \
+           worker_crash, machine_step_limit and io_error — e.g. \
+           $(b,worker_crash=0.05,io_error=0.01). Draws are deterministic from \
+           $(b,--chaos-seed). The campaign must degrade, never fail: faulted targets are \
+           retried then quarantined, and the run asserts no target is lost.")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "chaos-seed" ] ~docv:"N"
+        ~doc:"Seed for the $(b,--chaos) fault draws (default 0).")
+
+let no_breaker_campaign_arg =
+  Arg.(
+    value & flag
+    & info [ "no-breaker" ]
+        ~doc:
+          "Ablation: disable the per-target solver circuit breaker (every query reaches \
+           the solver even at a site that keeps overrunning its deadline).")
+
+let validate_campaign ~jobs ~per_function_runs ~retire_after ~retry_limit ~max_runs
+    ~time_budget ~solver_timeout ~list_only ~checkpoint ~resume ~resume_salvage ~chaos
+    ~json ~lcov ~html ~trace ~status =
   let table =
     [ (jobs < 0, "--jobs must be >= 0");
       (per_function_runs <= 0, "--per-function-runs must be positive");
       (retire_after <= 0, "--retire-after must be positive");
+      (retry_limit <= 0, "--retry-limit must be positive");
       (max_runs <= 0, "--max-runs must be positive");
+      (resume_salvage && resume = None, "--resume-salvage requires --resume");
+      ( (match chaos with Some s -> String.trim s = "" | None -> false),
+        "--chaos needs a non-empty point=rate list" );
       ( (match time_budget with Some s -> s <= 0.0 | None -> false),
         "--time-budget must be positive" );
       ( (match solver_timeout with Some ms -> ms <= 0.0 | None -> false),
@@ -803,10 +866,24 @@ let validate_campaign ~jobs ~per_function_runs ~retire_after ~max_runs ~time_bud
   in
   List.find_opt fst table |> Option.map snd
 
-let write_file_with_note ~what path content =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
-  Printf.eprintf "dartc campaign: wrote %s %s\n" what path
+(* Report outputs are observability, not the verdict: a full disk or a
+   read-only directory (or an injected io_error under --chaos) must not
+   turn a finished campaign into a crash. The write is atomic
+   (tmp-then-rename, Fun.protect-guarded) and any Sys_error degrades to
+   a warning on stderr. *)
+let write_file_with_note ?(fault = Dart_util.Faultsim.off) ~what path content =
+  try
+    if Dart_util.Faultsim.fire fault Dart_util.Faultsim.Io_error then
+      raise (Sys_error (path ^ ": injected io_error (faultsim)"));
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content);
+    Sys.rename tmp path;
+    Printf.eprintf "dartc campaign: wrote %s %s\n" what path
+  with Sys_error msg ->
+    Printf.eprintf "dartc campaign: warning: could not write %s: %s\n" what msg
+
+exception Chaos_oracle_violation
 
 (* Retire constructor → the short tag shared by the trace codec, the
    status schema and the heatmap CSS classes. *)
@@ -815,15 +892,17 @@ let retire_tag = function
   | Dart.Campaign.Complete -> "complete"
   | Dart.Campaign.Saturated -> "saturated"
   | Dart.Campaign.Budget_capped -> "capped"
+  | Dart.Campaign.Quarantined _ -> "quarantined"
 
-let run_campaign file jobs seed depth max_runs per_function_runs retire_after priority
-    all_bugs time_budget solver_timeout json lcov html checkpoint resume trace status
-    list_only =
+let run_campaign file jobs seed depth max_runs per_function_runs retire_after retry_limit
+    priority all_bugs time_budget solver_timeout json lcov html checkpoint resume
+    resume_salvage chaos chaos_seed no_breaker trace status list_only =
   try
     let src = read_file file in
     match
-      validate_campaign ~jobs ~per_function_runs ~retire_after ~max_runs ~time_budget
-        ~solver_timeout ~list_only ~checkpoint ~resume ~json ~lcov ~html ~trace ~status
+      validate_campaign ~jobs ~per_function_runs ~retire_after ~retry_limit ~max_runs
+        ~time_budget ~solver_timeout ~list_only ~checkpoint ~resume ~resume_salvage ~chaos
+        ~json ~lcov ~html ~trace ~status
     with
     | Some msg -> usage_error msg
     | None ->
@@ -838,29 +917,47 @@ let run_campaign file jobs seed depth max_runs per_function_runs retire_after pr
         if targets = [] then usage_error "no testable targets discovered" else 0
       end
       else begin
+        match
+          match chaos with
+          | None -> Ok Dart_util.Faultsim.off
+          | Some spec -> Dart_util.Faultsim.chaos_of_spec ~seed:chaos_seed spec
+        with
+        | Error msg -> usage_error (Printf.sprintf "--chaos: %s" msg)
+        | Ok fault ->
         with_trace_sink trace @@ fun sink ->
         install_signal_handlers ();
         let options =
           Dart.Driver.Options.make ~seed ~depth ~max_runs ~per_function_runs
-            ~retire_after ~priority ~stop_on_first_bug:(not all_bugs)
+            ~retire_after ~retry_limit ~priority ~stop_on_first_bug:(not all_bugs)
+            ~use_breaker:(not no_breaker)
             ?solver_deadline_ns:(Option.map ns_of_ms solver_timeout)
             ~telemetry:
               { (Dart.Telemetry.with_sink sink) with
                 Dart.Telemetry.status_path = status }
-            ()
+            ~faultsim:fault ()
         in
         match
           Dart.Campaign.run ~jobs ~options
             ?time_budget_ns:(Option.map ns_of_seconds time_budget) ?checkpoint ?resume
-            ~file
+            ~salvage:resume_salvage ~file
             ~progress:(fun line -> Printf.eprintf "dartc campaign: %s\n%!" line)
             src
         with
         | Error msg -> usage_error msg
         | Ok report ->
+          (* Chaos oracle: whatever was injected, the ledger must
+             balance — a fault may quarantine a target but can never
+             lose one. A violation is a harness bug, reported loudly. *)
+          if chaos <> None && not (Dart.Campaign.no_lost_targets report) then begin
+            Printf.eprintf
+              "dartc campaign: CHAOS ORACLE VIOLATION: a discovered target is missing \
+               from the results/skipped/unfinished ledger\n";
+            raise Chaos_oracle_violation
+          end;
           print_string (Dart.Campaign.report_to_string report);
           Option.iter
-            (fun path -> write_file_with_note ~what:"JSON" path (Dart.Campaign.to_json report))
+            (fun path ->
+              write_file_with_note ~fault ~what:"JSON" path (Dart.Campaign.to_json report))
             json;
           if lcov <> None || html <> None then begin
             (* Any one prepared program of the library carries every
@@ -877,7 +974,8 @@ let run_campaign file jobs seed depth max_runs per_function_runs retire_after pr
               in
               Option.iter
                 (fun path ->
-                  write_file_with_note ~what:"lcov" path (Dart.Cover_report.to_lcov t))
+                  write_file_with_note ~fault ~what:"lcov" path
+                    (Dart.Cover_report.to_lcov t))
                 lcov;
               Option.iter
                 (fun path ->
@@ -903,11 +1001,12 @@ let run_campaign file jobs seed depth max_runs per_function_runs retire_after pr
                              ( name,
                                retire_tag r.Dart.Campaign.tr_retired,
                                ns,
-                               r.Dart.Campaign.tr_runs )
-                           | None -> (name, "unfinished", ns, 0))
+                               r.Dart.Campaign.tr_runs,
+                               r.Dart.Campaign.tr_overruns )
+                           | None -> (name, "unfinished", ns, 0, 0))
                          report.Dart.Campaign.cam_times)
                   in
-                  write_file_with_note ~what:"HTML" path
+                  write_file_with_note ~fault ~what:"HTML" path
                     (Dart.Cover_report.to_html ~extra:heatmap t ~source:src ~title))
                 html
           end;
@@ -921,6 +1020,7 @@ let run_campaign file jobs seed depth max_runs per_function_runs retire_after pr
   | Minic.Typecheck.Error (loc, msg) ->
     Printf.eprintf "%s: error: %s\n" (Minic.Loc.to_string loc) msg;
     2
+  | Chaos_oracle_violation -> 2
   | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
@@ -934,10 +1034,12 @@ let campaign_cmd =
     (Cmd.info "dartc campaign" ~doc)
     Term.(
       const run_campaign $ file_arg $ jobs_arg $ seed_arg $ depth_arg
-      $ campaign_max_runs_arg $ per_function_runs_arg $ retire_after_arg $ priority_arg
-      $ all_bugs_arg $ time_budget_arg $ solver_timeout_arg $ campaign_json_arg
-      $ campaign_lcov_arg $ campaign_html_arg $ campaign_checkpoint_arg
-      $ campaign_resume_arg $ trace_arg $ status_arg $ campaign_list_arg)
+      $ campaign_max_runs_arg $ per_function_runs_arg $ retire_after_arg $ retry_limit_arg
+      $ priority_arg $ all_bugs_arg $ time_budget_arg $ solver_timeout_arg
+      $ campaign_json_arg $ campaign_lcov_arg $ campaign_html_arg
+      $ campaign_checkpoint_arg $ campaign_resume_arg $ campaign_resume_salvage_arg
+      $ chaos_arg $ chaos_seed_arg $ no_breaker_campaign_arg $ trace_arg $ status_arg
+      $ campaign_list_arg)
 
 (* ---- watch / profile ------------------------------------------------------------- *)
 
@@ -976,20 +1078,27 @@ let run_watch file once interval =
       0
   end
   else begin
-    (* Follow mode: clear-and-redraw until the user interrupts. Errors
-       are transient by design — the writer may not have produced the
-       file yet, or may have just retired it — so they render in place
-       and the loop keeps polling. Hard rejection of malformed files is
-       --once's job (that path exits 2). *)
+    (* Follow mode: clear-and-redraw until the user interrupts. The
+       writer rewrites the file atomically, so a missing, unreadable or
+       empty file is transient — it was deleted or not yet renamed into
+       place — and the loop keeps polling through it. Malformed content
+       never self-heals (reads are all-or-nothing); that is the one
+       follow-mode condition that exits 2, like --once. *)
     let rec loop () =
-      (match Dart.Status.read ~path:file with
-       | Ok st ->
-         print_string "\027[H\027[2J";
-         print_string (Dart.Status.render st);
-         flush stdout
-       | Error msg -> Printf.eprintf "dartc watch: %s: %s (waiting)\n%!" file msg);
-      Unix.sleepf interval;
-      loop ()
+      match Dart.Status.read_classified ~path:file with
+      | Ok st ->
+        print_string "\027[H\027[2J";
+        print_string (Dart.Status.render st);
+        flush stdout;
+        Unix.sleepf interval;
+        loop ()
+      | Error (`Transient msg) ->
+        Printf.eprintf "dartc watch: %s: %s (waiting)\n%!" file msg;
+        Unix.sleepf interval;
+        loop ()
+      | Error (`Malformed msg) ->
+        Printf.eprintf "dartc watch: %s: %s\n" file msg;
+        2
     in
     loop ()
   end
@@ -1036,7 +1145,8 @@ let run_term =
     const run_dartc $ file_arg $ toplevel_arg $ depth_arg $ max_runs_arg $ seed_arg
     $ strategy_arg $ random_mode_arg $ symbolic_ptrs_arg $ all_bugs_arg $ jobs_arg
     $ portfolio_arg $ no_cache_arg $ no_slicing_arg $ no_incremental_arg
-    $ no_shared_cache_arg $ no_compile_arg $ time_budget_arg $ solver_timeout_arg
+    $ no_shared_cache_arg $ no_breaker_arg $ no_compile_arg $ time_budget_arg
+    $ solver_timeout_arg
     $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ faultsim_arg
     $ faultsim_seed_arg $ trace_arg $ status_arg $ metrics_arg $ show_interface_arg
     $ show_driver_arg $ dump_ram_arg $ coverage_arg)

@@ -8,7 +8,7 @@
 
 module O = Driver.Options
 
-type retire = Bug | Complete | Saturated | Budget_capped
+type retire = Bug | Complete | Saturated | Budget_capped | Quarantined of string
 
 type target_result = {
   tr_name : string;
@@ -18,6 +18,8 @@ type target_result = {
   tr_retired : retire;
   tr_coverage : (string * int * bool) list;
   tr_bugs : Driver.bug list;
+  tr_overruns : int; (* cumulative solver deadline overruns across slices *)
+  tr_bopens : int; (* cumulative circuit-breaker opens across slices *)
 }
 
 type status = Finished | Stopped_early of string
@@ -78,20 +80,14 @@ let frontier_count sites =
 (* ---- checkpoint codec ------------------------------------------------------------ *)
 
 let magic = "dart-campaign"
-let version = 1
+let version = 2
 
 let retire_tag = function
   | Bug -> "bug"
   | Complete -> "complete"
   | Saturated -> "saturated"
   | Budget_capped -> "capped"
-
-let retire_of_tag = function
-  | "bug" -> Some Bug
-  | "complete" -> Some Complete
-  | "saturated" -> Some Saturated
-  | "capped" -> Some Budget_capped
-  | _ -> None
+  | Quarantined _ -> "quarantined"
 
 let bool_tag b = if b then "1" else "0"
 
@@ -102,12 +98,57 @@ let bool_tag b = if b then "1" else "0"
 let meta_line ~(options : Driver.options) ~library =
   Printf.sprintf
     "meta seed=%d depth=%d max_runs=%d per_function_runs=%d retire_after=%d \
-     strategy=%s all_bugs=%s library=%s"
+     retry_limit=%d strategy=%s all_bugs=%s library=%s"
     options.O.search.O.seed options.O.search.O.depth options.O.budget.O.max_runs
     options.O.campaign.O.per_function_runs options.O.campaign.O.retire_after
+    options.O.campaign.O.retry_limit
     (Strategy.to_string options.O.search.O.strategy)
     (bool_tag (not options.O.budget.O.stop_on_first_bug))
     (Digest.to_hex (Digest.string library))
+
+(* One target = one block of lines followed by a "crc" trailer over the
+   block's exact bytes, so a truncated or bit-flipped record is
+   detectable on its own and everything before it stays loadable (the
+   salvage path below). A quarantined target carries its reason as a
+   trailing escaped token — {!Checkpoint.escape} makes it space-free. *)
+let target_block tr =
+  let buf = Buffer.create 256 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let esc = Checkpoint.escape in
+  (match tr.tr_retired with
+   | Quarantined reason ->
+     line "target %s %d %d %d %s %d %d %s" (esc tr.tr_name) tr.tr_index tr.tr_runs
+       tr.tr_slices (retire_tag tr.tr_retired) tr.tr_overruns tr.tr_bopens (esc reason)
+   | _ ->
+     line "target %s %d %d %d %s %d %d" (esc tr.tr_name) tr.tr_index tr.tr_runs
+       tr.tr_slices (retire_tag tr.tr_retired) tr.tr_overruns tr.tr_bopens);
+  line "cover %d" (List.length tr.tr_coverage);
+  List.iter
+    (fun (fn, pc, dir) -> line "c %s %d %s" (esc fn) pc (bool_tag dir))
+    tr.tr_coverage;
+  line "bugs %d" (List.length tr.tr_bugs);
+  List.iter
+    (fun (b : Driver.bug) ->
+      let loc = b.Driver.bug_site.Machine.site_loc in
+      Buffer.add_string buf
+        (Printf.sprintf "bug %s %s %d %s %d %d %d %d"
+           (Machine.fault_tag b.Driver.bug_fault)
+           (esc b.Driver.bug_site.Machine.site_fn)
+           b.Driver.bug_site.Machine.site_pc (esc loc.Minic.Loc.file)
+           loc.Minic.Loc.line loc.Minic.Loc.col b.Driver.bug_run
+           (List.length b.Driver.bug_inputs));
+      List.iter
+        (fun (id, v) -> Buffer.add_string buf (Printf.sprintf " %d:%d" id v))
+        b.Driver.bug_inputs;
+      Buffer.add_char buf '\n')
+    tr.tr_bugs;
+  Buffer.contents buf
 
 let to_string ~options ~library report =
   let buf = Buffer.create 4096 in
@@ -118,41 +159,27 @@ let to_string ~options ~library report =
         Buffer.add_char buf '\n')
       fmt
   in
-  let esc = Checkpoint.escape in
   line "%s v%d" magic version;
   line "%s" (meta_line ~options ~library);
   line "finished %d" (List.length report.cam_results);
   List.iter
     (fun tr ->
-      line "target %s %d %d %d %s" (esc tr.tr_name) tr.tr_index tr.tr_runs tr.tr_slices
-        (retire_tag tr.tr_retired);
-      line "cover %d" (List.length tr.tr_coverage);
-      List.iter
-        (fun (fn, pc, dir) -> line "c %s %d %s" (esc fn) pc (bool_tag dir))
-        tr.tr_coverage;
-      line "bugs %d" (List.length tr.tr_bugs);
-      List.iter
-        (fun (b : Driver.bug) ->
-          let loc = b.Driver.bug_site.Machine.site_loc in
-          Buffer.add_string buf
-            (Printf.sprintf "bug %s %s %d %s %d %d %d %d"
-               (Machine.fault_tag b.Driver.bug_fault)
-               (esc b.Driver.bug_site.Machine.site_fn)
-               b.Driver.bug_site.Machine.site_pc (esc loc.Minic.Loc.file)
-               loc.Minic.Loc.line loc.Minic.Loc.col b.Driver.bug_run
-               (List.length b.Driver.bug_inputs));
-          List.iter
-            (fun (id, v) -> Buffer.add_string buf (Printf.sprintf " %d:%d" id v))
-            b.Driver.bug_inputs;
-          Buffer.add_char buf '\n')
-        tr.tr_bugs)
+      let block = target_block tr in
+      Buffer.add_string buf block;
+      line "crc %s" (Dart_util.Crc32.to_hex (Dart_util.Crc32.string block)))
     report.cam_results;
   line "end";
   Buffer.contents buf
 
 exception Bad of string
 
-let of_string text =
+(* Shared parser. In strict mode any defect rejects the whole file; in
+   salvage mode a defect inside the target blocks keeps the records
+   already parsed (the longest valid prefix — every block is
+   CRC-verified, so a truncated or corrupted record never survives).
+   Header defects reject the file in both modes: there is nothing to
+   salvage without a trusted meta line. *)
+let parse ~salvage text =
   let lines = ref (List.filter (fun l -> l <> "") (String.split_on_char '\n' text)) in
   let next what =
     match !lines with
@@ -160,6 +187,16 @@ let of_string text =
     | l :: rest ->
       lines := rest;
       l
+  in
+  (* Raw bytes of the block being parsed, rebuilt line by line for the
+     CRC check ([to_string] never emits empty lines, so the rebuild is
+     byte-exact). *)
+  let block = Buffer.create 256 in
+  let next_b what =
+    let l = next what in
+    Buffer.add_string block l;
+    Buffer.add_char block '\n';
+    l
   in
   let tokens l = String.split_on_char ' ' l in
   let int_tok what t =
@@ -178,9 +215,88 @@ let of_string text =
     | Error msg -> raise (Bad (Printf.sprintf "%s in %s" msg what))
   in
   let expect_counted what =
-    match tokens (next what) with
+    match tokens (next_b what) with
     | [ tag; count ] when tag = what -> int_tok what count
     | _ -> raise (Bad (Printf.sprintf "expected %S record" what))
+  in
+  let parse_block () =
+    Buffer.clear block;
+    let tr_name, tr_index, tr_runs, tr_slices, tr_retired, tr_overruns, tr_bopens =
+      match tokens (next_b "target") with
+      | "target" :: name :: index :: runs :: slices :: tag :: overruns :: bopens :: rest ->
+        let retired =
+          match (tag, rest) with
+          | "bug", [] -> Bug
+          | "complete", [] -> Complete
+          | "saturated", [] -> Saturated
+          | "capped", [] -> Budget_capped
+          | "quarantined", [ reason ] -> Quarantined (unesc "target" reason)
+          | _ -> raise (Bad (Printf.sprintf "unknown retire reason %S" tag))
+        in
+        ( unesc "target" name,
+          int_tok "target" index,
+          int_tok "target" runs,
+          int_tok "target" slices,
+          retired,
+          int_tok "target" overruns,
+          int_tok "target" bopens )
+      | _ -> raise (Bad "expected \"target\" record")
+    in
+    let n_cov = expect_counted "cover" in
+    let tr_coverage =
+      List.init n_cov (fun _ ->
+          match tokens (next_b "c") with
+          | [ "c"; fn; pc; dir ] ->
+            (unesc "c" fn, int_tok "c" pc, bool_tok "c" dir)
+          | _ -> raise (Bad "expected \"c\" record"))
+    in
+    let n_bugs = expect_counted "bugs" in
+    let tr_bugs =
+      List.init n_bugs (fun _ ->
+          match tokens (next_b "bug") with
+          | "bug" :: fault :: fn :: pc :: file :: lno :: col :: run :: n_inputs
+            :: inputs ->
+            let bug_fault =
+              match Machine.fault_of_tag fault with
+              | Some f -> f
+              | None -> raise (Bad (Printf.sprintf "unknown fault %S" fault))
+            in
+            let n_inputs = int_tok "bug" n_inputs in
+            if List.length inputs <> n_inputs then
+              raise (Bad "bug input count mismatch");
+            { Driver.bug_fault;
+              bug_site =
+                { Machine.site_fn = unesc "bug" fn;
+                  site_pc = int_tok "bug" pc;
+                  site_loc =
+                    { Minic.Loc.file = unesc "bug" file;
+                      line = int_tok "bug" lno;
+                      col = int_tok "bug" col } };
+              bug_run = int_tok "bug" run;
+              bug_inputs =
+                List.map
+                  (fun e ->
+                    match String.split_on_char ':' e with
+                    | [ id; v ] -> (int_tok "bug" id, int_tok "bug" v)
+                    | _ -> raise (Bad (Printf.sprintf "bad bug input %S" e)))
+                  inputs }
+          | _ -> raise (Bad "expected \"bug\" record"))
+    in
+    (* The CRC trailer is outside the checksummed bytes. *)
+    (match tokens (next "crc") with
+     | [ "crc"; hex ] ->
+       (match Dart_util.Crc32.of_hex hex with
+        | None -> raise (Bad (Printf.sprintf "bad crc %S" hex))
+        | Some expected ->
+          let actual = Dart_util.Crc32.string (Buffer.contents block) in
+          if actual <> expected then
+            raise
+              (Bad
+                 (Printf.sprintf "checksum mismatch in record for %s (corrupted checkpoint)"
+                    tr_name)))
+     | _ -> raise (Bad "expected \"crc\" record"));
+    { tr_name; tr_index; tr_runs; tr_slices; tr_retired; tr_coverage; tr_bugs;
+      tr_overruns; tr_bopens }
   in
   try
     (match tokens (next "magic") with
@@ -198,70 +314,35 @@ let of_string text =
     if not (String.length meta >= 5 && String.sub meta 0 5 = "meta ") then
       raise (Bad "expected \"meta\" record");
     let n_finished = expect_counted "finished" in
-    let results =
-      List.init n_finished (fun _ ->
-          let tr_name, tr_index, tr_runs, tr_slices, tr_retired =
-            match tokens (next "target") with
-            | [ "target"; name; index; runs; slices; tag ] ->
-              let retired =
-                match retire_of_tag tag with
-                | Some r -> r
-                | None -> raise (Bad (Printf.sprintf "unknown retire reason %S" tag))
-              in
-              ( unesc "target" name,
-                int_tok "target" index,
-                int_tok "target" runs,
-                int_tok "target" slices,
-                retired )
-            | _ -> raise (Bad "expected \"target\" record")
-          in
-          let n_cov = expect_counted "cover" in
-          let tr_coverage =
-            List.init n_cov (fun _ ->
-                match tokens (next "c") with
-                | [ "c"; fn; pc; dir ] ->
-                  (unesc "c" fn, int_tok "c" pc, bool_tok "c" dir)
-                | _ -> raise (Bad "expected \"c\" record"))
-          in
-          let n_bugs = expect_counted "bugs" in
-          let tr_bugs =
-            List.init n_bugs (fun _ ->
-                match tokens (next "bug") with
-                | "bug" :: fault :: fn :: pc :: file :: lno :: col :: run :: n_inputs
-                  :: inputs ->
-                  let bug_fault =
-                    match Machine.fault_of_tag fault with
-                    | Some f -> f
-                    | None -> raise (Bad (Printf.sprintf "unknown fault %S" fault))
-                  in
-                  let n_inputs = int_tok "bug" n_inputs in
-                  if List.length inputs <> n_inputs then
-                    raise (Bad "bug input count mismatch");
-                  { Driver.bug_fault;
-                    bug_site =
-                      { Machine.site_fn = unesc "bug" fn;
-                        site_pc = int_tok "bug" pc;
-                        site_loc =
-                          { Minic.Loc.file = unesc "bug" file;
-                            line = int_tok "bug" lno;
-                            col = int_tok "bug" col } };
-                    bug_run = int_tok "bug" run;
-                    bug_inputs =
-                      List.map
-                        (fun e ->
-                          match String.split_on_char ':' e with
-                          | [ id; v ] -> (int_tok "bug" id, int_tok "bug" v)
-                          | _ -> raise (Bad (Printf.sprintf "bad bug input %S" e)))
-                        inputs }
-                | _ -> raise (Bad "expected \"bug\" record"))
-          in
-          { tr_name; tr_index; tr_runs; tr_slices; tr_retired; tr_coverage; tr_bugs })
+    let results, defect =
+      if salvage then begin
+        let acc = ref [] in
+        let defect = ref None in
+        (try
+           for _ = 1 to n_finished do
+             acc := parse_block () :: !acc
+           done;
+           match tokens (next "end") with
+           | [ "end" ] -> ()
+           | _ -> raise (Bad "expected \"end\" record")
+         with Bad msg -> defect := Some msg);
+        (List.rev !acc, !defect)
+      end
+      else begin
+        let results = List.init n_finished (fun _ -> parse_block ()) in
+        (match tokens (next "end") with
+         | [ "end" ] -> ()
+         | _ -> raise (Bad "expected \"end\" record"));
+        (results, None)
+      end
     in
-    (match tokens (next "end") with
-     | [ "end" ] -> ()
-     | _ -> raise (Bad "expected \"end\" record"));
-    Ok (meta, results)
+    Ok (meta, n_finished, results, defect)
   with Bad msg -> Error msg
+
+let of_string text =
+  match parse ~salvage:false text with
+  | Ok (meta, _, results, _) -> Ok (meta, results)
+  | Error _ as e -> e
 
 let save ~path ~options ~library report =
   let tmp = path ^ ".tmp" in
@@ -273,7 +354,17 @@ let save ~path ~options ~library report =
       flush oc);
   Sys.rename tmp path
 
-let load ~path ~options ~library =
+let check_meta ~options ~library found_meta =
+  let expected = meta_line ~options ~library in
+  if found_meta <> expected then
+    Error
+      (Printf.sprintf
+         "checkpoint was taken under a different campaign configuration\n\
+         \  expected: %s\n\
+         \  found:    %s" expected found_meta)
+  else Ok ()
+
+let load ?salvage ~path ~options ~library () =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -282,17 +373,39 @@ let load ~path ~options ~library =
   with
   | exception Sys_error msg -> Error msg
   | text -> (
-    match of_string text with
-    | Error msg -> Error msg
-    | Ok (found_meta, results) ->
-      let expected = meta_line ~options ~library in
-      if found_meta <> expected then
-        Error
+    match salvage with
+    | None -> (
+      match of_string text with
+      | Error msg -> Error msg
+      | Ok (found_meta, results) ->
+        (match check_meta ~options ~library found_meta with
+         | Error _ as e -> e
+         | Ok () -> Ok results))
+    | Some warn -> (
+      (* Salvage mode: corruption degrades to the longest valid prefix
+         (CRC-verified per record) plus a warning; an unreadable header
+         degrades to an empty restore. A configuration mismatch is NOT
+         corruption and still refuses — silently dropping a healthy
+         checkpoint of a different campaign would destroy real work. *)
+      match parse ~salvage:true text with
+      | Error msg ->
+        warn
           (Printf.sprintf
-             "checkpoint was taken under a different campaign configuration\n\
-             \  expected: %s\n\
-             \  found:    %s" expected found_meta)
-      else Ok results)
+             "checkpoint unusable (%s); salvaged 0 records, restarting from scratch" msg);
+        Ok []
+      | Ok (found_meta, n_finished, results, defect) ->
+        (match check_meta ~options ~library found_meta with
+         | Error _ as e -> e
+         | Ok () ->
+           (match defect with
+            | None -> ()
+            | Some msg ->
+              warn
+                (Printf.sprintf
+                   "checkpoint damaged (%s); salvaged %d of %d finished targets, the rest \
+                    will be re-run"
+                   msg (List.length results) n_finished));
+           Ok results)))
 
 (* ---- aggregation ----------------------------------------------------------------- *)
 
@@ -340,11 +453,17 @@ type tstate = {
   mutable st_snapshot : Driver.snapshot option;
   mutable st_result : target_result option;
   mutable st_failed : string option; (* a slice raised: dropped with the reason *)
+  mutable st_faults : int; (* consecutive faulted slices (quarantine counter) *)
+  mutable st_backoff : int; (* rounds to sit out before the next retry *)
+  mutable st_bugs : Driver.bug list; (* last successful slice's cumulative bugs *)
+  mutable st_overruns : int; (* cumulative solver deadline overruns *)
+  mutable st_breaker : Solver.Breaker.t option; (* shared across this target's slices *)
 }
 
 type slice_outcome =
   | Sliced of Driver.report * Driver.snapshot option
-  | Slice_failed of string
+  | Slice_failed of string (* front-end rejection: permanent, target dropped *)
+  | Slice_faulted of string (* escaped exception: retried, then quarantined *)
 
 let verdict_tag = function
   | Driver.Bug_found _ -> "bug"
@@ -354,7 +473,7 @@ let verdict_tag = function
   | Driver.Interrupted -> "interrupted"
 
 let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpoint
-    ?resume ?file ?(progress = fun _ -> ()) text =
+    ?resume ?(salvage = false) ?file ?(progress = fun _ -> ()) text =
   if jobs < 0 then invalid_arg "Campaign.run: jobs must be >= 0";
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
   let ast = Minic.Parser.parse_program ?file text in
@@ -371,7 +490,11 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
       match resume with
       | None -> Ok []
       | Some path -> (
-        match load ~path ~options ~library:text with
+        let salvage =
+          if salvage then Some (fun msg -> progress (Printf.sprintf "salvage: %s" msg))
+          else None
+        in
+        match load ?salvage ~path ~options ~library:text () with
         | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
         | Ok results -> Ok results)
     with
@@ -393,7 +516,12 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
               st_sites = [];
               st_snapshot = None;
               st_result = Hashtbl.find_opt restored_tbl name;
-              st_failed = None })
+              st_failed = None;
+              st_faults = 0;
+              st_backoff = 0;
+              st_bugs = [];
+              st_overruns = 0;
+              st_breaker = None })
           targets
       in
       let resumed_count = List.length (List.filter (fun st -> st.st_result <> None) states) in
@@ -427,6 +555,8 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
       let campaign_start = Telemetry.now () in
       let per_slice = max 1 options.O.campaign.O.per_function_runs in
       let cap_total = options.O.budget.O.max_runs in
+      let fault = options.O.fault in
+      let retry_limit = max 1 options.O.campaign.O.retry_limit in
       let run_slice st =
         let cap = min cap_total (st.st_runs + per_slice) in
         let ring =
@@ -434,16 +564,36 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
             Telemetry.ring ~capacity:options.O.telemetry.Telemetry.worker_buffer
           else Telemetry.null
         in
+        (* One breaker per target for the whole campaign: a site opened
+           in slice k is still open (or cooling down) in slice k+1, and
+           every slice boundary is one cooldown tick. *)
+        let breaker =
+          if options.O.accel.O.use_breaker then begin
+            (match st.st_breaker with
+             | Some _ -> ()
+             | None -> st.st_breaker <- Some (Solver.Breaker.create ()));
+            st.st_breaker
+          end
+          else None
+        in
         let target =
           Target.make ~max_runs:cap
             ?sink:(if tracing then Some ring else None)
-            ~toplevel:st.st_name
+            ?breaker ~toplevel:st.st_name
             (Target.Text { file; text })
         in
         let latest = ref None in
         let t0 = Telemetry.now () in
         let outcome =
           try
+            (* Chaos worker-crash probe at the slice boundary, keyed by
+               target index: models a slice's worker dying anywhere in
+               the slice (the parallel layer injects the same fault
+               mid-search inside single-shot workers). *)
+            if
+              Dart_util.Faultsim.is_on fault
+              && Dart_util.Faultsim.fire ~key:st.st_index fault Dart_util.Faultsim.Worker_crash
+            then Dart_util.Faultsim.inject_crash Dart_util.Faultsim.Worker_crash;
             match
               Engine.run ?resume:st.st_snapshot
                 ~on_checkpoint:(fun sn -> latest := Some sn)
@@ -456,6 +606,12 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
             Slice_failed (Printf.sprintf "%s: %s" (Minic.Loc.to_string loc) msg)
           | Driver_gen.No_toplevel name ->
             Slice_failed (Printf.sprintf "no function named %s with a body" name)
+          | e ->
+            (* Anything else that escapes a slice — an injected worker
+               crash, a defect in the search stack, Stack_overflow — is
+               a fault: the target is retried with backoff and
+               eventually quarantined, never the campaign's problem. *)
+            Slice_faulted (Printexc.to_string e)
         in
         (outcome, ring, Int64.sub (Telemetry.now ()) t0)
       in
@@ -505,6 +661,12 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
               states }
       in
       let round = ref 0 in
+      (* Observability must never kill the campaign: a status file or
+         checkpoint that cannot be written (disk full, permissions,
+         injected io_error) degrades to a one-time warning while the
+         search carries on. *)
+      let status_write_failed = ref false in
+      let checkpoint_write_failed = ref false in
       let write_status ~final () =
         Option.iter
           (fun path ->
@@ -545,8 +707,11 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
                 |> List.sort (fun a b -> compare a.tr_index b.tr_index))
             in
             let h = cam_metrics.Telemetry.solve_hist in
-            Status.write ~path
-              { Status.st_mode = Status.Campaign;
+            try
+              if Dart_util.Faultsim.fire fault Dart_util.Faultsim.Io_error then
+                raise (Sys_error (path ^ ": injected io_error (faultsim)"));
+              Status.write ~path
+                { Status.st_mode = Status.Campaign;
                 st_elapsed_ns = elapsed;
                 st_budget_ns = time_budget_ns;
                 st_runs = total_runs;
@@ -564,7 +729,12 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
                 st_remaining = total - done_ - act;
                 st_round = !round;
                 st_solve_p50_ns = Telemetry.Hist.p50 h;
-                st_solve_p99_ns = Telemetry.Hist.p99 h })
+                st_solve_p99_ns = Telemetry.Hist.p99 h }
+            with Sys_error msg ->
+              if not !status_write_failed then begin
+                status_write_failed := true;
+                progress (Printf.sprintf "warning: status write failed: %s" msg)
+              end)
           status_path
       in
       progress
@@ -577,17 +747,40 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
             let r = interim () in
             let n = List.length r.cam_results in
             if n <> !finished_at_last_save then begin
-              save ~path ~options ~library:text r;
-              finished_at_last_save := n;
-              progress (Printf.sprintf "checkpoint: wrote %s (%d finished)" path n)
+              try
+                if Dart_util.Faultsim.fire fault Dart_util.Faultsim.Io_error then
+                  raise (Sys_error (path ^ ": injected io_error (faultsim)"));
+                save ~path ~options ~library:text r;
+                (* Only advance on success, so the next settle retries
+                   the write instead of silently skipping it. *)
+                finished_at_last_save := n;
+                progress (Printf.sprintf "checkpoint: wrote %s (%d finished)" path n)
+              with Sys_error msg ->
+                if not !checkpoint_write_failed then begin
+                  checkpoint_write_failed := true;
+                  progress (Printf.sprintf "warning: checkpoint write failed: %s" msg)
+                end
             end)
           checkpoint
       in
       while active () <> [] && not (stop ()) do
         incr round;
         let round_t0 = Telemetry.now () in
-        let tasks = Array.of_list (order_round (active ())) in
-        progress (Printf.sprintf "round %d: %d active" !round (Array.length tasks));
+        (* Faulted targets back off in whole rounds: ready targets run,
+           the others sit this one out and count it against their
+           backoff. A round where everyone is backing off still ticks
+           (the backoffs strictly decrease, so the loop always makes
+           progress). *)
+        let ready, backing_off =
+          List.partition (fun st -> st.st_backoff = 0) (active ())
+        in
+        List.iter (fun st -> st.st_backoff <- st.st_backoff - 1) backing_off;
+        let tasks = Array.of_list (order_round ready) in
+        progress
+          (Printf.sprintf "round %d: %d active%s" !round (Array.length tasks)
+             (match backing_off with
+              | [] -> ""
+              | l -> Printf.sprintf ", %d backing off" (List.length l)));
         write_status ~final:false ();
         let outcomes = Array.make (Array.length tasks) None in
         let next = Atomic.make 0 in
@@ -634,11 +827,72 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
                 (Telemetry.Target_retired { target = st.st_name; reason = "failed" })
             end;
             progress (Printf.sprintf "dropped %s: %s" st.st_name reason)
+          | Slice_faulted reason ->
+            st.st_slices <- st.st_slices + 1;
+            st.st_faults <- st.st_faults + 1;
+            let quarantined = st.st_faults >= retry_limit in
+            if quarantined then
+              (* The target keeps everything its successful slices
+                 earned (runs, coverage, bugs) — quarantine retires it,
+                 it never loses it. *)
+              st.st_result <-
+                Some
+                  { tr_name = st.st_name;
+                    tr_index = st.st_index;
+                    tr_runs = st.st_runs;
+                    tr_slices = st.st_slices;
+                    tr_retired = Quarantined reason;
+                    tr_coverage = List.sort compare st.st_sites;
+                    tr_bugs = st.st_bugs;
+                    tr_overruns = st.st_overruns;
+                    tr_bopens =
+                      Option.fold ~none:0 ~some:Solver.Breaker.opens st.st_breaker }
+            else begin
+              (* Exponential backoff in whole rounds, deterministic from
+                 the campaign seed so a replayed campaign retries at the
+                 same rounds; capped at 16 rounds. *)
+              let rng =
+                Dart_util.Prng.create
+                  (options.O.search.O.seed lxor ((st.st_index * 65599) + st.st_faults))
+              in
+              st.st_backoff <-
+                Dart_util.Prng.int_range rng 1 (1 lsl min st.st_faults 4)
+            end;
+            if tracing then begin
+              Telemetry.emit msink
+                (Telemetry.Slice_end
+                   { target = st.st_name;
+                     round = !round;
+                     outcome = "fault";
+                     runs = 0;
+                     dur_ns = dur });
+              if quarantined then
+                Telemetry.emit msink
+                  (Telemetry.Target_retired { target = st.st_name; reason = "quarantined" })
+            end;
+            if quarantined then
+              progress
+                (Printf.sprintf "quarantined %s after %d consecutive faults: %s" st.st_name
+                   st.st_faults reason)
+            else
+              progress
+                (Printf.sprintf "fault on %s (%d/%d): %s; backing off %d round%s" st.st_name
+                   st.st_faults retry_limit reason st.st_backoff
+                   (if st.st_backoff = 1 then "" else "s"))
           | Sliced (r, snap) ->
             Telemetry.add_metrics ~into:cam_metrics r.Driver.metrics;
             st.st_slices <- st.st_slices + 1;
+            st.st_faults <- 0; (* quarantine counts *consecutive* faults *)
             st.st_runs <- r.Driver.runs;
             st.st_sites <- r.Driver.coverage_sites;
+            st.st_bugs <- r.Driver.bugs;
+            (* Snapshot restore makes the slice's solver stats cumulative
+               across this target's slices, so the latest reading is the
+               target's total. *)
+            st.st_overruns <- Solver.deadline_overruns r.Driver.solver_stats;
+            (* One cooldown tick per slice: a breaker opened in this
+               slice may half-open in a later one. *)
+            Option.iter Solver.Breaker.tick st.st_breaker;
             let covered = List.length r.Driver.coverage_sites in
             if covered > st.st_covered then st.st_stale <- 0
             else st.st_stale <- st.st_stale + 1;
@@ -655,7 +909,10 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
                     tr_slices = st.st_slices;
                     tr_retired = reason;
                     tr_coverage = List.sort compare r.Driver.coverage_sites;
-                    tr_bugs = r.Driver.bugs };
+                    tr_bugs = r.Driver.bugs;
+                    tr_overruns = st.st_overruns;
+                    tr_bopens =
+                      Option.fold ~none:0 ~some:Solver.Breaker.opens st.st_breaker };
               progress
                 (Printf.sprintf "retired %s: %s after %d runs (%d slices, %d dirs)"
                    st.st_name (retire_tag reason) r.Driver.runs st.st_slices covered)
@@ -663,6 +920,18 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
             (match r.Driver.verdict with
              | Driver.Bug_found _ -> retire Bug
              | Driver.Complete -> retire Complete
+             | Driver.Budget_exhausted when stop () ->
+               (* The campaign-level stop cuts slices at a run boundary,
+                  and the driver folds that cancellation into the budget
+                  check — so a cut slice still surfaces as
+                  [Budget_exhausted], with a runs count no uninterrupted
+                  campaign would reproduce. Retiring from it would
+                  checkpoint the tainted count as finished; leave the
+                  target unfinished instead, like an interrupt. (A slice
+                  that genuinely filled its cap just before the deadline
+                  is also left unfinished — the re-run on resume is pure,
+                  so correctness only costs the repeated slice.) *)
+               ()
              | Driver.Budget_exhausted ->
                if st.st_runs >= cap_total then retire Budget_capped
                else if st.st_stale >= options.O.campaign.O.retire_after then
@@ -741,8 +1010,24 @@ let run ?(jobs = 1) ?(options = Driver.Options.default) ?time_budget_ns ?checkpo
 (* ---- reports --------------------------------------------------------------------- *)
 
 let retire_histogram results =
-  let count r = List.length (List.filter (fun tr -> tr.tr_retired = r) results) in
-  (count Bug, count Complete, count Saturated, count Budget_capped)
+  let count p = List.length (List.filter (fun tr -> p tr.tr_retired) results) in
+  ( count (fun r -> r = Bug),
+    count (fun r -> r = Complete),
+    count (fun r -> r = Saturated),
+    count (fun r -> r = Budget_capped),
+    count (function Quarantined _ -> true | _ -> false) )
+
+let no_lost_targets r =
+  (* Every discovered target is accounted for exactly once: tested,
+     skipped, or unfinished. The chaos soak asserts this — faults may
+     quarantine a target but must never drop it from the ledger. *)
+  let tbl = Hashtbl.create 64 in
+  let bump name = Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)) in
+  List.iter (fun tr -> bump tr.tr_name) r.cam_results;
+  List.iter (fun (name, _) -> bump name) r.cam_skipped;
+  List.iter bump r.cam_unfinished;
+  List.for_all (fun name -> Hashtbl.find_opt tbl name = Some 1) r.cam_targets
+  && Hashtbl.length tbl = List.length r.cam_targets
 
 let report_to_string r =
   let buf = Buffer.create 1024 in
@@ -753,9 +1038,19 @@ let report_to_string r =
    | Finished -> ()
    | Stopped_early reason ->
      line "stopped early (%s): %d targets unfinished" reason (List.length r.cam_unfinished));
-  let bug, complete, saturated, capped = retire_histogram r.cam_results in
-  line "retired: %d bug, %d complete, %d saturated, %d budget-capped" bug complete
-    saturated capped;
+  let bug, complete, saturated, capped, quarantined = retire_histogram r.cam_results in
+  line "retired: %d bug, %d complete, %d saturated, %d budget-capped%s" bug complete
+    saturated capped
+    (if quarantined > 0 then Printf.sprintf ", %d quarantined" quarantined else "");
+  if quarantined > 0 then begin
+    line "quarantined:";
+    List.iter
+      (fun tr ->
+        match tr.tr_retired with
+        | Quarantined reason -> line "  - %s: %s" tr.tr_name reason
+        | _ -> ())
+      r.cam_results
+  end;
   line "distinct crashes: %d" (List.length r.cam_crashes);
   List.iter
     (fun (target, (b : Driver.bug)) ->
@@ -802,7 +1097,7 @@ let to_json r =
       b.Driver.bug_site.Machine.site_pc (str loc.Minic.Loc.file) loc.Minic.Loc.line
       loc.Minic.Loc.col (str target) b.Driver.bug_run
   in
-  let bug, complete, saturated, capped = retire_histogram r.cam_results in
+  let bug, complete, saturated, capped, quarantined = retire_histogram r.cam_results in
   add "{\n";
   add "  \"targets\": %d,\n" (List.length r.cam_targets);
   add "  \"tested\": %d,\n" (List.length r.cam_results);
@@ -813,8 +1108,11 @@ let to_json r =
         | Finished -> "finished"
         | Stopped_early reason -> "stopped early: " ^ reason));
   add "  \"resumed\": %d,\n" r.cam_resumed;
-  add "  \"retired\": {\"bug\": %d, \"complete\": %d, \"saturated\": %d, \"capped\": %d},\n"
-    bug complete saturated capped;
+  (* "quarantined" appears only when nonzero, so chaos-off aggregate
+     JSON stays byte-identical to pre-quarantine campaigns. *)
+  add "  \"retired\": {\"bug\": %d, \"complete\": %d, \"saturated\": %d, \"capped\": %d%s},\n"
+    bug complete saturated capped
+    (if quarantined > 0 then Printf.sprintf ", \"quarantined\": %d" quarantined else "");
   add "  \"coverage_directions\": %d,\n" (List.length (aggregate_sites r));
   (* Wall-clock attribution on one filterable line: determinism diffs
      (jobs=1 vs jobs=N, resume) must drop it with [grep -v '"phases"'],
@@ -844,10 +1142,20 @@ let to_json r =
       if i > 0 then add ",";
       add
         "\n    {\"name\": %s, \"runs\": %d, \"slices\": %d, \"retired\": %s, \
-         \"covered\": %d, \"bugs\": %d}"
+         \"covered\": %d, \"bugs\": %d%s%s%s}"
         (str tr.tr_name) tr.tr_runs tr.tr_slices
         (str (retire_tag tr.tr_retired))
-        (List.length tr.tr_coverage) (List.length tr.tr_bugs))
+        (List.length tr.tr_coverage) (List.length tr.tr_bugs)
+        (* Fault-tolerance fields are nonzero-gated for the same
+           byte-identity reason as "quarantined" above. *)
+        (if tr.tr_overruns > 0 then
+           Printf.sprintf ", \"deadline_overruns\": %d" tr.tr_overruns
+         else "")
+        (if tr.tr_bopens > 0 then Printf.sprintf ", \"breaker_opens\": %d" tr.tr_bopens
+         else "")
+        (match tr.tr_retired with
+         | Quarantined reason -> Printf.sprintf ", \"reason\": %s" (str reason)
+         | _ -> ""))
     r.cam_results;
   if r.cam_results <> [] then add "\n  ";
   add "],\n";

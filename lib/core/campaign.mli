@@ -44,18 +44,25 @@
 
     {2 Checkpoint/resume}
 
-    A campaign checkpoint ([dart-campaign v1], same line discipline and
-    %-escaping as {!Checkpoint}) records the campaign meta and the
-    finished targets with their results. Resuming re-runs unfinished
-    targets from scratch; because per-target results are deterministic,
-    the resumed campaign's aggregate report equals the uninterrupted
-    one's. *)
+    A campaign checkpoint ([dart-campaign v2], same line discipline and
+    %-escaping as {!Checkpoint}, plus a CRC-32 trailer per record block)
+    records the campaign meta and the finished targets with their
+    results. Resuming re-runs unfinished targets from scratch; because
+    per-target results are deterministic, the resumed campaign's
+    aggregate report equals the uninterrupted one's. Self-healing: with
+    salvage enabled a damaged checkpoint restores its longest valid
+    prefix instead of refusing. *)
 
 type retire =
   | Bug (* slice verdict Bug_found *)
   | Complete (* directed search proved the target exhausted (within depth) *)
   | Saturated (* retire_after consecutive slices with no new direction *)
   | Budget_capped (* per-target max_runs cap reached *)
+  | Quarantined of string
+      (* [options.campaign.retry_limit] consecutive slice faults
+         (worker exception, injected crash); the payload is the last
+         fault's description. The target keeps the runs, coverage and
+         bugs its successful slices earned. *)
 
 type target_result = {
   tr_name : string;
@@ -65,6 +72,8 @@ type target_result = {
   tr_retired : retire;
   tr_coverage : (string * int * bool) list; (* sorted (fn, pc, dir) triples *)
   tr_bugs : Driver.bug list; (* distinct bugs this target exposed *)
+  tr_overruns : int; (* solver deadline overruns over all slices *)
+  tr_bopens : int; (* circuit-breaker opens over all slices *)
 }
 
 (** [Stopped_early reason]: {!Cancel} or the campaign time budget fired;
@@ -106,6 +115,7 @@ val run :
   ?time_budget_ns:int64 ->
   ?checkpoint:string ->
   ?resume:string ->
+  ?salvage:bool ->
   ?file:string ->
   ?progress:(string -> unit) ->
   string ->
@@ -117,9 +127,19 @@ val run :
     every run boundary inside them); [checkpoint] persists finished
     targets after every round; [resume] restores a prior checkpoint
     (its meta — seed, depth, budgets, strategy, library digest — must
-    match). [progress] receives one human-readable line per round and
-    per retirement (dartc points it at stderr, keeping stdout
-    deterministic).
+    match); [salvage] (default false) makes a corrupted or truncated
+    [resume] file degrade to its longest CRC-valid prefix plus a
+    progress warning instead of an [Error]. [progress] receives one
+    human-readable line per round and per retirement (dartc points it
+    at stderr, keeping stdout deterministic).
+
+    Fault tolerance: a slice that escapes with an exception (worker
+    crash, injected fault) does not kill the campaign — the target
+    backs off for a deterministic, exponentially growing number of
+    rounds and is retried; after [options.campaign.retry_limit]
+    consecutive faults it retires as [Quarantined]. Status-file and
+    checkpoint write failures ([Sys_error]: disk full, permissions)
+    degrade to a one-time progress warning; the search continues.
 
     [Error] covers usage-level failures: zero targets discovered, an
     unreadable or mismatched [resume] file. Parse/typecheck errors
@@ -142,9 +162,16 @@ val aggregate_sites : report -> (string * int * bool) list
     {!Cover_report.compute} over any one prepared program of the
     library for the aggregate lcov/HTML view. *)
 
+val no_lost_targets : report -> bool
+(** Ledger invariant: every discovered target appears exactly once
+    across results, skipped and unfinished. The chaos soak (and its CI
+    leg) asserts this — injected faults may quarantine a target but
+    must never lose it. *)
+
 val report_to_string : report -> string
 (** Deterministic aggregate text report (no wall-clock content): totals,
-    retirement histogram, deduped crash list, aggregate coverage. *)
+    retirement histogram (plus a quarantine list when any target was
+    quarantined), deduped crash list, aggregate coverage. *)
 
 val to_json : report -> string
 (** Machine-readable aggregate (one JSON object, 2-space indented,
@@ -162,13 +189,22 @@ val save : path:string -> options:Driver.options -> library:string -> report -> 
     finished target. *)
 
 val load :
+  ?salvage:(string -> unit) ->
   path:string ->
   options:Driver.options ->
   library:string ->
+  unit ->
   (target_result list, string) result
 (** Parse and validate a checkpoint against the current campaign
     configuration; [Error] names the first mismatch (including "this is
-    a single-shot checkpoint — resume it with plain [dartc --resume]"). *)
+    a single-shot checkpoint — resume it with plain [dartc --resume]").
+
+    With [salvage], corruption (CRC mismatch, truncation, unparseable
+    content) no longer errors: the longest valid record prefix is
+    restored, and [salvage] receives one warning line describing what
+    was lost. A campaign-configuration mismatch still returns [Error]
+    even in salvage mode — a healthy checkpoint of a different campaign
+    is not corruption. *)
 
 val meta_line : options:Driver.options -> library:string -> string
 (** The one-line campaign meta record: seed, depth, per-target and
@@ -180,4 +216,6 @@ val to_string : options:Driver.options -> library:string -> report -> string
 val of_string : string -> (string * target_result list, string) result
 (** The codec itself, exposed for tests: [of_string] returns the raw
     meta line and the finished-target results; [load] adds the meta
-    equality check. *)
+    equality check. Each record block carries a CRC-32 trailer line
+    ([crc <8 hex digits>] over the block's raw bytes); [of_string]
+    rejects any mismatch, salvage recovers the prefix before it. *)

@@ -488,24 +488,26 @@ let to_html ?(extra = "") t ~source ~title =
 
 (* Campaign per-target time/outcome heatmap: one cell per tested
    target, opacity by share of total slice time, border color by
-   retirement outcome. [cells] is (target, retire_tag, total_ns, runs)
-   in the order the campaign reports them. *)
+   retirement outcome. [cells] is (target, retire_tag, total_ns, runs,
+   overruns) in the order the campaign reports them; [overruns] counts
+   solver deadline overruns and rides in the cell title when nonzero. *)
 let campaign_heatmap cells =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "<h2>per-target time</h2>\n";
   if cells = [] then add "<p>no per-target timing recorded.</p>\n"
   else begin
-    let total = List.fold_left (fun acc (_, _, ns, _) -> Int64.add acc ns) 0L cells in
+    let total = List.fold_left (fun acc (_, _, ns, _, _) -> Int64.add acc ns) 0L cells in
     add
       "<p class=\"legend\"><span class=\"hm-bug\">bug</span>\
        <span class=\"hm-complete\">complete</span>\
        <span class=\"hm-saturated\">saturated</span>\
        <span class=\"hm-capped\">capped</span>\
+       <span class=\"hm-quarantined\">quarantined</span>\
        <span class=\"hm-other\">other</span></p>\n";
     add "<div class=\"heatmap\">\n";
     List.iter
-      (fun (name, tag, ns, runs) ->
+      (fun (name, tag, ns, runs, overruns) ->
         let share =
           if Int64.compare total 0L > 0 then
             Int64.to_float ns /. Int64.to_float total
@@ -519,13 +521,15 @@ let campaign_heatmap cells =
           | "complete" -> "hm-complete"
           | "saturated" -> "hm-saturated"
           | "capped" -> "hm-capped"
+          | "quarantined" -> "hm-quarantined"
           | _ -> "hm-other"
         in
         add
           "<div class=\"hm-cell %s\" style=\"--heat:%.3f\" title=\"%s: %s, %d runs, \
-           %.1f%% of slice time\"><span class=\"hm-name\">%s</span>\
+           %.1f%% of slice time%s\"><span class=\"hm-name\">%s</span>\
            <span class=\"hm-time\">%s</span></div>\n"
           cls opacity (html_escape name) (html_escape tag) runs (100.0 *. share)
+          (if overruns > 0 then Printf.sprintf " + %d solver overruns" overruns else "")
           (html_escape name)
           (html_escape (Telemetry.ns_to_string ns)))
       cells;
@@ -540,11 +544,13 @@ let campaign_heatmap cells =
        .hm-complete { border-color: #27ae60; }\n\
        .hm-saturated { border-color: #d9a62e; }\n\
        .hm-capped { border-color: #7f8c8d; }\n\
+       .hm-quarantined { border-color: #8e44ad; }\n\
        .hm-other { border-color: #aaa; }\n\
        span.hm-bug { border: 2px solid #c0392b; }\n\
        span.hm-complete { border: 2px solid #27ae60; }\n\
        span.hm-saturated { border: 2px solid #d9a62e; }\n\
        span.hm-capped { border: 2px solid #7f8c8d; }\n\
+       span.hm-quarantined { border: 2px solid #8e44ad; }\n\
        span.hm-other { border: 2px solid #aaa; }\n\
        </style>\n"
   end;

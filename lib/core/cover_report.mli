@@ -83,12 +83,14 @@ val to_html : ?extra:string -> t -> source:string -> title:string -> string
     spliced in before [</body>] — the campaign report passes
     {!campaign_heatmap} here. *)
 
-val campaign_heatmap : (string * string * int64 * int) list -> string
+val campaign_heatmap : (string * string * int64 * int * int) list -> string
 (** HTML fragment for the campaign report's per-target panel: one cell
-    per [(target, retire_tag, total_ns, runs)] entry, cell intensity
-    proportional to the target's share of total slice wall clock and
-    border color keyed to the retirement tag ([bug] / [complete] /
-    [saturated] / [capped]). Deterministic for a fixed input list. *)
+    per [(target, retire_tag, total_ns, runs, deadline_overruns)]
+    entry, cell intensity proportional to the target's share of total
+    slice wall clock and border color keyed to the retirement tag
+    ([bug] / [complete] / [saturated] / [capped] / [quarantined]).
+    Nonzero overrun counts ride in the cell tooltip. Deterministic for
+    a fixed input list. *)
 
 (** {1 lcov re-parser}
 

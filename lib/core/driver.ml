@@ -17,6 +17,7 @@ module Options = struct
     use_cache : bool;
     use_incremental : bool;
     use_shared_cache : bool;
+    use_breaker : bool;
   }
 
   type priority =
@@ -27,6 +28,7 @@ module Options = struct
     per_function_runs : int;
     priority : priority;
     retire_after : int;
+    retry_limit : int; (* consecutive slice faults before quarantine *)
   }
 
   type t = {
@@ -50,9 +52,13 @@ module Options = struct
         { use_slicing = true;
           use_cache = true;
           use_incremental = true;
-          use_shared_cache = true };
+          use_shared_cache = true;
+          use_breaker = true };
       campaign =
-        { per_function_runs = 200; priority = Frontier_first; retire_after = 2 };
+        { per_function_runs = 200;
+          priority = Frontier_first;
+          retire_after = 2;
+          retry_limit = 3 };
       exec = Concolic.default_exec_options;
       telemetry = Telemetry.default_config;
       fault = Dart_util.Faultsim.off }
@@ -64,14 +70,16 @@ module Options = struct
       ?(use_cache = default.accel.use_cache)
       ?(use_incremental = default.accel.use_incremental)
       ?(use_shared_cache = default.accel.use_shared_cache)
+      ?(use_breaker = default.accel.use_breaker)
       ?(per_function_runs = default.campaign.per_function_runs)
       ?(priority = default.campaign.priority)
-      ?(retire_after = default.campaign.retire_after) ?(exec = default.exec)
+      ?(retire_after = default.campaign.retire_after)
+      ?(retry_limit = default.campaign.retry_limit) ?(exec = default.exec)
       ?(telemetry = default.telemetry) ?(faultsim = Dart_util.Faultsim.off) () =
     { budget = { max_runs; stop_on_first_bug; time_budget_ns; solver_deadline_ns };
       search = { seed; depth; strategy };
-      accel = { use_slicing; use_cache; use_incremental; use_shared_cache };
-      campaign = { per_function_runs; priority; retire_after };
+      accel = { use_slicing; use_cache; use_incremental; use_shared_cache; use_breaker };
+      campaign = { per_function_runs; priority; retire_after; retry_limit };
       exec;
       telemetry;
       fault = faultsim }
@@ -171,11 +179,12 @@ type search_ctx = {
   sc_budget : run_budget;
   sc_deadline : int64 option;
   sc_should_stop : unit -> bool;
+  sc_breaker : Solver.Breaker.t option;
 }
 
 let make_ctx ?(should_stop = fun () -> false)
     ?(metrics = Telemetry.create_metrics ()) ?deadline ?pool ?store
-    ?(incremental = true) ~seed ~max_runs () =
+    ?(incremental = true) ?(use_breaker = true) ?breaker ~seed ~max_runs () =
   { sc_rng = Dart_util.Prng.create seed;
     sc_im = Inputs.create ();
     sc_stats = Solver.create_stats ();
@@ -186,7 +195,13 @@ let make_ctx ?(should_stop = fun () -> false)
     sc_budget =
       (match pool with Some p -> pooled_budget p | None -> Fixed_budget max_runs);
     sc_deadline = deadline;
-    sc_should_stop = should_stop }
+    sc_should_stop = should_stop;
+    sc_breaker =
+      (* An explicit [breaker] survives across calls (campaign slices of
+         one target share it); otherwise each context gets a fresh one. *)
+      (match breaker with
+       | Some _ as b -> b
+       | None -> if use_breaker then Some (Solver.Breaker.create ()) else None) }
 
 let deadline_of_options (options : Options.t) =
   Option.map
@@ -294,6 +309,7 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
       (fun _ (taken, fallthrough) acc -> if taken <> fallthrough then acc + 1 else acc)
       dirs 0
   in
+  let status_write_failed = ref false in
   let write_status ~final path =
     let elapsed = Int64.sub (Telemetry.now ()) search_start in
     let execs_per_sec =
@@ -301,7 +317,12 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
       else int_of_float (float_of_int !runs /. (Int64.to_float elapsed /. 1e9))
     in
     let h = metrics.Telemetry.solve_hist in
-    Status.write ~path
+    (* Status is observability output: a full disk or revoked permission
+       must degrade to a warning, never abort the search. Warn once. *)
+    try
+      if Dart_util.Faultsim.fire fs Dart_util.Faultsim.Io_error then
+        raise (Sys_error (path ^ ": injected io_error (faultsim)"));
+      Status.write ~path
       { Status.st_mode = Status.Run;
         st_elapsed_ns = elapsed;
         st_budget_ns = options.Options.budget.Options.time_budget_ns;
@@ -317,6 +338,11 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
         st_round = 0;
         st_solve_p50_ns = Telemetry.Hist.p50 h;
         st_solve_p99_ns = Telemetry.Hist.p99 h }
+    with Sys_error msg ->
+      if not !status_write_failed then begin
+        status_write_failed := true;
+        Printf.eprintf "dart: warning: status write failed: %s\n%!" msg
+      end
   in
   let record_run (data : Concolic.run_data) =
     incr runs;
@@ -509,7 +535,7 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
                Some ctx.sc_cache
              else None)
           ?store:(if options.Options.accel.Options.use_cache then ctx.sc_store else None)
-          ?incr:ctx.sc_incr
+          ?incr:ctx.sc_incr ?breaker:ctx.sc_breaker
           ?deadline_ns:options.Options.budget.Options.solver_deadline_ns ~faultsim:fs
           ~slicing:options.Options.accel.Options.use_slicing ~telemetry:sink
           ~hist:metrics.Telemetry.solve_hist
@@ -542,6 +568,9 @@ let search ?resume ?on_checkpoint ?(checkpoint_every = 256) ~ctx ~(options : opt
   let complete = ref false in
   let restart () =
     incr restarts;
+    (* In a single run the breaker's cooldown unit is the restart (a
+       campaign ticks once per slice instead). *)
+    Option.iter Solver.Breaker.tick ctx.sc_breaker;
     if tracing then Telemetry.emit sink (Telemetry.Restart { restarts = !restarts })
   in
   let rec outer stack =
@@ -614,6 +643,7 @@ let run ?resume ?on_checkpoint ?checkpoint_every ?(options = Options.default)
   let ctx =
     make_ctx ?deadline:(deadline_of_options options)
       ~incremental:options.Options.accel.Options.use_incremental
+      ~use_breaker:options.Options.accel.Options.use_breaker
       ~seed:options.Options.search.Options.seed
       ~max_runs:options.Options.budget.Options.max_runs ()
   in
@@ -629,6 +659,7 @@ let test_source ?(options = Options.default) ?(library_sigs = []) ~toplevel src 
   let ctx =
     make_ctx ~metrics ?deadline:(deadline_of_options options)
       ~incremental:options.Options.accel.Options.use_incremental
+      ~use_breaker:options.Options.accel.Options.use_breaker
       ~seed:options.Options.search.Options.seed
       ~max_runs:options.Options.budget.Options.max_runs ()
   in
@@ -675,4 +706,12 @@ let report_to_string r =
   if g "deadline_overruns" > 0 then
     Buffer.add_string b
       (Printf.sprintf "\nsolver deadline overruns: %d" (g "deadline_overruns"));
+  (* The breaker only acts when deadlines overrun, so on a default run
+     these stay zero and the report stays byte-identical. *)
+  if Solver.breaker_opens r.solver_stats > 0 || Solver.breaker_skips r.solver_stats > 0
+  then
+    Buffer.add_string b
+      (Printf.sprintf "\nbreaker: %d opens, %d queries short-circuited"
+         (Solver.breaker_opens r.solver_stats)
+         (Solver.breaker_skips r.solver_stats));
   Buffer.contents b

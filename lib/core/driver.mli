@@ -39,6 +39,11 @@ module Options : sig
            pooled run budget instead of private caches and budget
            shards (default on; no effect at jobs = 1 or with
            [use_cache] off) *)
+    use_breaker : bool;
+        (* per-site solver circuit breaker ({!Solver.Breaker}):
+           consecutive deadline-overrun Unknowns at one branch site
+           short-circuit further queries there (default on; inert —
+           byte-identical output — unless a solver deadline overruns) *)
   }
 
   (** How a campaign orders the next scheduler round's slices. Results
@@ -62,6 +67,10 @@ module Options : sig
     retire_after : int;
         (* consecutive slices without a new branch direction before a
            target is retired as saturated *)
+    retry_limit : int;
+        (* consecutive faulted slices (worker crash or other escaped
+           exception) before a target is retired as quarantined;
+           faults below the limit back off exponentially *)
   }
 
   type t = {
@@ -81,7 +90,8 @@ module Options : sig
   (** seed 42, depth 1, 10_000 runs, DFS, stop on first bug, both
       accelerations on, default machine, tracing off, no time budget,
       no solver deadline, fault injection off; campaign: 200 runs per
-      slice, frontier-first priority, retire after 2 stale slices. *)
+      slice, frontier-first priority, retire after 2 stale slices,
+      quarantine after 3 consecutive faults. *)
 
   val make :
     ?seed:int ->
@@ -95,9 +105,11 @@ module Options : sig
     ?use_cache:bool ->
     ?use_incremental:bool ->
     ?use_shared_cache:bool ->
+    ?use_breaker:bool ->
     ?per_function_runs:int ->
     ?priority:priority ->
     ?retire_after:int ->
+    ?retry_limit:int ->
     ?exec:Concolic.exec_options ->
     ?telemetry:Telemetry.config ->
     ?faultsim:Dart_util.Faultsim.t ->
@@ -221,6 +233,8 @@ type search_ctx = {
   sc_should_stop : unit -> bool;
       (* polled at every run boundary; [true] drains the search (used
          for cross-worker cancellation — see {!Parallel}) *)
+  sc_breaker : Solver.Breaker.t option;
+      (* per-context solver circuit breaker; [None] disables it *)
 }
 (** Everything mutable a single directed search touches, made explicit
     so independent searches can run concurrently on separate domains
@@ -234,6 +248,8 @@ val make_ctx :
   ?pool:int Atomic.t ->
   ?store:Solver.Store.t * int ->
   ?incremental:bool ->
+  ?use_breaker:bool ->
+  ?breaker:Solver.Breaker.t ->
   seed:int ->
   max_runs:int ->
   unit ->
@@ -244,7 +260,10 @@ val make_ctx :
     {!prepare} into the search's report); [deadline] defaults to
     unbounded. [pool] switches the budget from a fixed [max_runs] share
     to a shared pool; [store] attaches the cross-worker solve store;
-    [incremental] (default true) controls the push/pop context. *)
+    [incremental] (default true) controls the push/pop context.
+    [use_breaker] (default true) creates a fresh circuit breaker;
+    [breaker] overrides it with a caller-owned one (a campaign shares
+    one breaker across all slices of a target). *)
 
 val deadline_of_options : options -> int64 option
 (** The absolute monotonic deadline [now + time_budget_ns], or [None]

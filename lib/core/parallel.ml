@@ -208,7 +208,8 @@ let run ?(options = options O.default) (prog : Ram.Instr.program) : report =
     let ctx =
       Driver.make_ctx ~should_stop ?deadline ?pool
         ?store:(Option.map (fun st -> (st, slot)) store)
-        ~incremental:t.base.O.accel.O.use_incremental ~seed ~max_runs:shares.(slot) ()
+        ~incremental:t.base.O.accel.O.use_incremental
+        ~use_breaker:t.base.O.accel.O.use_breaker ~seed ~max_runs:shares.(slot) ()
     in
     let options =
       { t.base with

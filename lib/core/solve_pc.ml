@@ -74,7 +74,7 @@ let slice ~pivot ~prefix =
     in
     (pivot :: kept, List.length dropped)
 
-let solve ?cache ?store ?incr ?(slicing = true) ?deadline_ns
+let solve ?cache ?store ?incr ?breaker ?(slicing = true) ?deadline_ns
     ?(faultsim = Dart_util.Faultsim.off) ?(telemetry = Telemetry.null) ?hist
     ?(sites = [||]) ~strategy ~rng ~stats ~im ~stack ~path_constraint () =
   let n = Array.length stack in
@@ -111,6 +111,16 @@ let solve ?cache ?store ?incr ?(slicing = true) ?deadline_ns
      attribution), [sliced] how many prefix constraints independence
      slicing already dropped; [cs] is [pivot :: kept @ domains]. *)
   let solve_query ~j ~sliced ~pivot ~kept ~domains cs =
+    match breaker with
+    | Some b when Solver.Breaker.skip b (site_of j) ->
+      (* Open breaker: the site has burned [threshold] consecutive
+         deadlines in a row, so the query would almost surely overrun
+         again. Short-circuit to the answer it would have produced —
+         Unknown — at zero cost. Not a real query: no [queries] count,
+         no histogram sample, no Solve_query event, and never cached. *)
+      Solver.record_breaker_skip stats;
+      Solver.Unknown
+    | _ ->
     let prefer v = Option.map Zint.of_int (Inputs.value_of im v) in
     (* Timed unconditionally: the clock read is noise next to a solver
        call, and the latency histogram wants every query (cache hits
@@ -125,6 +135,38 @@ let solve ?cache ?store ?incr ?(slicing = true) ?deadline_ns
         Solver.Incr.solve ictx ~stats ~prefer ?deadline:(solver_deadline ()) ~pivot
           ~prefix:kept ~domains ()
       | None -> Solver.solve ~stats ~prefer ?deadline:(solver_deadline ()) cs
+    in
+    (* Breaker accounting wraps only real solver calls (cache hits are
+       free and prove nothing about the site). A query "fails" the site
+       when it returns Unknown *because the deadline overran*; the
+       structural Unknowns of solver incompleteness never trip the
+       breaker, which keeps default output byte-identical to
+       --no-breaker on nonlinear workloads. *)
+    let run_solver () =
+      match breaker with
+      | None -> run_solver ()
+      | Some b ->
+        let overruns_before = Solver.deadline_overruns stats in
+        let r = run_solver () in
+        let failed =
+          match r with
+          | Solver.Unknown -> Solver.deadline_overruns stats > overruns_before
+          | Solver.Sat _ | Solver.Unsat -> false
+        in
+        (match Solver.Breaker.record b (site_of j) ~failed with
+         | `Opened ->
+           Solver.record_breaker_open stats;
+           if tracing then begin
+             let fn, pc = site_of j in
+             Telemetry.emit telemetry (Telemetry.Breaker_open { fn; pc })
+           end
+         | `Closed ->
+           if tracing then begin
+             let fn, pc = site_of j in
+             Telemetry.emit telemetry (Telemetry.Breaker_close { fn; pc })
+           end
+         | `None -> ());
+        r
     in
     let result, cache_hit =
       match (store, cache) with

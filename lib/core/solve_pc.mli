@@ -34,6 +34,17 @@
     inject such an overrun deterministically ({!Dart_util.Faultsim}
     point [Solver_deadline]).
 
+    [breaker] attaches a per-site circuit breaker ({!Solver.Breaker}):
+    consecutive deadline-overrun Unknowns at one branch site open it,
+    after which queries at that site short-circuit to an immediate
+    Unknown (counted in [Solver.breaker_skips], not in
+    [Solver.queries], never cached, no histogram sample) until the
+    breaker's cooldown half-opens the site again. Structural Unknowns
+    never trip it, so a breaker-enabled run without deadline overruns
+    is byte-identical to one without the breaker. Transitions emit
+    {!Telemetry.Breaker_open} / {!Telemetry.Breaker_close} when
+    tracing.
+
     When [telemetry] is an enabled sink, every pivot-solve attempt
     emits a {!Telemetry.Solve_query} event (result, duration, cache
     hit, sliced-away count) attributed to the flipped branch's site
@@ -68,6 +79,7 @@ val solve :
   ?cache:Solver.Cache.t ->
   ?store:Solver.Store.t * int ->
   ?incr:Solver.Incr.t ->
+  ?breaker:Solver.Breaker.t ->
   ?slicing:bool ->
   ?deadline_ns:int64 ->
   ?faultsim:Dart_util.Faultsim.t ->

@@ -146,16 +146,32 @@ let write ~path st =
       flush oc);
   Sys.rename tmp path
 
-let read ~path =
+(* Transient conditions resolve by waiting for the writer's next atomic
+   rename: the file is momentarily absent (deleted, not yet created) or
+   empty. Malformed content never self-heals — renames are atomic, so a
+   complete read that fails to parse means the file is not (or is no
+   longer) a status file. *)
+let read_classified ~path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error msg -> Error msg
-  | exception End_of_file -> Error "truncated status file"
-  | contents -> of_json (String.trim contents)
+  | exception Sys_error msg -> Error (`Transient msg)
+  | exception End_of_file -> Error (`Transient "truncated status file")
+  | contents ->
+    let contents = String.trim contents in
+    if contents = "" then Error (`Transient "empty status file")
+    else (
+      match of_json contents with
+      | Ok st -> Ok st
+      | Error msg -> Error (`Malformed msg))
+
+let read ~path =
+  match read_classified ~path with
+  | Ok st -> Ok st
+  | Error (`Transient msg) | Error (`Malformed msg) -> Error msg
 
 (* Deterministic terminal rendering: every line is a pure function of
    the snapshot, so [dartc watch --once] output can be golden-tested. *)

@@ -50,6 +50,15 @@ val read : path:string -> (t, string) result
 (** Read and parse a status file; [Error] carries a one-line reason
     (I/O failure, truncation, or schema violation). *)
 
+val read_classified : path:string -> (t, [ `Transient of string | `Malformed of string ]) result
+(** Like {!read}, but splits failures by whether waiting can fix them.
+    [`Transient]: the file is missing, unreadable or empty — the writer
+    may simply not have renamed its next snapshot into place yet, so a
+    follower should keep polling. [`Malformed]: a complete read that is
+    not a valid status object — atomic renames mean this never
+    self-heals, so a follower should stop. [dartc watch] follow mode
+    waits on the former and exits 2 on the latter. *)
+
 val render : t -> string
 (** Deterministic multi-line terminal view of a snapshot — a pure
     function of [t], so [dartc watch --once] can be golden-tested. *)

@@ -12,6 +12,7 @@ type t = {
   tg_time_budget_ns : int64 option;
   tg_priority : int;
   tg_sink : Telemetry.sink option;
+  tg_breaker : Solver.Breaker.t option;
   tg_key : string;
 }
 
@@ -26,7 +27,7 @@ let source_key = function
   | Prepared _ -> "prepared"
 
 let make ?depth ?max_runs ?time_budget_ns ?(priority = 0) ?(library_sigs = []) ?sink
-    ~toplevel source =
+    ?breaker ~toplevel source =
   { tg_source = source;
     tg_toplevel = toplevel;
     tg_library_sigs = library_sigs;
@@ -35,6 +36,7 @@ let make ?depth ?max_runs ?time_budget_ns ?(priority = 0) ?(library_sigs = []) ?
     tg_time_budget_ns = time_budget_ns;
     tg_priority = priority;
     tg_sink = sink;
+    tg_breaker = breaker;
     tg_key = source_key source }
 
 let of_text ?file ~toplevel text = make ~toplevel (Text { file; text })

@@ -34,6 +34,11 @@ type t = {
       (* overrides [options.telemetry.sink] for this target's search.
          The campaign uses private per-slice rings here so worker
          domains never contend on the session's main sink. *)
+  tg_breaker : Solver.Breaker.t option;
+      (* caller-owned solver circuit breaker for this target's search;
+         the campaign threads one per target across its slices so
+         open sites stay open between scheduler rounds. [None] lets
+         the engine create (or omit) one per [options.accel]. *)
   tg_key : string;
       (* preparation-cache identity of [tg_source]: equal keys mean
          equal source. Computed by {!make}. *)
@@ -46,6 +51,7 @@ val make :
   ?priority:int ->
   ?library_sigs:Minic.Tast.fsig list ->
   ?sink:Telemetry.sink ->
+  ?breaker:Solver.Breaker.t ->
   toplevel:string ->
   source ->
   t

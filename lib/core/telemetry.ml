@@ -71,6 +71,8 @@ type event =
     }
   | Target_retired of { target : string; reason : string }
   | Round_end of { round : int; active : int; dur_ns : int64 }
+  | Breaker_open of { fn : string; pc : int }
+  | Breaker_close of { fn : string; pc : int }
 
 (* Branch sites that belong to the harness rather than the program
    under test: the synthesized [__dart_*] driver functions and the
@@ -323,7 +325,15 @@ let event_to_json ev =
      tag "round_end";
      int "round" round;
      int "active" active;
-     i64 "ns" dur_ns);
+     i64 "ns" dur_ns
+   | Breaker_open { fn; pc } ->
+     tag "breaker_open";
+     str "fn" fn;
+     int "pc" pc
+   | Breaker_close { fn; pc } ->
+     tag "breaker_close";
+     str "fn" fn;
+     int "pc" pc);
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -513,6 +523,8 @@ let event_of_json line =
       | "target_retired" -> Target_retired { target = str "target"; reason = str "reason" }
       | "round_end" ->
         Round_end { round = int "round"; active = int "active"; dur_ns = i64 "ns" }
+      | "breaker_open" -> Breaker_open { fn = str "fn"; pc = int "pc" }
+      | "breaker_close" -> Breaker_close { fn = str "fn"; pc = int "pc" }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     Ok ev
@@ -759,6 +771,9 @@ let summarize evs =
         points := { cp_run = run; cp_covered = covered; cp_ns = elapsed_ns } :: !points
       | Target_scheduled _ | Slice_end _ | Target_retired _ | Round_end _ ->
         (* Campaign-scope events: aggregated by [Profile], not here. *)
+        ()
+      | Breaker_open _ | Breaker_close _ ->
+        (* Breaker transitions: surfaced via [Solver.stats], not here. *)
         ())
     evs;
   let phase_ns =

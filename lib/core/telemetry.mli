@@ -83,10 +83,16 @@ type event =
     }
   | Target_retired of { target : string; reason : string }
       (* campaign: the target left the schedule — reason is one of
-         bug / complete / saturated / capped / failed *)
+         bug / complete / saturated / capped / quarantined / failed *)
   | Round_end of { round : int; active : int; dur_ns : int64 }
       (* campaign: a scheduling round settled with [active] targets
          still live *)
+  | Breaker_open of { fn : string; pc : int }
+      (* the solver circuit breaker opened at a branch site: further
+         queries there short-circuit to Unknown until a cooldown
+         elapses *)
+  | Breaker_close of { fn : string; pc : int }
+      (* a half-open probe succeeded and the site's breaker closed *)
 
 (** {1 Sinks} *)
 

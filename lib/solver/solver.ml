@@ -9,6 +9,10 @@ module Store = Store
 (** Re-export: the lock-free cross-worker solve store
     ([lib/solver/store.ml]), reachable as [Solver.Store]. *)
 
+module Breaker = Breaker
+(** Re-export: the per-site circuit breaker ([lib/solver/breaker.ml]),
+    reachable as [Solver.Breaker]. *)
+
 type result =
   | Sat of (Linexpr.var * Zint.t) list
   | Unsat
@@ -31,16 +35,22 @@ type stats = {
      resume-identity comparisons) because they measure *work avoided*,
      which a resumed or replayed search legitimately repeats
      differently. Read through [incremental_hits]/[pops_saved]/
-     [shared_hits]; summed by [add_stats] like every other counter. *)
+     [shared_hits]; summed by [add_stats] like every other counter.
+     The breaker counters below live in the same bucket: a skipped
+     query is work avoided, and breaker state is rebuilt from scratch
+     on resume. *)
   mutable incremental_hits : int;
   mutable pops_saved : int;
   mutable shared_hits : int;
+  mutable breaker_opens : int;
+  mutable breaker_skips : int;
 }
 
 let create_stats () =
   { queries = 0; sat = 0; unsat = 0; unknown = 0; fast_path = 0; simplex_queries = 0;
     ne_splits = 0; cache_hits = 0; cache_misses = 0; constraints_sliced_away = 0;
-    deadline_overruns = 0; incremental_hits = 0; pops_saved = 0; shared_hits = 0 }
+    deadline_overruns = 0; incremental_hits = 0; pops_saved = 0; shared_hits = 0;
+    breaker_opens = 0; breaker_skips = 0 }
 
 (* The record stays private to this module: outside consumers go
    through the accessors / [to_assoc], so widening the record (as the
@@ -60,6 +70,8 @@ let deadline_overruns s = s.deadline_overruns
 let incremental_hits s = s.incremental_hits
 let pops_saved s = s.pops_saved
 let shared_hits s = s.shared_hits
+let breaker_opens s = s.breaker_opens
+let breaker_skips s = s.breaker_skips
 
 let to_assoc s =
   [ ("queries", s.queries); ("sat", s.sat); ("unsat", s.unsat); ("unknown", s.unknown);
@@ -103,12 +115,16 @@ let add_stats ~into w =
   into.deadline_overruns <- into.deadline_overruns + w.deadline_overruns;
   into.incremental_hits <- into.incremental_hits + w.incremental_hits;
   into.pops_saved <- into.pops_saved + w.pops_saved;
-  into.shared_hits <- into.shared_hits + w.shared_hits
+  into.shared_hits <- into.shared_hits + w.shared_hits;
+  into.breaker_opens <- into.breaker_opens + w.breaker_opens;
+  into.breaker_skips <- into.breaker_skips + w.breaker_skips
 
 let record_cache_hit s = s.cache_hits <- s.cache_hits + 1
 let record_cache_miss s = s.cache_misses <- s.cache_misses + 1
 let record_sliced s n = s.constraints_sliced_away <- s.constraints_sliced_away + n
 let record_shared_hit s = s.shared_hits <- s.shared_hits + 1
+let record_breaker_open s = s.breaker_opens <- s.breaker_opens + 1
+let record_breaker_skip s = s.breaker_skips <- s.breaker_skips + 1
 
 let dummy_stats = create_stats ()
 

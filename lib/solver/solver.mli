@@ -99,6 +99,10 @@ module Store : sig
   (** Published verdicts only. *)
 end
 
+module Breaker = Breaker
+(** Re-export of the per-site circuit breaker (see [breaker.mli]),
+    reachable as [Solver.Breaker]. *)
+
 type result =
   | Sat of (Symbolic.Linexpr.var * Zarith_lite.Zint.t) list
       (** Model covering every variable occurring in the input. *)
@@ -145,12 +149,20 @@ val shared_hits : stats -> int
 (** Cache hits answered by an entry another worker published in the
     shared {!Store} (a subset of {!cache_hits}). *)
 
+val breaker_opens : stats -> int
+(** Circuit-breaker transitions into the open state (see {!Breaker}). *)
+
+val breaker_skips : stats -> int
+(** Queries short-circuited to Unknown by an open circuit breaker;
+    these never reach the solver and are not counted in {!queries}. *)
+
 val to_assoc : stats -> (string * int) list
 (** Every report-visible counter as [(name, value)], stable declaration
     order; the single source of truth for report printing, bench JSON
     and merge code, so a new counter shows up everywhere at once. The
     acceleration meters ({!incremental_hits}, {!pops_saved},
-    {!shared_hits}) are deliberately excluded: they measure work
+    {!shared_hits}) and the breaker meters ({!breaker_opens},
+    {!breaker_skips}) are deliberately excluded: they measure work
     avoided, which resumed or replayed searches legitimately repeat
     differently, so they must not feed resume-identity comparisons. *)
 
@@ -167,6 +179,8 @@ val record_cache_hit : stats -> unit
 val record_cache_miss : stats -> unit
 val record_sliced : stats -> int -> unit
 val record_shared_hit : stats -> unit
+val record_breaker_open : stats -> unit
+val record_breaker_skip : stats -> unit
 
 val solve :
   ?stats:stats ->

@@ -1,0 +1,38 @@
+(* CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+   Used by the campaign checkpoint codec to give every target record an
+   integrity check, so a truncated or bit-flipped checkpoint can be salvaged
+   up to the last intact record instead of being rejected wholesale. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xedb88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let crc = ref (Int32.lognot crc) in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xffl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.lognot !crc
+
+let string s = update 0l s
+let to_hex crc = Printf.sprintf "%08lx" crc
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v when Int64.logand v 0xffffffffL = v -> Some (Int64.to_int32 v)
+    | _ -> None

@@ -1,23 +1,34 @@
 (* Deterministic fault injection. See faultsim.mli for the contract;
    the implementation is a tiny rule table behind a mutex. The disabled
    plan is the [Off] constructor, so the production probe
-   ([fire _ Off = false]) is one branch and no allocation. *)
+   ([fire _ Off = false]) is one branch and no allocation.
+
+   Two kinds of rules share one plan: one-shot rules (fire exactly once,
+   on a chosen occurrence of a probe) and chaos rules (fire recurringly,
+   each probe drawing against a per-rule probability from its own
+   splitmix stream, so a chaos schedule is a pure function of the spec
+   and the seed). *)
 
 type point =
   | Solver_deadline
   | Worker_crash
   | Machine_step_limit
+  | Io_error
 
 let point_to_string = function
   | Solver_deadline -> "solver_deadline"
   | Worker_crash -> "worker_crash"
   | Machine_step_limit -> "machine_step_limit"
+  | Io_error -> "io_error"
 
 let point_of_string = function
   | "solver_deadline" -> Some Solver_deadline
   | "worker_crash" -> Some Worker_crash
   | "machine_step_limit" -> Some Machine_step_limit
+  | "io_error" -> Some Io_error
   | _ -> None
+
+let points_help = "(solver_deadline|worker_crash|machine_step_limit|io_error)"
 
 type rule = {
   r_point : point;
@@ -27,10 +38,17 @@ type rule = {
   mutable r_fired : bool; (* armed rules fire exactly once *)
 }
 
+type chaos_rule = {
+  c_point : point;
+  c_bp : int; (* firing probability in basis points, 1..10000 *)
+  c_rng : Prng.t; (* private stream: one draw per probe of the point *)
+}
+
 type t =
   | Off
   | On of {
       rules : rule list;
+      chaos : chaos_rule list;
       lock : Mutex.t; (* probes may come from several domains *)
     }
 
@@ -48,12 +66,26 @@ let make rules =
         { r_point = p; r_key = key; r_nth = nth; r_seen = 0; r_fired = false })
       rules
   in
-  On { rules; lock = Mutex.create () }
+  On { rules; chaos = []; lock = Mutex.create () }
+
+let chaos ?(seed = 0) rates =
+  (* Each rule gets its own stream, seeded from a master stream over
+     [seed], so adding a rule never perturbs the draws of the others. *)
+  let master = Prng.create seed in
+  let chaos =
+    List.map
+      (fun (p, bp) ->
+        if bp < 1 || bp > 10000 then
+          invalid_arg "Faultsim.chaos: rate must be in 1..10000 basis points";
+        { c_point = p; c_bp = bp; c_rng = Prng.create (Prng.int_below master max_int) })
+      rates
+  in
+  On { rules = []; chaos; lock = Mutex.create () }
 
 let fire ?key t point =
   match t with
   | Off -> false
-  | On { rules; lock } ->
+  | On { rules; chaos; lock } ->
     Mutex.lock lock;
     (* Every matching rule counts the occurrence (no short-circuit), so
        several rules on one point each see the full probe stream. *)
@@ -76,6 +108,16 @@ let fire ?key t point =
           end
           else hit)
         false rules
+    in
+    (* Chaos rules ignore the probe key: every probe of the point is one
+       Bernoulli draw from the rule's private stream. *)
+    let hit =
+      List.fold_left
+        (fun hit c ->
+          if c.c_point = point then
+            Prng.int_range c.c_rng 1 10000 <= c.c_bp || hit
+          else hit)
+        hit chaos
     in
     Mutex.unlock lock;
     hit
@@ -107,10 +149,7 @@ let of_spec ?(seed = 0) spec =
     in
     match point_of_string name with
     | None ->
-      Error
-        (Printf.sprintf
-           "unknown injection point %S (solver_deadline|worker_crash|machine_step_limit)"
-           name)
+      Error (Printf.sprintf "unknown injection point %S %s" name points_help)
     | Some p ->
       (match rest with
        | `Plain -> Ok (p, None, 1)
@@ -134,6 +173,42 @@ let of_spec ?(seed = 0) spec =
     let entries = String.split_on_char ',' spec in
     let rec go acc = function
       | [] -> Ok (make (List.rev acc))
+      | e :: rest ->
+        (match parse_entry e with
+         | Ok r -> go (r :: acc) rest
+         | Error _ as e -> e)
+    in
+    go [] entries
+  end
+
+let chaos_of_spec ?(seed = 0) spec =
+  let parse_entry entry =
+    let entry = String.trim entry in
+    match String.index_opt entry '=' with
+    | None ->
+      Error
+        (Printf.sprintf "bad chaos entry %S (expected point=RATE, e.g. worker_crash=0.05)"
+           entry)
+    | Some i ->
+      let name = String.sub entry 0 i in
+      let rate_s = String.sub entry (i + 1) (String.length entry - i - 1) in
+      (match point_of_string name with
+       | None -> Error (Printf.sprintf "unknown injection point %S %s" name points_help)
+       | Some p ->
+         (match float_of_string_opt rate_s with
+          | Some rate when rate > 0. && rate <= 1. ->
+            let bp = int_of_float (Float.round (rate *. 10000.)) in
+            if bp < 1 then
+              Error (Printf.sprintf "chaos rate %s is below 0.0001 (one basis point)" rate_s)
+            else Ok (p, bp)
+          | Some _ -> Error (Printf.sprintf "chaos rate %s out of range (0, 1]" rate_s)
+          | None -> Error (Printf.sprintf "bad chaos rate %S (decimal probability)" rate_s)))
+  in
+  if String.trim spec = "" then Error "empty chaos spec"
+  else begin
+    let entries = String.split_on_char ',' spec in
+    let rec go acc = function
+      | [] -> Ok (chaos ~seed (List.rev acc))
       | e :: rest ->
         (match parse_entry e with
          | Ok r -> go (r :: acc) rest

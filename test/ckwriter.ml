@@ -1,0 +1,28 @@
+(* Helper process for the SIGTERM checkpoint-atomicity test (OCaml 5
+   forbids Unix.fork once domains have been created, so the victim is a
+   separate executable). Runs a small campaign on the library in
+   argv.(2), then rewrites its checkpoint to argv.(1) in a tight loop
+   until the test kills it mid-write. The options here must mirror the
+   test's [opts ()] so the parent can predict the file's exact bytes. *)
+
+let () =
+  let path = Sys.argv.(1) and lib_file = Sys.argv.(2) in
+  let library =
+    let ic = open_in_bin lib_file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let options =
+    Dart.Driver.Options.make ~seed:7 ~max_runs:400 ~per_function_runs:100 ()
+  in
+  match Dart.Campaign.run ~options library with
+  | Error msg ->
+    prerr_endline ("ckwriter: " ^ msg);
+    exit 2
+  | Ok report ->
+    (* Bounded only as a runaway backstop: the test's SIGTERM arrives
+       within a fraction of a second. *)
+    for _ = 1 to 2_000_000 do
+      Dart.Campaign.save ~path ~options ~library report
+    done

@@ -106,7 +106,7 @@ let test_campaign_outcomes () =
   Alcotest.(check bool) "guarded getter retires clean" true
     (match (find_result r "get_status").Campaign.tr_retired with
      | Campaign.Complete | Campaign.Saturated | Campaign.Budget_capped -> true
-     | Campaign.Bug -> false);
+     | Campaign.Bug | Campaign.Quarantined _ -> false);
   Alcotest.(check int) "two distinct crashes" 2 (List.length r.Campaign.cam_crashes)
 
 let strip_resumed r = { r with Campaign.cam_resumed = 0 }
@@ -182,12 +182,12 @@ let test_checkpoint_meta_guard () =
     (fun () ->
       let r = run_campaign ~options ~checkpoint:path lib_src in
       Alcotest.(check bool) "checkpoint written" true (Sys.file_exists path);
-      (match Campaign.load ~path ~options ~library:lib_src with
+      (match Campaign.load ~path ~options ~library:lib_src () with
        | Error msg -> Alcotest.failf "clean reload failed: %s" msg
        | Ok results ->
          Alcotest.(check int) "all finished targets recorded"
            (List.length r.Campaign.cam_results) (List.length results));
-      match Campaign.load ~path ~options:(opts ~seed:8 ()) ~library:lib_src with
+      match Campaign.load ~path ~options:(opts ~seed:8 ()) ~library:lib_src () with
       | Ok _ -> Alcotest.fail "seed mismatch accepted"
       | Error msg ->
         Alcotest.(check bool) "mismatch is explained" true
@@ -460,6 +460,340 @@ let test_campaign_status_file () =
              0 r.Campaign.cam_results)
           st.Dart.Status.st_runs)
 
+(* ---- fault tolerance -------------------------------------------------------- *)
+
+module Faultsim = Dart_util.Faultsim
+
+(* Three keyed one-shot crashes at target index 0 (the campaign probes
+   Worker_crash once per slice, keyed by declaration index): with
+   retry_limit 3 the third consecutive fault quarantines get_status, and
+   the injections never touch the other targets. *)
+let test_quarantine () =
+  let options =
+    O.make ~seed:7 ~max_runs:400 ~per_function_runs:100 ~retry_limit:3
+      ~faultsim:
+        (Faultsim.make
+           [ (Faultsim.Worker_crash, Some 0, 1);
+             (Faultsim.Worker_crash, Some 0, 2);
+             (Faultsim.Worker_crash, Some 0, 3) ])
+      ()
+  in
+  let r = run_campaign ~options lib_src in
+  Alcotest.(check bool) "campaign finished" true (r.Campaign.cam_status = Campaign.Finished);
+  let q = find_result r "get_status" in
+  (match q.Campaign.tr_retired with
+   | Campaign.Quarantined reason ->
+     Alcotest.(check bool) "reason names the injected fault" true
+       (Str_contains.contains reason "worker_crash")
+   | _ -> Alcotest.fail "expected get_status to be quarantined");
+  Alcotest.(check int) "exactly retry_limit slices were burned" 3 q.Campaign.tr_slices;
+  Alcotest.(check int) "no run survived a crashed slice" 0 q.Campaign.tr_runs;
+  (* One bad target never starves the rest: the others retire exactly as
+     in a fault-free campaign. *)
+  Alcotest.(check bool) "get_len still found its bug" true
+    ((find_result r "get_len").Campaign.tr_retired = Campaign.Bug);
+  Alcotest.(check bool) "gated still found its bug" true
+    ((find_result r "gated").Campaign.tr_retired = Campaign.Bug);
+  Alcotest.(check bool) "no target lost or double-counted" true
+    (Campaign.no_lost_targets r);
+  let text = Campaign.report_to_string r in
+  Alcotest.(check bool) "text report counts the quarantine" true
+    (Str_contains.contains text "1 quarantined");
+  Alcotest.(check bool) "and names the target with its reason" true
+    (Str_contains.contains text "get_status: ");
+  let json = Campaign.to_json r in
+  Alcotest.(check bool) "json counts the quarantine" true
+    (Str_contains.contains json "\"quarantined\": 1");
+  Alcotest.(check bool) "json carries the reason" true
+    (Str_contains.contains json "\"reason\"")
+
+(* A transient fault (fewer consecutive crashes than retry_limit) is
+   retried with backoff and the target still finishes with the same
+   result; the only trace left is the one burned slice. *)
+let test_fault_retry_recovers () =
+  let clean = run_campaign ~options:(opts ()) lib_src in
+  let options =
+    O.make ~seed:7 ~max_runs:400 ~per_function_runs:100 ~retry_limit:3
+      ~faultsim:(Faultsim.make [ (Faultsim.Worker_crash, Some 0, 1) ])
+      ()
+  in
+  let r = run_campaign ~options lib_src in
+  let hit = find_result r "get_status" and ref_hit = find_result clean "get_status" in
+  Alcotest.(check bool) "no quarantine for a one-off fault" true
+    (match hit.Campaign.tr_retired with Campaign.Quarantined _ -> false | _ -> true);
+  Alcotest.(check bool) "same retirement as the fault-free campaign" true
+    (hit.Campaign.tr_retired = ref_hit.Campaign.tr_retired);
+  Alcotest.(check int) "same runs" ref_hit.Campaign.tr_runs hit.Campaign.tr_runs;
+  Alcotest.(check bool) "same coverage" true
+    (hit.Campaign.tr_coverage = ref_hit.Campaign.tr_coverage);
+  Alcotest.(check int) "exactly one extra (faulted) slice"
+    (ref_hit.Campaign.tr_slices + 1) hit.Campaign.tr_slices;
+  let keys c = List.map (fun (_, b) -> Dart.Driver.bug_key b) c.Campaign.cam_crashes in
+  Alcotest.(check bool) "same crash set" true (keys clean = keys r);
+  Alcotest.(check bool) "nothing lost" true (Campaign.no_lost_targets r)
+
+(* The chaos soak invariants, on the osip simulacrum: whatever the
+   injection schedule does, no target is lost and no bug is invented. *)
+let test_chaos_oracle () =
+  let source, _ = Workloads.Osip_sim.generate ~seed:3 ~n:12 in
+  let run ?faultsim ?(retry_limit = 3) () =
+    let options =
+      O.make ~seed:7 ~max_runs:600 ~per_function_runs:150 ~retry_limit ?faultsim ()
+    in
+    run_campaign ~options source
+  in
+  let clean = run () in
+  let chaotic =
+    run ~faultsim:(Faultsim.chaos ~seed:11 [ (Faultsim.Worker_crash, 2500) ])
+      ~retry_limit:2 ()
+  in
+  Alcotest.(check bool) "clean oracle holds" true (Campaign.no_lost_targets clean);
+  Alcotest.(check bool) "chaos oracle holds" true (Campaign.no_lost_targets chaotic);
+  Alcotest.(check bool) "chaos campaign finished" true
+    (chaotic.Campaign.cam_status = Campaign.Finished);
+  (* A 25% crash rate against retry_limit 2 must actually exercise the
+     quarantine path (the schedule is a pure function of the seeds, so
+     this is not a flaky assertion). *)
+  let quarantined r =
+    List.filter
+      (fun tr ->
+        match tr.Campaign.tr_retired with Campaign.Quarantined _ -> true | _ -> false)
+      r.Campaign.cam_results
+  in
+  Alcotest.(check int) "fault-free campaign quarantines nothing" 0
+    (List.length (quarantined clean));
+  Alcotest.(check bool) "chaos campaign quarantined something" true
+    (quarantined chaotic <> []);
+  (* Injected worker crashes may lose bugs (with the slices that found
+     them); they can never add one. *)
+  let keys r = List.map (fun (_, b) -> Dart.Driver.bug_key b) r.Campaign.cam_crashes in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "chaos bug exists in the fault-free run" true
+        (List.mem k (keys clean)))
+    (keys chaotic)
+
+(* io_error at rate 1.0: every status/checkpoint write fails, and the
+   campaign degrades to warnings — same results, no checkpoint. *)
+let test_io_error_degrades_to_warning () =
+  let clean = run_campaign ~options:(opts ()) lib_src in
+  let status_path = Filename.temp_file "dart_status" ".json" in
+  let ck_path = Filename.temp_file "dart_campaign" ".ck" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ status_path; ck_path ])
+    (fun () ->
+      let warnings = ref [] in
+      let options =
+        O.make ~seed:7 ~max_runs:400 ~per_function_runs:100
+          ~faultsim:(Faultsim.chaos ~seed:1 [ (Faultsim.Io_error, 10000) ])
+          ~telemetry:{ Dart.Telemetry.default_config with
+                       Dart.Telemetry.status_path = Some status_path }
+          ()
+      in
+      let r =
+        match
+          Campaign.run ~options ~checkpoint:ck_path
+            ~progress:(fun m -> warnings := m :: !warnings)
+            lib_src
+        with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "campaign failed under io_error chaos: %s" msg
+      in
+      Alcotest.(check string) "results identical to the fault-free campaign"
+        (json_sans_phases clean) (json_sans_phases r);
+      Alcotest.(check bool) "the failures were reported" true
+        (List.exists (fun m -> Str_contains.contains m "warning") !warnings);
+      Alcotest.(check int) "status file never written" 0
+        (let ic = open_in_bin status_path in
+         Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic));
+      Alcotest.(check int) "checkpoint never written" 0
+        (let ic = open_in_bin ck_path in
+         Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)))
+
+(* Salvage sweep: for EVERY line-prefix of a valid checkpoint, salvage
+   recovers exactly the CRC-complete records of the prefix — and plain
+   strict parsing refuses anything short of the whole file. *)
+let test_salvage_recovers_longest_prefix () =
+  let options = opts () in
+  let r = run_campaign ~options lib_src in
+  let full = Campaign.to_string ~options ~library:lib_src r in
+  let all =
+    match Campaign.of_string full with
+    | Ok (_, results) -> List.map (fun tr -> tr.Campaign.tr_name) results
+    | Error e -> Alcotest.failf "full checkpoint unreadable: %s" e
+  in
+  Alcotest.(check int) "three records to salvage from" 3 (List.length all);
+  let path = Filename.temp_file "dart_salvage" ".ck" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let load_salvaged text =
+        let oc = open_out_bin path in
+        output_string oc text;
+        close_out oc;
+        let warnings = ref [] in
+        let res =
+          Campaign.load
+            ~salvage:(fun m -> warnings := m :: !warnings)
+            ~path ~options ~library:lib_src ()
+        in
+        (res, !warnings)
+      in
+      let starts_with p l =
+        String.length l >= String.length p && String.sub l 0 (String.length p) = p
+      in
+      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' full) in
+      let n = List.length lines in
+      for i = 0 to n do
+        let prefix = List.filteri (fun j _ -> j < i) lines in
+        let text = String.concat "" (List.map (fun l -> l ^ "\n") prefix) in
+        (* A record only survives once its crc trailer is on disk; a
+           prefix that cuts the header salvages nothing at all. *)
+        let expected =
+          if i < 3 then 0 else List.length (List.filter (starts_with "crc ") prefix)
+        in
+        (match load_salvaged text with
+         | (Ok results, warnings) ->
+           Alcotest.(check (list string))
+             (Printf.sprintf "prefix of %d/%d lines keeps the first %d records" i n expected)
+             (List.filteri (fun j _ -> j < expected) all)
+             (List.map (fun tr -> tr.Campaign.tr_name) results);
+           if i < n then
+             Alcotest.(check bool)
+               (Printf.sprintf "truncation at line %d is reported" i)
+               true (warnings <> [])
+           else
+             Alcotest.(check (list string)) "intact checkpoint salvages silently" [] warnings
+         | (Error msg, _) ->
+           Alcotest.failf "salvage refused the prefix of %d lines: %s" i msg);
+        if i < n then begin
+          match Campaign.of_string text with
+          | Ok _ -> Alcotest.failf "strict parse accepted a %d-line truncation" i
+          | Error _ -> ()
+        end
+      done)
+
+(* A bit-flip inside a record: the CRC catches what structural parsing
+   would let through, and salvage keeps everything before the damage. *)
+let test_salvage_detects_corruption () =
+  let options = opts () in
+  let r = run_campaign ~options lib_src in
+  let full = Campaign.to_string ~options ~library:lib_src r in
+  let lines = String.split_on_char '\n' full in
+  let target_seen = ref 0 in
+  let corrupted =
+    List.map
+      (fun l ->
+        if String.length l >= 7 && String.sub l 0 7 = "target " then begin
+          incr target_seen;
+          if !target_seen = 2 then begin
+            (* Bump the trailing digit (runs/bopens field): still a
+               perfectly well-formed record, only the checksum knows. *)
+            let last = String.length l - 1 in
+            String.sub l 0 last ^ (if l.[last] = '0' then "1" else "0")
+          end
+          else l
+        end
+        else l)
+      lines
+    |> String.concat "\n"
+  in
+  (match Campaign.of_string corrupted with
+   | Ok _ -> Alcotest.fail "strict parse accepted a corrupted record"
+   | Error msg ->
+     Alcotest.(check bool) "error names the checksum" true
+       (Str_contains.contains msg "checksum mismatch"));
+  let path = Filename.temp_file "dart_salvage" ".ck" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc corrupted;
+      close_out oc;
+      let warnings = ref [] in
+      (match
+         Campaign.load
+           ~salvage:(fun m -> warnings := m :: !warnings)
+           ~path ~options ~library:lib_src ()
+       with
+       | Ok [ kept ] ->
+         Alcotest.(check string) "only the record before the damage survives"
+           "get_status" kept.Campaign.tr_name
+       | Ok l -> Alcotest.failf "salvaged %d records, wanted 1" (List.length l)
+       | Error msg -> Alcotest.failf "salvage refused: %s" msg);
+      Alcotest.(check bool) "the warning names the checksum" true
+        (List.exists (fun m -> Str_contains.contains m "checksum mismatch") !warnings);
+      (* Salvage repairs corruption, never configuration mismatches:
+         silently dropping a healthy checkpoint of a different campaign
+         would destroy real work. *)
+      let oc = open_out_bin path in
+      output_string oc full;
+      close_out oc;
+      match
+        Campaign.load ~salvage:(fun _ -> ()) ~path ~options:(opts ~seed:8 ()) ~library:lib_src ()
+      with
+      | Ok _ -> Alcotest.fail "salvage ignored a configuration mismatch"
+      | Error msg ->
+        Alcotest.(check bool) "mismatch still explained" true
+          (Str_contains.contains msg "different campaign configuration"))
+
+(* SIGTERM mid-write: the checkpoint on disk is always the old or the
+   new complete file, never a torn one — the write-then-rename pair the
+   codec tests assume, exercised under a real asynchronous kill. The
+   victim is the ckwriter helper executable (OCaml 5 forbids Unix.fork
+   once domains have been created), which runs the same campaign with
+   the same options and rewrites its checkpoint in a tight loop. *)
+let test_sigterm_checkpoint_atomicity () =
+  let options = opts () in
+  let r = run_campaign ~options lib_src in
+  let expected = Campaign.to_string ~options ~library:lib_src r in
+  let path = Filename.temp_file "dart_sigterm" ".ck" in
+  let lib_file = Filename.temp_file "dart_sigterm" ".mc" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp"; lib_file ])
+    (fun () ->
+      let oc = open_out_bin lib_file in
+      output_string oc lib_src;
+      close_out oc;
+      Sys.remove path;
+      let exe = Filename.concat (Sys.getcwd ()) "ckwriter.exe" in
+      let pid =
+        Unix.create_process exe
+          [| exe; path; lib_file |]
+          Unix.stdin Unix.stdout Unix.stderr
+      in
+      (* Wait for the writer's first complete checkpoint, then let the
+         kill land somewhere inside a later rewrite. *)
+      let rec wait_ready n =
+        if n = 0 then Alcotest.fail "ckwriter never produced a checkpoint"
+        else if not (Sys.file_exists path) then begin
+          Unix.sleepf 0.01;
+          wait_ready (n - 1)
+        end
+      in
+      wait_ready 3000;
+      Unix.sleepf 0.05;
+      Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "the kill landed mid-loop" true
+        (status = Unix.WSIGNALED Sys.sigterm);
+      Alcotest.(check bool) "a checkpoint exists" true (Sys.file_exists path);
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string) "and it is a complete one" expected text;
+      match Campaign.of_string text with
+      | Ok (_, results) ->
+        Alcotest.(check int) "parseable, all records present" 3 (List.length results)
+      | Error msg -> Alcotest.failf "checkpoint torn by SIGTERM: %s" msg)
+
 let suite =
   [ Alcotest.test_case "discover: scalar signatures in declaration order" `Quick
       test_discover;
@@ -502,4 +836,17 @@ let suite =
     Alcotest.test_case "target overrides effective options" `Quick
       test_effective_options;
     Alcotest.test_case "osip simulacrum: detection matches ground truth" `Quick
-      test_osip_campaign_smoke ]
+      test_osip_campaign_smoke;
+    Alcotest.test_case "quarantine after consecutive faults" `Quick test_quarantine;
+    Alcotest.test_case "transient fault: retry recovers byte-identically" `Quick
+      test_fault_retry_recovers;
+    Alcotest.test_case "chaos soak oracle on the osip simulacrum" `Quick
+      test_chaos_oracle;
+    Alcotest.test_case "io_error chaos degrades to warnings" `Quick
+      test_io_error_degrades_to_warning;
+    Alcotest.test_case "salvage recovers every truncation prefix" `Quick
+      test_salvage_recovers_longest_prefix;
+    Alcotest.test_case "salvage detects record corruption" `Quick
+      test_salvage_detects_corruption;
+    Alcotest.test_case "SIGTERM leaves an old-or-new complete checkpoint" `Quick
+      test_sigterm_checkpoint_atomicity ]

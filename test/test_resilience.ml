@@ -80,6 +80,174 @@ let test_faultsim_spec () =
   Alcotest.(check int) "seeded draw is deterministic" (nth_fired 11) (nth_fired 11);
   Alcotest.(check bool) "seeded draw is in 1..8" true (nth_fired 11 < 8)
 
+(* ---- chaos schedules -------------------------------------------------------- *)
+
+let fire_seq fs point n = List.init n (fun _ -> Faultsim.fire fs point)
+
+let test_chaos_determinism () =
+  let plan () = Faultsim.chaos ~seed:5 [ (Faultsim.Worker_crash, 2000) ] in
+  let a = fire_seq (plan ()) Faultsim.Worker_crash 200 in
+  Alcotest.(check (list bool)) "same seed, same schedule" a
+    (fire_seq (plan ()) Faultsim.Worker_crash 200);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (a <> fire_seq (Faultsim.chaos ~seed:6 [ (Faultsim.Worker_crash, 2000) ])
+           Faultsim.Worker_crash 200);
+  (* 20% of 200 draws: enough hits to be a schedule, not a constant. *)
+  let hits = List.length (List.filter Fun.id a) in
+  Alcotest.(check bool) "rate is roughly honoured" true (hits > 10 && hits < 90);
+  (* Per-rule streams are seeded left to right from a master stream, so
+     appending a rule never perturbs the schedules of the ones before
+     it — a soak under worker_crash=r stays comparable when io_error is
+     added next to it. *)
+  let b =
+    fire_seq
+      (Faultsim.chaos ~seed:5 [ (Faultsim.Worker_crash, 2000); (Faultsim.Io_error, 9000) ])
+      Faultsim.Worker_crash 200
+  in
+  Alcotest.(check (list bool)) "appended rule leaves the first stream intact" a b
+
+let test_chaos_semantics () =
+  (* Chaos rules ignore probe keys: every probe of the point is one
+     Bernoulli draw, whichever slice or worker probes. *)
+  let fs = Faultsim.chaos ~seed:1 [ (Faultsim.Io_error, 10000) ] in
+  Alcotest.(check bool) "rate 1.0 fires unkeyed" true (Faultsim.fire fs Faultsim.Io_error);
+  Alcotest.(check bool) "rate 1.0 fires keyed" true
+    (Faultsim.fire ~key:7 fs Faultsim.Io_error);
+  Alcotest.(check bool) "recurring, not one-shot" true
+    (Faultsim.fire fs Faultsim.Io_error);
+  Alcotest.(check bool) "other points untouched" false
+    (Faultsim.fire fs Faultsim.Worker_crash);
+  Alcotest.check_raises "rate 0 rejected"
+    (Invalid_argument "Faultsim.chaos: rate must be in 1..10000 basis points") (fun () ->
+      ignore (Faultsim.chaos [ (Faultsim.Io_error, 0) ]));
+  Alcotest.check_raises "rate > 1 rejected"
+    (Invalid_argument "Faultsim.chaos: rate must be in 1..10000 basis points") (fun () ->
+      ignore (Faultsim.chaos [ (Faultsim.Io_error, 10001) ]))
+
+let test_chaos_spec () =
+  (match Faultsim.chaos_of_spec ~seed:3 "worker_crash=0.05, io_error=1" with
+   | Error e -> Alcotest.failf "spec rejected: %s" e
+   | Ok fs ->
+     Alcotest.(check bool) "plan is on" true (Faultsim.is_on fs);
+     Alcotest.(check bool) "rate-1 rule fires" true (Faultsim.fire fs Faultsim.Io_error));
+  List.iter
+    (fun (spec, what) ->
+      match Faultsim.chaos_of_spec spec with
+      | Ok _ -> Alcotest.failf "%s accepted: %S" what spec
+      | Error _ -> ())
+    [ ("", "empty spec");
+      ("worker_crash", "missing rate");
+      ("no_such_point=0.5", "unknown point");
+      ("worker_crash=0", "zero rate");
+      ("worker_crash=1.5", "rate above 1");
+      ("worker_crash=-0.1", "negative rate");
+      ("worker_crash=0.00001", "rate below one basis point");
+      ("worker_crash=lots", "non-numeric rate") ]
+
+(* ---- solver circuit breaker ------------------------------------------------- *)
+
+let test_breaker_state_machine () =
+  let b = Solver.Breaker.create ~threshold:3 ~cooldown:2 () in
+  let site = ("f", 4) in
+  Alcotest.(check bool) "closed: no skip" false (Solver.Breaker.skip b site);
+  (* Structural (non-overrun) Unknowns never trip it, and they reset
+     the consecutive count. *)
+  Alcotest.(check bool) "ok outcome: no transition" true
+    (Solver.Breaker.record b site ~failed:false = `None);
+  Alcotest.(check bool) "1st failure" true (Solver.Breaker.record b site ~failed:true = `None);
+  Alcotest.(check bool) "2nd failure" true (Solver.Breaker.record b site ~failed:true = `None);
+  Alcotest.(check bool) "success resets the streak" true
+    (Solver.Breaker.record b site ~failed:false = `None);
+  Alcotest.(check bool) "streak restarts at 1" true
+    (Solver.Breaker.record b site ~failed:true = `None);
+  Alcotest.(check bool) "..2" true (Solver.Breaker.record b site ~failed:true = `None);
+  Alcotest.(check bool) "3rd consecutive failure opens" true
+    (Solver.Breaker.record b site ~failed:true = `Opened);
+  Alcotest.(check bool) "open: skip" true (Solver.Breaker.skip b site);
+  Alcotest.(check bool) "other sites unaffected" false (Solver.Breaker.skip b ("f", 9));
+  Alcotest.(check bool) "straggler outcome while open is ignored" true
+    (Solver.Breaker.record b site ~failed:true = `None);
+  Solver.Breaker.tick b;
+  Alcotest.(check bool) "still cooling after one tick" true (Solver.Breaker.skip b site);
+  Solver.Breaker.tick b;
+  Alcotest.(check bool) "half-open: the probe goes through" false
+    (Solver.Breaker.skip b site);
+  Alcotest.(check bool) "failed probe re-opens" true
+    (Solver.Breaker.record b site ~failed:true = `Opened);
+  Solver.Breaker.tick b;
+  Solver.Breaker.tick b;
+  Alcotest.(check bool) "successful probe closes" true
+    (Solver.Breaker.record b site ~failed:false = `Closed);
+  Alcotest.(check bool) "closed again: no skip" false (Solver.Breaker.skip b site);
+  Alcotest.(check (list (pair string int))) "no site left open" []
+    (Solver.Breaker.open_sites b);
+  Alcotest.(check int) "two opens counted" 2 (Solver.Breaker.opens b);
+  Alcotest.(check int) "two skips counted" 2 (Solver.Breaker.skips b)
+
+(* A bugless one-branch target whose every solve is forced into a
+   deadline overrun: the breaker must open at the site, short-circuit
+   the follow-up restarts, and half-open probes on the restart ticks. *)
+let test_breaker_under_forced_overruns () =
+  let prog =
+    prepare ("int hit;\nvoid g(int x) { if (x == 5) { hit = 1; } else { hit = 0; } }", "g")
+  in
+  let forced_overruns () =
+    Faultsim.make (List.init 40 (fun i -> (Faultsim.Solver_deadline, None, i + 1)))
+  in
+  let run ~use_breaker =
+    let options =
+      Dart.Driver.Options.make ~seed:3 ~max_runs:12 ~stop_on_first_bug:false
+        ~use_breaker ~faultsim:(forced_overruns ()) ()
+    in
+    Dart.Driver.run ~options prog
+  in
+  let br = run ~use_breaker:true and ablated = run ~use_breaker:false in
+  let stats r = r.Dart.Driver.solver_stats in
+  Alcotest.(check bool) "breaker opened" true (Solver.breaker_opens (stats br) >= 1);
+  Alcotest.(check bool) "queries were short-circuited" true
+    (Solver.breaker_skips (stats br) >= 1);
+  Alcotest.(check int) "ablation: no opens" 0 (Solver.breaker_opens (stats ablated));
+  Alcotest.(check int) "ablation: no skips" 0 (Solver.breaker_skips (stats ablated));
+  (* The point of the breaker: deadline budget not burned at a hopeless
+     site. The ablated run pays one overrun per restart. *)
+  Alcotest.(check bool) "overruns avoided" true
+    (Solver.deadline_overruns (stats br) < Solver.deadline_overruns (stats ablated));
+  Alcotest.(check bool) "threshold overruns were real" true
+    (Solver.deadline_overruns (stats br) >= 3);
+  (* Skips degrade to the same verdict the solver would have reached. *)
+  Alcotest.(check bool) "same verdict" true
+    (br.Dart.Driver.verdict = ablated.Dart.Driver.verdict);
+  Alcotest.(check int) "same run count" ablated.Dart.Driver.runs br.Dart.Driver.runs;
+  Alcotest.(check int) "no bugs invented" 0 (List.length br.Dart.Driver.bugs);
+  (* Breaker meters measure work avoided: they must stay out of the
+     resume-identity counter set. *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " not in to_assoc") false
+        (List.mem_assoc key (Solver.to_assoc (stats br))))
+    [ "breaker_opens"; "breaker_skips" ];
+  Alcotest.(check bool) "report prints the breaker line when it acted" true
+    (Str_contains.contains (Dart.Driver.report_to_string br) "breaker:")
+
+let test_no_breaker_identity_when_healthy () =
+  (* No deadline overruns -> the breaker never acts -> byte-identical
+     output with and without it, on a workload with plenty of solves. *)
+  let run ~use_breaker =
+    let prog = prepare ~depth:3 churn_src in
+    let options =
+      Dart.Driver.Options.make ~seed:7 ~depth:3 ~max_runs:200 ~stop_on_first_bug:false
+        ~use_breaker ()
+    in
+    Dart.Driver.run ~options prog
+  in
+  let on = run ~use_breaker:true and off = run ~use_breaker:false in
+  Alcotest.(check string) "reports byte-identical"
+    (Dart.Driver.report_to_string off) (Dart.Driver.report_to_string on);
+  Alcotest.(check bool) "the healthy run did solve" true
+    (Solver.queries on.Dart.Driver.solver_stats > 0);
+  Alcotest.(check int) "and never opened" 0
+    (Solver.breaker_opens on.Dart.Driver.solver_stats)
+
 (* ---- deadlines and interrupts ---------------------------------------------- *)
 
 let test_time_budget () =
@@ -415,6 +583,16 @@ let suite =
     Alcotest.test_case "faultsim: one-shot nth" `Quick test_faultsim_one_shot;
     Alcotest.test_case "faultsim: key narrowing" `Quick test_faultsim_key_narrowing;
     Alcotest.test_case "faultsim: spec parsing" `Quick test_faultsim_spec;
+    Alcotest.test_case "chaos: schedules are seed-deterministic" `Quick
+      test_chaos_determinism;
+    Alcotest.test_case "chaos: recurring, key-blind, rate-checked" `Quick
+      test_chaos_semantics;
+    Alcotest.test_case "chaos: spec parsing" `Quick test_chaos_spec;
+    Alcotest.test_case "breaker: state machine" `Quick test_breaker_state_machine;
+    Alcotest.test_case "breaker: opens under forced overruns" `Quick
+      test_breaker_under_forced_overruns;
+    Alcotest.test_case "breaker: no-op on healthy workloads" `Quick
+      test_no_breaker_identity_when_healthy;
     Alcotest.test_case "time budget verdict" `Quick test_time_budget;
     Alcotest.test_case "interrupt verdicts" `Quick test_interrupt_verdicts;
     Alcotest.test_case "random search deadline" `Quick test_random_deadline;

@@ -86,6 +86,47 @@ let test_read_missing () =
   | Ok _ -> Alcotest.fail "missing file accepted"
   | Error _ -> ()
 
+(* Failure classification drives `dartc watch` follow mode: transient
+   failures (the writer's rename may simply not have landed yet, or the
+   file was deleted between campaigns) are waited out; malformed content
+   can never self-heal under atomic renames, so it stops the watcher. *)
+let test_read_classified () =
+  let transient path what =
+    match S.read_classified ~path with
+    | Error (`Transient _) -> ()
+    | Error (`Malformed msg) -> Alcotest.failf "%s classified malformed: %s" what msg
+    | Ok _ -> Alcotest.failf "%s parsed" what
+  in
+  transient "/nonexistent/dart_status.json" "missing file";
+  let path = Filename.temp_file "dart_status" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* temp_file creates it empty: a reader racing the very first
+         write sees exactly this. *)
+      transient path "empty file";
+      let oc = open_out path in
+      output_string oc "\n  \n";
+      close_out oc;
+      transient path "whitespace-only file";
+      let oc = open_out path in
+      output_string oc "{\"schema\":\"dart-status\",oops";
+      close_out oc;
+      (match S.read_classified ~path with
+       | Error (`Malformed _) -> ()
+       | Error (`Transient msg) ->
+         Alcotest.failf "garbage classified transient: %s" msg
+       | Ok _ -> Alcotest.fail "garbage parsed");
+      (* A deleted-then-rewritten file recovers: the sequence a watcher
+         sees when a status file is replaced mid-watch. *)
+      Sys.remove path;
+      transient path "deleted mid-watch";
+      S.write ~path snapshot;
+      match S.read_classified ~path with
+      | Ok st -> check_eq "rewritten snapshot reads back" snapshot st
+      | Error (`Transient msg) | Error (`Malformed msg) ->
+        Alcotest.failf "healthy snapshot rejected: %s" msg)
+
 (* The render is a pure function of the snapshot: golden-test it, so
    `dartc watch --once` output is pinned. *)
 let test_render_golden () =
@@ -113,4 +154,5 @@ let suite =
     Alcotest.test_case "rejects malformed" `Quick test_rejects_malformed;
     Alcotest.test_case "atomic write/read" `Quick test_write_read;
     Alcotest.test_case "missing file" `Quick test_read_missing;
+    Alcotest.test_case "transient/malformed classification" `Quick test_read_classified;
     Alcotest.test_case "render golden" `Quick test_render_golden ]

@@ -89,6 +89,27 @@ let test_word32_zint () =
     (Word32.of_zint_trunc (Zint.pow Zint.two 31));
   Alcotest.(check int) "negative" (-5) (Word32.of_zint_trunc (Zint.of_int (-5)))
 
+(* The standard IEEE 802.3 check value plus the incremental-update law
+   the checkpoint codec relies on (one checksum per record block). *)
+let test_crc32_vectors () =
+  Alcotest.(check string) "check value" "cbf43926"
+    (Crc32.to_hex (Crc32.string "123456789"));
+  Alcotest.(check string) "empty string" "00000000" (Crc32.to_hex (Crc32.string ""));
+  Alcotest.(check bool) "update composes" true
+    (Crc32.update (Crc32.string "1234") "56789" = Crc32.string "123456789");
+  Alcotest.(check bool) "one-byte sensitivity" true
+    (Crc32.string "target f 0 1" <> Crc32.string "target f 0 2")
+
+let test_crc32_hex () =
+  Alcotest.(check bool) "hex roundtrip" true
+    (Crc32.of_hex (Crc32.to_hex (Crc32.string "abc")) = Some (Crc32.string "abc"));
+  Alcotest.(check int) "fixed width" 8 (String.length (Crc32.to_hex 0l));
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" bad) true
+        (Crc32.of_hex bad = None))
+    [ ""; "cbf4392"; "cbf439260"; "cbf4392g"; " bf43926" ]
+
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name gen f)
 
 let word_gen = QCheck2.Gen.int_range Word32.min_value Word32.max_value
@@ -113,5 +134,7 @@ let suite =
     Alcotest.test_case "word32 division" `Quick test_word32_div;
     Alcotest.test_case "word32 bit ops" `Quick test_word32_bits;
     Alcotest.test_case "word32 shift edge cases" `Quick test_word32_shift_edges;
-    Alcotest.test_case "word32 zint bridge" `Quick test_word32_zint ]
+    Alcotest.test_case "word32 zint bridge" `Quick test_word32_zint;
+    Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "crc32 hex codec" `Quick test_crc32_hex ]
   @ properties
